@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the message-passing runtime's collectives:
+//! rendezvous overhead and payload throughput of the operations the BFS
+//! algorithms are built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmbfs_comm::World;
+use std::hint::black_box;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    for p in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("barrier_x100", p), &p, |b, &p| {
+            b.iter(|| {
+                World::run(p, |comm| {
+                    for _ in 0..100 {
+                        comm.barrier();
+                    }
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("allreduce_x100", p), &p, |b, &p| {
+            b.iter(|| {
+                World::run(p, |comm| {
+                    let mut acc = 0u64;
+                    for _ in 0..100 {
+                        acc = comm.allreduce(acc + 1, |a, b| a + b);
+                    }
+                    black_box(acc)
+                })
+            })
+        });
+        for payload in [1usize << 8, 1 << 14] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("alltoallv_{payload}w"), p),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        World::run(p, |comm| {
+                            let bufs: Vec<Vec<u64>> = (0..p)
+                                .map(|_| vec![comm.rank() as u64; payload / p])
+                                .collect();
+                            black_box(comm.alltoallv(bufs))
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("allgatherv_{payload}w"), p),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        World::run(p, |comm| {
+                            black_box(comm.allgatherv(vec![comm.rank() as u64; payload / p]))
+                        })
+                    })
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("split_grid", p), &p, |b, &p| {
+            b.iter(|| {
+                World::run(p, |comm| {
+                    let side = (p as f64).sqrt() as usize;
+                    let (i, j) = (comm.rank() / side, comm.rank() % side);
+                    let row = comm.split(i as u64, j as u64);
+                    let col = comm.split((side + j) as u64, i as u64);
+                    black_box((row.size(), col.size()))
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks for frontier-vector operations: the sparse
+//! vector plumbing whose cost §4.1 calls out ("a compact representation of
+//! the frontier vector is also important").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmbfs_graph::gen::{rmat, RmatConfig};
+use dmbfs_graph::CsrGraph;
+use dmbfs_matrix::SparseVector;
+use std::hint::black_box;
+
+fn bench_sparse_vector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontier");
+    group.sample_size(30);
+    let dim = 1u64 << 20;
+    for nnz in [1usize << 10, 1 << 14, 1 << 17] {
+        let unsorted: Vec<(u64, u64)> = (0..nnz as u64)
+            .map(|k| ((k.wrapping_mul(0x9E37_79B1) % dim), k))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("from_unsorted", nnz), &(), |b, _| {
+            b.iter(|| black_box(SparseVector::from_unsorted(dim, unsorted.clone(), u64::max)))
+        });
+
+        let parts: Vec<SparseVector<u64>> = (0..8u64)
+            .map(|p| {
+                SparseVector::from_unsorted(
+                    dim,
+                    (0..nnz as u64 / 8)
+                        .map(|k| ((k * 8 + p) % dim, k))
+                        .collect(),
+                    u64::max,
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("merge_8_parts", nnz), &(), |b, _| {
+            b.iter(|| black_box(SparseVector::merge_sorted(&parts, u64::max)))
+        });
+
+        let sorted = SparseVector::from_unsorted(dim, unsorted.clone(), u64::max);
+        group.bench_with_input(BenchmarkId::new("retain_mask", nnz), &(), |b, _| {
+            b.iter(|| {
+                let mut v = sorted.clone();
+                v.retain(|i, _| i % 3 != 0);
+                black_box(v)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_csr_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_build");
+    group.sample_size(15);
+    for scale in [12u32, 14] {
+        let mut el = rmat(&RmatConfig::graph500(scale, 5));
+        el.canonicalize_undirected();
+        group.bench_with_input(BenchmarkId::new("from_edge_list", scale), &(), |b, _| {
+            b.iter(|| black_box(CsrGraph::from_edge_list(&el)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_vector, bench_csr_construction);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks for instance construction: generators, the
+//! Graph 500 preparation pipeline, and vertex relabeling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dmbfs_graph::gen::{erdos_renyi, rmat, webcrawl, RmatConfig, WebCrawlConfig};
+use dmbfs_graph::RandomPermutation;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(15);
+    for scale in [12u32, 14, 16] {
+        let cfg = RmatConfig::graph500(scale, 11);
+        group.throughput(Throughput::Elements(cfg.num_edges()));
+        group.bench_with_input(BenchmarkId::new("rmat", scale), &(), |b, _| {
+            b.iter(|| black_box(rmat(&cfg)))
+        });
+    }
+    let n = 1u64 << 14;
+    group.throughput(Throughput::Elements(16 * n));
+    group.bench_function("erdos_renyi_scale14", |b| {
+        b.iter(|| black_box(erdos_renyi(n, 16 * n, 13)))
+    });
+    let wc = WebCrawlConfig::uk_union_like(128, 5);
+    group.throughput(Throughput::Elements(wc.num_vertices() * 12));
+    group.bench_function("webcrawl_128", |b| b.iter(|| black_box(webcrawl(&wc))));
+    group.finish();
+}
+
+fn bench_preparation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepare");
+    group.sample_size(15);
+    let el = rmat(&RmatConfig::graph500(14, 21));
+    group.bench_function("canonicalize_undirected", |b| {
+        b.iter(|| {
+            let mut copy = el.clone();
+            copy.canonicalize_undirected();
+            black_box(copy)
+        })
+    });
+    let mut canon = el.clone();
+    canon.canonicalize_undirected();
+    let perm = RandomPermutation::new(canon.num_vertices, 3);
+    group.bench_function("relabel", |b| {
+        b.iter(|| black_box(perm.apply_edge_list(&canon)))
+    });
+    group.bench_function("permutation_build", |b| {
+        b.iter(|| black_box(RandomPermutation::new(1 << 16, 9)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_preparation);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks for the SpMSV merge kernels (§4.2) — the
+//! ablation behind Fig. 3's SPA-vs-heap polyalgorithm, plus the row-split
+//! threading of the hybrid variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmbfs_graph::gen::{rmat, RmatConfig};
+use dmbfs_matrix::{
+    spmsv_heap, spmsv_spa, Dcsc, MergeKernel, RowSplitDcsc, SelectMax, SpaWorkspace, SparseVector,
+};
+use std::hint::black_box;
+
+/// Builds a shard with R-MAT structure: `dim × dim`, ~`nnz` nonzeros.
+fn shard(dim: u64, nnz: usize, seed: u64) -> Vec<(u64, u64)> {
+    let scale = 63 - dim.leading_zeros() - 1;
+    let ef = (nnz as u64 / (1 << scale)).max(1);
+    rmat(&RmatConfig::graph500_ef(scale, ef, seed))
+        .edges
+        .into_iter()
+        .map(|(u, v)| (u % dim, v % dim))
+        .take(nnz)
+        .collect()
+}
+
+/// A frontier of `nnz` evenly spaced entries.
+fn frontier(dim: u64, nnz: u64) -> SparseVector<u64> {
+    let step = (dim / nnz.max(1)).max(1);
+    SparseVector::from_sorted(dim, (0..nnz).map(|k| (k * step, k * step)).collect())
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmsv");
+    group.sample_size(20);
+    for &(dim, nnz) in &[(1u64 << 14, 1usize << 16), (1 << 17, 1 << 17)] {
+        let a = Dcsc::from_triples(dim, dim, &shard(dim, nnz, 3));
+        let x = frontier(dim, dim / 64);
+        let mut ws = SpaWorkspace::new(dim);
+        group.bench_with_input(
+            BenchmarkId::new("spa", format!("dim{dim}_nnz{nnz}")),
+            &(),
+            |b, _| b.iter(|| black_box(spmsv_spa::<SelectMax>(&a, &x, &mut ws))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("heap", format!("dim{dim}_nnz{nnz}")),
+            &(),
+            |b, _| b.iter(|| black_box(spmsv_heap::<SelectMax>(&a, &x))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_row_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmsv_row_split");
+    group.sample_size(20);
+    let dim = 1u64 << 15;
+    let triples = shard(dim, 1 << 17, 7);
+    let x = frontier(dim, dim / 32);
+    for bands in [1usize, 2, 4] {
+        let split = RowSplitDcsc::from_triples(dim, dim, &triples, bands);
+        group.bench_with_input(BenchmarkId::new("bands", bands), &(), |b, _| {
+            b.iter(|| black_box(split.par_spmsv::<SelectMax>(&x, MergeKernel::Auto)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontier_density_sweep(c: &mut Criterion) {
+    // The polyalgorithm decision point: kernel cost vs frontier density.
+    let mut group = c.benchmark_group("spmsv_density");
+    group.sample_size(20);
+    let dim = 1u64 << 16;
+    let a = Dcsc::from_triples(dim, dim, &shard(dim, 1 << 18, 11));
+    for shift in [4u64, 8, 12] {
+        let x = frontier(dim, dim >> shift);
+        let mut ws = SpaWorkspace::new(dim);
+        group.bench_with_input(
+            BenchmarkId::new("spa", format!("density_2^-{shift}")),
+            &(),
+            |b, _| b.iter(|| black_box(spmsv_spa::<SelectMax>(&a, &x, &mut ws))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("heap", format!("density_2^-{shift}")),
+            &(),
+            |b, _| b.iter(|| black_box(spmsv_heap::<SelectMax>(&a, &x))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_row_split,
+    bench_frontier_density_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Ablation (§7 future work, implemented): expand-phase collective
+//! algorithm — ideal board allgather vs ring vs recursive doubling.
+//!
+//! "the performance of distributed-memory parallel BFS is heavily
+//! dependent on the inter-processor collective communication routines
+//! All-to-all and Allgather. Understanding the bottlenecks in these
+//! routines at high process concurrencies, and designing network
+//! topology-aware collective algorithms is an interesting avenue for
+//! future research." (§7)
+//!
+//! The runtime records each algorithm's actual schedule (rounds, bytes);
+//! replaying the schedules through the α–β model shows the latency/
+//! bandwidth trade-off: doubling wins for the small frontiers of
+//! high-diameter graphs, ring wins for bandwidth-bound expands.
+
+use dmbfs_bench::harness::{
+    functional_scale, print_table, rmat_graph, webcrawl_graph, write_result,
+};
+use dmbfs_bfs::two_d::{bfs2d_run, Bfs2dConfig, ExpandAlgorithm};
+use dmbfs_graph::components::sample_sources;
+use dmbfs_graph::{CsrGraph, Grid2D};
+use dmbfs_model::{replay_rank_time, MachineProfile};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    instance: String,
+    algorithm: String,
+    calls_per_rank: usize,
+    bytes_out_max_rank: u64,
+    modeled_comm_ms: f64,
+}
+
+fn main() {
+    println!("=== ablation_collectives — expand-phase allgather algorithms (§7) ===");
+    let profile = MachineProfile::franklin();
+    let grid = Grid2D::new(8, 8);
+
+    let instances: Vec<(&str, CsrGraph)> = vec![
+        (
+            "rmat (low diameter)",
+            rmat_graph(functional_scale(), 16, 19),
+        ),
+        ("webcrawl (high diameter)", webcrawl_graph(64, 19)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (name, g) in &instances {
+        let source = sample_sources(g, 1, 3)[0];
+        for (label, expand) in [
+            ("board (ideal MPI)", ExpandAlgorithm::Board),
+            ("ring", ExpandAlgorithm::Ring),
+            ("recursive doubling", ExpandAlgorithm::Doubling),
+        ] {
+            let cfg = Bfs2dConfig {
+                expand,
+                ..Bfs2dConfig::flat(grid)
+            };
+            let run = bfs2d_run(g, source, &cfg);
+            let calls = run
+                .per_rank_stats
+                .iter()
+                .map(|s| s.num_calls())
+                .max()
+                .unwrap_or(0);
+            let bytes = run
+                .per_rank_stats
+                .iter()
+                .map(|s| s.bytes_out())
+                .max()
+                .unwrap_or(0);
+            let modeled = run
+                .per_rank_stats
+                .iter()
+                .map(|s| replay_rank_time(&profile, &s.events, 1))
+                .fold(0.0f64, f64::max);
+            table.push(vec![
+                name.to_string(),
+                label.to_string(),
+                calls.to_string(),
+                format!("{:.0}KiB", bytes as f64 / 1024.0),
+                format!("{:.2}ms", modeled * 1e3),
+            ]);
+            rows.push(Row {
+                instance: name.to_string(),
+                algorithm: label.to_string(),
+                calls_per_rank: calls,
+                bytes_out_max_rank: bytes,
+                modeled_comm_ms: modeled * 1e3,
+            });
+        }
+    }
+    print_table(
+        "expand algorithm schedules on an 8x8 grid",
+        &[
+            "instance",
+            "algorithm",
+            "calls/rank",
+            "max rank bytes",
+            "modeled comm",
+        ],
+        &table,
+    );
+    println!("\nexpected: ring multiplies rounds (pr-1 per level) but not volume;");
+    println!("doubling pays log2(pr) rounds with payload aggregation — its modeled");
+    println!("advantage grows on the 140-level crawl where latency dominates");
+
+    let path = write_result("ablation_collectives", &rows);
+    println!("results written to {}", path.display());
+}

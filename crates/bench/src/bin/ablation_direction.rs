@@ -1,0 +1,93 @@
+//! Ablation (post-paper extension): direction-optimizing BFS vs pure
+//! top-down, measured in *edges examined* — the deterministic work metric
+//! (wall-clock on a shared single-core host would be noise).
+//!
+//! Expected shape (Beamer et al., SC'12): large savings on low-diameter
+//! skewed graphs (R-MAT — the paper's Graph 500 instances), no savings on
+//! high-diameter graphs (the web crawl / paths), where the traversal
+//! correctly never leaves top-down.
+
+use dmbfs_bench::harness::{
+    functional_scale, num_sources, print_table, rmat_graph, webcrawl_graph, write_result,
+};
+use dmbfs_bfs::direction::{direction_optimizing_bfs, top_down_examinations, Direction};
+use dmbfs_graph::components::sample_sources;
+use dmbfs_graph::CsrGraph;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    instance: String,
+    top_down_edges: u64,
+    optimized_edges: u64,
+    saving: f64,
+    bottom_up_levels: usize,
+    total_levels: usize,
+}
+
+fn main() {
+    println!("=== ablation_direction — direction-optimizing BFS (edges examined) ===");
+    let scale = functional_scale();
+    let instances: Vec<(String, CsrGraph)> = vec![
+        (format!("rmat scale {scale}"), rmat_graph(scale, 16, 3)),
+        (
+            format!("rmat scale {}", scale + 2),
+            rmat_graph(scale + 2, 16, 5),
+        ),
+        ("webcrawl (diam ~140)".into(), webcrawl_graph(128, 7)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (name, g) in &instances {
+        let sources = sample_sources(g, num_sources().min(3), 11);
+        let mut baseline = 0u64;
+        let mut optimized = 0u64;
+        let mut bu_levels = 0usize;
+        let mut levels = 0usize;
+        for &s in &sources {
+            let run = direction_optimizing_bfs(g, s);
+            baseline += top_down_examinations(g, &run.output);
+            optimized += run.edges_examined;
+            bu_levels += run
+                .steps
+                .iter()
+                .filter(|st| st.direction == Direction::BottomUp)
+                .count();
+            levels += run.steps.len();
+        }
+        let row = Row {
+            instance: name.clone(),
+            top_down_edges: baseline,
+            optimized_edges: optimized,
+            saving: 1.0 - optimized as f64 / baseline.max(1) as f64,
+            bottom_up_levels: bu_levels,
+            total_levels: levels,
+        };
+        table.push(vec![
+            row.instance.clone(),
+            row.top_down_edges.to_string(),
+            row.optimized_edges.to_string(),
+            format!("{:.0}%", 100.0 * row.saving),
+            format!("{}/{}", row.bottom_up_levels, row.total_levels),
+        ]);
+        rows.push(row);
+    }
+    print_table(
+        "edges examined (summed over sources)",
+        &[
+            "instance",
+            "top-down",
+            "direction-opt",
+            "saving",
+            "bottom-up levels",
+        ],
+        &table,
+    );
+    println!("\nexpected: >50% fewer edge examinations on R-MAT (Beamer et al.);");
+    println!("on the community-structured crawl, adaptive backoff caps the loss at a");
+    println!("few exploratory bottom-up rounds (single-digit % overhead)");
+
+    let path = write_result("ablation_direction", &rows);
+    println!("results written to {}", path.display());
+}

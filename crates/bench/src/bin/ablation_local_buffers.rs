@@ -1,0 +1,59 @@
+//! Ablation (§4.2): thread-local next-frontier stacks (the paper's choice)
+//! vs a mutex-protected shared stack, and benign-race discovery vs CAS —
+//! on the shared-memory BFS. "Our choice is different from the approaches
+//! taken in prior work (such as specialized set data structures or a
+//! shared queue with atomic increments). [...] we found that our choice
+//! does not limit performance."
+
+use dmbfs_bench::harness::{functional_scale, num_sources, print_table, rmat_graph, write_result};
+use dmbfs_bfs::shared::{shared_bfs_with, DiscoveryMode, SharedBfsConfig};
+use dmbfs_bfs::teps::benchmark_bfs;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    mode: String,
+    mteps: f64,
+    mean_seconds: f64,
+}
+
+fn main() {
+    println!("=== ablation_local_buffers — next-frontier construction (§4.2) ===");
+    let scale = functional_scale() + 3;
+    let g = rmat_graph(scale, 16, 47);
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (name, mode) in [
+        (
+            "thread-local stacks + benign race",
+            DiscoveryMode::BenignRace,
+        ),
+        ("thread-local stacks + CAS", DiscoveryMode::Cas),
+        ("shared locked stack + CAS", DiscoveryMode::LockedStack),
+    ] {
+        let report = benchmark_bfs(&g, num_sources(), 5, |s| {
+            (shared_bfs_with(&g, s, &SharedBfsConfig { mode }), None)
+        });
+        table.push(vec![
+            name.to_string(),
+            format!("{:.1}", report.mteps()),
+            format!("{:.1}ms", report.mean_seconds * 1e3),
+        ]);
+        rows.push(Row {
+            mode: name.to_string(),
+            mteps: report.mteps(),
+            mean_seconds: report.mean_seconds,
+        });
+    }
+    print_table(
+        &format!("shared-memory BFS, R-MAT scale {scale}"),
+        &["next-frontier construction", "MTEPS", "mean time"],
+        &table,
+    );
+    println!("\npaper shape: thread-local stacks match or beat the shared stack;");
+    println!("benign-race avoids CAS overhead with <0.5% duplicate insertions");
+
+    let path = write_result("ablation_local_buffers", &rows);
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,32 @@
+//! Figure 5: BFS strong-scaling performance (GTEPS) on Franklin for
+//! Graph 500 R-MAT graphs. Panel (a): n = 2^29, m = 2^33 on 512–4096
+//! cores; panel (b): n = 2^32, m = 2^36 on 4096–8192 cores.
+//!
+//! Paper shape to reproduce: on Franklin the flat 1D algorithm is about
+//! 1.5–1.8× faster than the 2D algorithms; the 1D hybrid overtakes flat 1D
+//! at the largest concurrencies.
+
+use dmbfs_bench::figures::{strong_scaling_figure, Metric, Panel};
+use dmbfs_model::MachineProfile;
+
+fn main() {
+    strong_scaling_figure(
+        "fig5_strong_scaling_franklin",
+        MachineProfile::franklin(),
+        &[
+            Panel {
+                label: "(a) n = 2^29, m = 2^33".into(),
+                scale: 29,
+                edge_factor: 16,
+                cores: vec![512, 1024, 2048, 4096],
+            },
+            Panel {
+                label: "(b) n = 2^32, m = 2^36".into(),
+                scale: 32,
+                edge_factor: 16,
+                cores: vec![4096, 6400, 8192],
+            },
+        ],
+        Metric::Gteps,
+    );
+}

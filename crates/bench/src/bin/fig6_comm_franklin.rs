@@ -1,0 +1,31 @@
+//! Figure 6: BFS inter-node MPI communication time (seconds) on Franklin
+//! for Graph 500 R-MAT graphs — same panels as Fig. 5, lower is better.
+//!
+//! Paper shape to reproduce: "2D algorithms consistently spend less time
+//! (30-60% for scale 32) in communication, compared to their relative 1D
+//! algorithms."
+
+use dmbfs_bench::figures::{strong_scaling_figure, Metric, Panel};
+use dmbfs_model::MachineProfile;
+
+fn main() {
+    strong_scaling_figure(
+        "fig6_comm_franklin",
+        MachineProfile::franklin(),
+        &[
+            Panel {
+                label: "(a) n = 2^29, m = 2^33".into(),
+                scale: 29,
+                edge_factor: 16,
+                cores: vec![512, 1024, 2048, 4096],
+            },
+            Panel {
+                label: "(b) n = 2^32, m = 2^36".into(),
+                scale: 32,
+                edge_factor: 16,
+                cores: vec![4096, 6400, 8192],
+            },
+        ],
+        Metric::CommSeconds,
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 8: BFS inter-node MPI communication time (seconds) on Hopper —
+//! same panels as Fig. 7, lower is better.
+//!
+//! Paper shape to reproduce: flat 1D communication blows up beyond 10K
+//! cores ("consuming more than 90% of the overall execution time" at 20K,
+//! which is why the paper didn't run it at 40K), while "the percentage of
+//! time spent in communication for the 2D hybrid algorithm was less than
+//! 50% on 20K cores".
+
+use dmbfs_bench::figures::{strong_scaling_figure, Metric, Panel};
+use dmbfs_model::MachineProfile;
+
+fn main() {
+    strong_scaling_figure(
+        "fig8_comm_hopper",
+        MachineProfile::hopper(),
+        &[
+            Panel {
+                label: "(a) n = 2^30, m = 2^34".into(),
+                scale: 30,
+                edge_factor: 16,
+                cores: vec![1224, 2500, 5040, 10008],
+            },
+            Panel {
+                label: "(b) n = 2^32, m = 2^36".into(),
+                scale: 32,
+                edge_factor: 16,
+                cores: vec![5040, 10008, 20000, 40000],
+            },
+        ],
+        Metric::CommSeconds,
+    );
+}

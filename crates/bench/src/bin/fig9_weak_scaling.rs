@@ -1,0 +1,71 @@
+//! Figure 9: BFS weak scaling on Franklin — mean search time (left) and
+//! MPI communication time (right) with a fixed problem size per core
+//! (≈ 17 M edges/core), on 512–4096 cores. Ideal weak scaling is a flat
+//! line; lower is better.
+//!
+//! Paper shape to reproduce: "in this regime, the flat 1D algorithm
+//! performs better than the hybrid 1D algorithm [...] The 2D algorithms,
+//! although performing much less communication than their 1D counterparts,
+//! come later in terms of overall performance on this architecture, due to
+//! their higher computation overheads."
+
+use dmbfs_bench::figures::functional_validation;
+use dmbfs_bench::harness::{calibrated_predictor, fmt_secs, print_table, write_result};
+use dmbfs_bench::scaling::{model_series, ModelPoint};
+use dmbfs_model::{Algorithm, GraphShape, MachineProfile};
+use serde::Serialize;
+
+/// Edges per core in the paper's weak-scaling run.
+const EDGES_PER_CORE: u64 = 17_000_000;
+
+#[derive(Serialize)]
+struct Fig9 {
+    model: Vec<ModelPoint>,
+}
+
+fn main() {
+    println!("=== fig9_weak_scaling — Franklin — ~17M edges per core ===");
+    let pred = calibrated_predictor(MachineProfile::franklin());
+    let cores = [512usize, 1024, 2048, 4096];
+
+    // Weak scaling: pick the R-MAT scale whose edge count best matches
+    // 17M · p at edge factor 16 (n = m/16, scale = log2 n).
+    let mut all = Vec::new();
+    let mut time_rows = Vec::new();
+    let mut comm_rows = Vec::new();
+    for &p in &cores {
+        let m = EDGES_PER_CORE * p as u64;
+        let scale = (m / 16).next_power_of_two().trailing_zeros();
+        let shape = GraphShape::rmat(scale, 16);
+        let series = model_series(&pred, &shape, &[p]);
+        let row_of = |f: &dyn Fn(&ModelPoint) -> f64| -> Vec<String> {
+            let mut row = vec![p.to_string(), format!("2^{scale}")];
+            for alg in Algorithm::ALL {
+                let pt = series
+                    .iter()
+                    .find(|q| q.algorithm == alg.name())
+                    .expect("complete series");
+                row.push(fmt_secs(f(pt)));
+            }
+            row
+        };
+        time_rows.push(row_of(&|pt| pt.total_seconds));
+        comm_rows.push(row_of(&|pt| pt.comm_seconds));
+        all.extend(series);
+    }
+    let headers = [
+        "cores",
+        "n",
+        Algorithm::ALL[0].name(),
+        Algorithm::ALL[1].name(),
+        Algorithm::ALL[2].name(),
+        Algorithm::ALL[3].name(),
+    ];
+    print_table("(a) mean search time (s)", &headers, &time_rows);
+    print_table("(b) communication time (s)", &headers, &comm_rows);
+
+    functional_validation(dmbfs_bench::figures::Metric::TotalSeconds);
+
+    let path = write_result("fig9_weak_scaling", &Fig9 { model: all });
+    println!("\nresults written to {}", path.display());
+}

@@ -1,0 +1,173 @@
+//! Table 1: decomposition of communication times for the flat 2D algorithm
+//! on Franklin — the percentage of total BFS time spent in Allgatherv
+//! (expand) vs Alltoallv (fold), for constant edge count at scales
+//! 27/29/31 with edge factors 64/16/4, on 1024/2025/4096 cores.
+//!
+//! Paper shape to reproduce: "Allgatherv always consumes a higher
+//! percentage of the BFS time than the Alltoallv operation, with the gap
+//! widening as the matrix gets sparser."
+
+use dmbfs_bench::harness::{
+    calibrated_predictor, fmt_secs, num_sources, print_table, rmat_graph, write_result,
+};
+use dmbfs_bench::scaling::run_functional;
+use dmbfs_comm::Pattern;
+use dmbfs_graph::components::sample_sources;
+use dmbfs_model::{replay_rank_time, Algorithm, GraphShape, MachineProfile};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    cores: usize,
+    scale: u32,
+    edge_factor: u64,
+    bfs_seconds: f64,
+    allgatherv_pct: f64,
+    alltoallv_pct: f64,
+}
+
+fn main() {
+    println!("=== table1_comm_decomposition — flat 2D on Franklin ===");
+    let profile = MachineProfile::franklin();
+    let pred = calibrated_predictor(profile.clone());
+
+    // Model at the paper's exact configurations.
+    let mut model_rows = Vec::new();
+    let mut table = Vec::new();
+    for cores in [1024usize, 2025, 4096] {
+        for (scale, ef) in [(27u32, 64u64), (29, 16), (31, 4)] {
+            let shape = GraphShape::rmat(scale, ef);
+            let p = pred.predict(Algorithm::TwoDFlat, &shape, cores);
+            let total = p.total();
+            let row = Row {
+                cores,
+                scale,
+                edge_factor: ef,
+                bfs_seconds: total,
+                allgatherv_pct: 100.0 * p.comm_expand / total,
+                alltoallv_pct: 100.0 * p.comm_fold / total,
+            };
+            table.push(vec![
+                cores.to_string(),
+                scale.to_string(),
+                ef.to_string(),
+                fmt_secs(row.bfs_seconds),
+                format!("{:.1}%", row.allgatherv_pct),
+                format!("{:.1}%", row.alltoallv_pct),
+            ]);
+            model_rows.push(row);
+        }
+    }
+    print_table(
+        "model at paper configurations",
+        &[
+            "cores",
+            "scale",
+            "edge factor",
+            "BFS time (s)",
+            "Allgatherv",
+            "Alltoallv",
+        ],
+        &table,
+    );
+
+    // Functional validation: run the flat 2D algorithm at laptop scale with
+    // the same constant-edge-count construction, report the *exact*
+    // recorded per-rank communication volumes of the two phases, and the
+    // modeled times from replaying the events through the Franklin model.
+    // Note the regime difference: at p = 36 the expand's frontier
+    // replication factor (pr − 1 = 5) is tiny compared to the paper's
+    // 1024–4096 cores, so expand and fold are of the same order here; the
+    // model table above shows the paper's high-concurrency regime where
+    // expand dominates and the gap widens with sparsity.
+    let base = dmbfs_bench::harness::functional_scale();
+    let mut func_rows = Vec::new();
+    let mut table = Vec::new();
+    for (scale, ef) in [(base - 2, 64u64), (base, 16), (base + 2, 4)] {
+        let g = rmat_graph(scale, ef, 31);
+        let sources = sample_sources(&g, num_sources().min(2), 13);
+        let pt = run_functional(&g, Algorithm::TwoDFlat, 36, &sources);
+        // Exact volumes (max over ranks) and replayed modeled times.
+        let ag_bytes = pt
+            .events
+            .iter()
+            .map(|ev| {
+                ev.iter()
+                    .filter(|e| e.pattern == Pattern::Allgatherv)
+                    .map(|e| e.bytes_in)
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0);
+        let a2a_bytes = pt
+            .events
+            .iter()
+            .map(|ev| {
+                ev.iter()
+                    .filter(|e| e.pattern == Pattern::Alltoallv)
+                    .map(|e| e.bytes_in)
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0);
+        let slowest = pt
+            .events
+            .iter()
+            .map(|ev| replay_rank_time(&profile, ev, 1))
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let filtered = |pattern: Pattern| -> f64 {
+            pt.events
+                .iter()
+                .map(|ev| {
+                    let sel: Vec<_> = ev
+                        .iter()
+                        .copied()
+                        .filter(|e| e.pattern == pattern)
+                        .collect();
+                    replay_rank_time(&profile, &sel, 1)
+                })
+                .fold(0.0f64, f64::max)
+        };
+        let row = Row {
+            cores: 36,
+            scale,
+            edge_factor: ef,
+            bfs_seconds: slowest,
+            allgatherv_pct: 100.0 * filtered(Pattern::Allgatherv) / slowest,
+            alltoallv_pct: 100.0 * filtered(Pattern::Alltoallv) / slowest,
+        };
+        table.push(vec![
+            row.cores.to_string(),
+            scale.to_string(),
+            ef.to_string(),
+            format!("{:.0}KiB", ag_bytes as f64 / 1024.0),
+            format!("{:.0}KiB", a2a_bytes as f64 / 1024.0),
+            format!("{:.1}%", row.allgatherv_pct),
+            format!("{:.1}%", row.alltoallv_pct),
+        ]);
+        func_rows.push(row);
+    }
+    print_table(
+        "functional (p = 36): exact phase volumes + replayed modeled time shares",
+        &[
+            "cores",
+            "scale",
+            "edge factor",
+            "expand bytes",
+            "fold bytes",
+            "Allgatherv",
+            "Alltoallv",
+        ],
+        &table,
+    );
+    println!(
+        "\npaper shape (model table): Allgatherv% > Alltoallv%, gap widening as edge factor drops"
+    );
+
+    let path = write_result(
+        "table1_comm_decomposition",
+        &serde_json::json!({ "model": model_rows, "functional": func_rows }),
+    );
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,222 @@
+//! Applications built on the distributed substrate — the paper's framing
+//! is that BFS is "a key subroutine in several graph algorithms" (§1:
+//! spanning trees, shortest paths, connected components, …). This module
+//! provides two of them as first-class distributed algorithms, both
+//! exercising the same 1D partitioning + owner-aggregation machinery as
+//! Algorithm 2:
+//!
+//! * [`distributed_components`] — connected components via label
+//!   propagation (each vertex repeatedly adopts the minimum label in its
+//!   closed neighborhood; rounds exchange changed labels with the same
+//!   per-owner aggregation + `Alltoallv` structure as a BFS level).
+//! * [`distributed_diameter`] — a double-sweep diameter lower bound from
+//!   repeated distributed BFS runs (the standard estimator used to
+//!   characterize instances like uk-union's ≈140).
+
+use crate::distribute::extract_1d;
+use crate::one_d::{bfs1d_run, Bfs1dConfig};
+use dmbfs_comm::World;
+use dmbfs_graph::{CsrGraph, VertexId};
+
+/// Result of a distributed connected-components run.
+#[derive(Clone, Debug)]
+pub struct ComponentsOutput {
+    /// Component label per vertex: the minimum vertex id in the component.
+    pub labels: Vec<VertexId>,
+    /// Label-propagation rounds executed.
+    pub rounds: u32,
+}
+
+impl ComponentsOutput {
+    /// Number of distinct components.
+    pub fn num_components(&self) -> usize {
+        let mut labels = self.labels.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+}
+
+/// Distributed connected components over `p` simulated ranks.
+///
+/// Label propagation converges in O(diameter) rounds on each component;
+/// every round costs one `Alltoallv` (changed labels to neighbor owners)
+/// plus one `Allreduce` (global convergence test) — the same communication
+/// skeleton as level-synchronous BFS, which is why the paper's analysis
+/// transfers directly to this kernel.
+pub fn distributed_components(g: &CsrGraph, p: usize) -> ComponentsOutput {
+    assert!(p > 0);
+
+    struct RankResult {
+        start: u64,
+        labels: Vec<VertexId>,
+        rounds: u32,
+    }
+
+    let results: Vec<RankResult> = World::run(p, |comm| {
+        let local = extract_1d(g, p, comm.rank());
+        let nloc = local.count();
+        // Every vertex starts in its own component.
+        let mut labels: Vec<VertexId> = (0..nloc).map(|i| local.to_global(i)).collect();
+        // Initially every vertex is "changed" (must announce its label).
+        let mut changed: Vec<usize> = (0..nloc).collect();
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            // Announce changed labels to the owners of all neighbors.
+            let mut send: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); p];
+            for &i in &changed {
+                let v = local.to_global(i);
+                let label = labels[i];
+                for &w in local.neighbors(v) {
+                    send[local.block.owner(w)].push((w, label));
+                }
+            }
+            let recv = comm.alltoallv(send);
+            // Adopt any smaller label.
+            let mut next_changed = Vec::new();
+            for buf in recv {
+                for (w, label) in buf {
+                    let i = local.to_local(w);
+                    if label < labels[i] {
+                        labels[i] = label;
+                        next_changed.push(i);
+                    }
+                }
+            }
+            next_changed.sort_unstable();
+            next_changed.dedup();
+            let total: u64 = comm.allreduce(next_changed.len() as u64, |a, b| a + b);
+            if total == 0 {
+                break;
+            }
+            changed = next_changed;
+        }
+        RankResult {
+            start: local.range.start,
+            labels,
+            rounds,
+        }
+    });
+
+    let mut labels = vec![0 as VertexId; g.num_vertices() as usize];
+    let mut rounds = 0;
+    for r in results {
+        let s = r.start as usize;
+        labels[s..s + r.labels.len()].copy_from_slice(&r.labels);
+        rounds = rounds.max(r.rounds);
+    }
+    ComponentsOutput { labels, rounds }
+}
+
+/// Double-sweep diameter lower bound via distributed BFS: run BFS from
+/// `start`, then from the farthest vertex found, `sweeps` times; return
+/// the largest eccentricity observed.
+pub fn distributed_diameter(g: &CsrGraph, start: VertexId, sweeps: u32, p: usize) -> u32 {
+    let cfg = Bfs1dConfig::flat(p);
+    let mut source = start;
+    let mut best = 0u32;
+    for _ in 0..sweeps.max(1) {
+        let run = bfs1d_run(g, source, &cfg);
+        let (far, depth) = run
+            .output
+            .levels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l >= 0)
+            .max_by_key(|&(_, &l)| l)
+            .map(|(v, &l)| (v as VertexId, l as u32))
+            .unwrap_or((source, 0));
+        best = best.max(depth);
+        if far == source {
+            break;
+        }
+        source = far;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmbfs_graph::components::connected_components;
+    use dmbfs_graph::gen::{grid2d, path, ring, rmat, RmatConfig};
+    use dmbfs_graph::{CsrGraph, EdgeList};
+
+    fn rmat_graph(scale: u32, seed: u64) -> CsrGraph {
+        let mut el = rmat(&RmatConfig::graph500(scale, seed));
+        el.canonicalize_undirected();
+        CsrGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn components_match_union_find() {
+        for (name, g) in [
+            ("rmat", rmat_graph(8, 3)),
+            ("grid", CsrGraph::from_edge_list(&grid2d(5, 7))),
+            (
+                "disconnected",
+                CsrGraph::from_edge_list(&EdgeList::new(
+                    7,
+                    vec![(0, 1), (1, 0), (2, 3), (3, 2), (3, 4), (4, 3)],
+                )),
+            ),
+        ] {
+            let expected = connected_components(&g);
+            for p in [1usize, 3, 4] {
+                let got = distributed_components(&g, p);
+                assert_eq!(
+                    got.num_components(),
+                    expected.num_components,
+                    "{name} p={p}"
+                );
+                // Same partition: two vertices share a label iff they share
+                // a component.
+                for u in 0..g.num_vertices() as usize {
+                    for v in (u + 1)..g.num_vertices().min(64) as usize {
+                        assert_eq!(
+                            got.labels[u] == got.labels[v],
+                            expected.labels[u] == expected.labels[v],
+                            "{name} p={p} ({u},{v})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn component_labels_are_minimum_member_ids() {
+        let g = CsrGraph::from_edge_list(&EdgeList::new(5, vec![(4, 2), (2, 4), (2, 1), (1, 2)]));
+        let out = distributed_components(&g, 2);
+        assert_eq!(out.labels, vec![0, 1, 1, 3, 1]);
+    }
+
+    #[test]
+    fn rounds_scale_with_diameter() {
+        let short = distributed_components(&rmat_graph(8, 5), 2);
+        let long = distributed_components(&CsrGraph::from_edge_list(&path(60)), 2);
+        assert!(long.rounds > short.rounds);
+        assert!(long.rounds as u64 >= 59);
+    }
+
+    #[test]
+    fn diameter_of_path_is_exact() {
+        let g = CsrGraph::from_edge_list(&path(30));
+        assert_eq!(distributed_diameter(&g, 15, 2, 3), 29);
+    }
+
+    #[test]
+    fn diameter_of_ring_is_half() {
+        let g = CsrGraph::from_edge_list(&ring(20));
+        assert_eq!(distributed_diameter(&g, 0, 3, 2), 10);
+    }
+
+    #[test]
+    fn diameter_estimate_is_a_lower_bound() {
+        let g = rmat_graph(9, 9);
+        let est = distributed_diameter(&g, 0, 2, 4);
+        // Sanity envelope for a giant-component R-MAT at this scale.
+        assert!((2..30).contains(&est), "estimate {est}");
+    }
+}

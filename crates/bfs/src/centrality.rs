@@ -1,0 +1,344 @@
+//! Betweenness centrality — §1's "identifying and ranking important
+//! entities", computed with the Brandes algorithm whose inner kernel is
+//! exactly the level-synchronous BFS this repository is about. (Bader &
+//! Madduri's MTA-2 work, the paper's \[4\], paired the same two kernels.)
+//!
+//! Brandes (2001): for each source `s`, a BFS records shortest-path counts
+//! `σ` and the level structure; a reverse sweep accumulates dependencies
+//! `δ(v) = Σ_{w : v ∈ pred(w)} (σ_v/σ_w)(1 + δ(w))`. Unnormalized scores
+//! sum contributions over *ordered* source pairs; for undirected graphs
+//! callers conventionally halve them (we report raw sums and provide
+//! [`normalized`]).
+//!
+//! [`parallel_betweenness`] distributes sources across rayon workers, each
+//! with private σ/δ state (coarse-grained source parallelism — the classic
+//! strategy, matching §2.2's observation that x86 multicores favor
+//! coarse-grained load balancing). [`approx_betweenness`] samples sources
+//! (Bader et al.'s estimator) for large graphs.
+
+use dmbfs_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// Per-source Brandes accumulation: adds source `s`'s dependencies into
+/// `scores`.
+fn accumulate_from_source(g: &CsrGraph, s: VertexId, scores: &mut [f64]) {
+    let n = g.num_vertices() as usize;
+    let mut sigma = vec![0.0f64; n]; // shortest-path counts
+    let mut dist = vec![-1i64; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n); // BFS visit order
+    let mut frontier: Vec<VertexId> = vec![s];
+    sigma[s as usize] = 1.0;
+    dist[s as usize] = 0;
+    let mut level = 0i64;
+    while !frontier.is_empty() {
+        order.extend_from_slice(&frontier);
+        let mut next = Vec::new();
+        level += 1;
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if dist[v as usize] < 0 {
+                    dist[v as usize] = level;
+                    next.push(v);
+                }
+                if dist[v as usize] == level {
+                    sigma[v as usize] += sigma[u as usize];
+                }
+            }
+        }
+        frontier = next;
+    }
+    // Reverse sweep: accumulate dependencies from the deepest level up.
+    let mut delta = vec![0.0f64; n];
+    for &w in order.iter().rev() {
+        for &v in g.neighbors(w) {
+            if dist[v as usize] == dist[w as usize] - 1 {
+                delta[v as usize] +=
+                    sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            }
+        }
+        if w != s {
+            scores[w as usize] += delta[w as usize];
+        }
+    }
+}
+
+/// Exact betweenness over all sources, serially.
+pub fn serial_betweenness(g: &CsrGraph) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    let mut scores = vec![0.0; n];
+    for s in 0..n as u64 {
+        accumulate_from_source(g, s, &mut scores);
+    }
+    scores
+}
+
+/// Exact betweenness with sources distributed across rayon workers; each
+/// worker holds private BFS state and the per-source score vectors are
+/// reduced at the end.
+pub fn parallel_betweenness(g: &CsrGraph) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    (0..n as u64)
+        .into_par_iter()
+        .fold(
+            || vec![0.0f64; n],
+            |mut scores, s| {
+                accumulate_from_source(g, s, &mut scores);
+                scores
+            },
+        )
+        .reduce(
+            || vec![0.0f64; n],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Sampled approximation: accumulates `k` random sources and extrapolates
+/// by `n / k`. Deterministic in `seed`.
+pub fn approx_betweenness(g: &CsrGraph, k: usize, seed: u64) -> Vec<f64> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let n = g.num_vertices() as usize;
+    let k = k.clamp(1, n);
+    let mut sources: Vec<VertexId> = (0..n as u64).collect();
+    let mut rng = rand_xoshiro::Xoshiro256PlusPlus::seed_from_u64(seed);
+    sources.shuffle(&mut rng);
+    sources.truncate(k);
+    let mut scores = sources
+        .into_par_iter()
+        .fold(
+            || vec![0.0f64; n],
+            |mut scores, s| {
+                accumulate_from_source(g, s, &mut scores);
+                scores
+            },
+        )
+        .reduce(
+            || vec![0.0f64; n],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    let scale = n as f64 / k as f64;
+    for v in &mut scores {
+        *v *= scale;
+    }
+    scores
+}
+
+/// Conventional normalization for undirected graphs: halve the ordered-pair
+/// sums and divide by `(n−1)(n−2)` (the maximum possible).
+pub fn normalized(scores: &[f64]) -> Vec<f64> {
+    let n = scores.len() as f64;
+    let denom = (n - 1.0) * (n - 2.0);
+    if denom <= 0.0 {
+        return vec![0.0; scores.len()];
+    }
+    scores.iter().map(|&s| s / denom).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmbfs_graph::gen::{grid2d, path, ring, rmat, RmatConfig};
+    use dmbfs_graph::EdgeList;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    /// Brute-force reference: count shortest paths by BFS from every
+    /// source and enumerate paths via dynamic programming.
+    fn brute_force(g: &CsrGraph) -> Vec<f64> {
+        // Uses the same math but an independently-written double loop over
+        // (s, t) pairs with explicit path counting.
+        let n = g.num_vertices() as usize;
+        let mut scores = vec![0.0; n];
+        for s in 0..n as u64 {
+            // BFS for dist + sigma.
+            let mut dist = vec![i64::MAX; n];
+            let mut sigma = vec![0.0f64; n];
+            dist[s as usize] = 0;
+            sigma[s as usize] = 1.0;
+            let mut frontier = vec![s];
+            let mut d = 0;
+            while !frontier.is_empty() {
+                d += 1;
+                let mut next = Vec::new();
+                for &u in &frontier {
+                    for &v in g.neighbors(u) {
+                        if dist[v as usize] == i64::MAX {
+                            dist[v as usize] = d;
+                            next.push(v);
+                        }
+                        if dist[v as usize] == d {
+                            sigma[v as usize] += sigma[u as usize];
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            // For every target t, count paths through each v via
+            // sigma[v] * sigma_rev[v] / sigma[t] where sigma_rev counts
+            // paths from v to t — recompute per t by backward BFS counts.
+            for t in 0..n as u64 {
+                if t == s || dist[t as usize] == i64::MAX {
+                    continue;
+                }
+                // paths from v to t along shortest s-paths:
+                // count via reverse DP ordered by decreasing distance.
+                let mut through = vec![0.0f64; n];
+                through[t as usize] = 1.0;
+                let mut vertices: Vec<VertexId> = (0..n as u64)
+                    .filter(|&v| {
+                        dist[v as usize] != i64::MAX && dist[v as usize] <= dist[t as usize]
+                    })
+                    .collect();
+                vertices.sort_by_key(|&v| std::cmp::Reverse(dist[v as usize]));
+                for &w in &vertices {
+                    if w == t {
+                        continue;
+                    }
+                    for &x in g.neighbors(w) {
+                        if dist[x as usize] == dist[w as usize] + 1 {
+                            through[w as usize] += through[x as usize];
+                        }
+                    }
+                }
+                for v in 0..n as u64 {
+                    if v != s
+                        && v != t
+                        && dist[v as usize] < dist[t as usize]
+                        && dist[v as usize] > 0
+                    {
+                        scores[v as usize] +=
+                            sigma[v as usize] * through[v as usize] / sigma[t as usize];
+                    }
+                }
+            }
+        }
+        scores
+    }
+
+    #[test]
+    fn path_graph_closed_form() {
+        // Unnormalized over ordered pairs: BC(i) = 2 · i · (n−1−i).
+        let n = 7u64;
+        let g = CsrGraph::from_edge_list(&path(n));
+        let scores = serial_betweenness(&g);
+        for i in 0..n {
+            let expected = 2.0 * i as f64 * (n - 1 - i) as f64;
+            assert!(
+                (scores[i as usize] - expected).abs() < 1e-9,
+                "vertex {i}: {} vs {expected}",
+                scores[i as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn star_center_takes_everything() {
+        let mut edges = Vec::new();
+        for v in 1..=5u64 {
+            edges.push((0, v));
+            edges.push((v, 0));
+        }
+        let g = CsrGraph::from_edge_list(&EdgeList::new(6, edges));
+        let scores = serial_betweenness(&g);
+        assert!((scores[0] - 20.0).abs() < 1e-9); // (n−1)(n−2) = 20
+        for score in scores.iter().take(6).skip(1) {
+            assert!(score.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ring_is_uniform() {
+        let g = CsrGraph::from_edge_list(&ring(9));
+        let scores = serial_betweenness(&g);
+        for v in 1..9 {
+            assert!((scores[v] - scores[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut el = rmat(&RmatConfig::graph500(7, 5));
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        assert!(close(
+            &parallel_betweenness(&g),
+            &serial_betweenness(&g),
+            1e-7
+        ));
+    }
+
+    #[test]
+    fn brandes_matches_brute_force() {
+        for el in [grid2d(3, 4), path(6), ring(7)] {
+            let g = CsrGraph::from_edge_list(&el);
+            let fast = serial_betweenness(&g);
+            let slow = brute_force(&g);
+            assert!(close(&fast, &slow, 1e-7), "{:?} vs {:?}", fast, slow);
+        }
+    }
+
+    #[test]
+    fn brandes_matches_brute_force_on_random_graph() {
+        let mut el = rmat(&RmatConfig::graph500(5, 9));
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        assert!(close(&serial_betweenness(&g), &brute_force(&g), 1e-6));
+    }
+
+    #[test]
+    fn full_sample_approximation_is_exact() {
+        let g = CsrGraph::from_edge_list(&grid2d(4, 4));
+        let exact = serial_betweenness(&g);
+        let approx = approx_betweenness(&g, 16, 3);
+        assert!(close(&exact, &approx, 1e-9));
+    }
+
+    #[test]
+    fn sampled_approximation_correlates() {
+        let mut el = rmat(&RmatConfig::graph500(8, 11));
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        let exact = serial_betweenness(&g);
+        let approx = approx_betweenness(&g, 64, 5);
+        // Top exact vertex must rank highly in the approximation.
+        let top_exact = exact
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let mut by_approx: Vec<usize> = (0..exact.len()).collect();
+        by_approx.sort_by(|&a, &b| approx[b].total_cmp(&approx[a]));
+        let rank = by_approx.iter().position(|&v| v == top_exact).unwrap();
+        assert!(rank < exact.len() / 10, "top vertex ranked {rank}");
+    }
+
+    #[test]
+    fn normalization_bounds_scores() {
+        let g = CsrGraph::from_edge_list(&grid2d(4, 4));
+        let norm = normalized(&serial_betweenness(&g));
+        assert!(norm.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn disconnected_components_are_independent() {
+        let el = EdgeList::new(6, vec![(0, 1), (1, 0), (1, 2), (2, 1), (4, 5), (5, 4)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let scores = serial_betweenness(&g);
+        assert!((scores[1] - 2.0).abs() < 1e-9); // middle of the 3-path
+        assert!(scores[4].abs() < 1e-12);
+        assert!(scores[5].abs() < 1e-12);
+    }
+}

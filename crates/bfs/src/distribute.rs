@@ -1,0 +1,210 @@
+//! Graph partitioning for the distributed algorithms.
+//!
+//! Real deployments distribute the graph during generation/ingest; here the
+//! full graph lives in the driver process and each simulated rank extracts
+//! its partition on startup. Extraction is read-only and happens before the
+//! timed BFS region, mirroring the untimed "graph construction" phase of
+//! the Graph 500 protocol.
+
+use dmbfs_graph::{Block1D, CsrGraph, Grid2D, OwnerMap2D, VertexId};
+use std::ops::Range;
+
+/// Rank-local piece of a 1D vertex partition (§3.1): a contiguous vertex
+/// range plus all outgoing adjacencies, re-indexed to a local CSR.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Local1d {
+    /// Global vertex range owned by this rank.
+    pub range: Range<u64>,
+    /// The ownership map over all ranks.
+    pub block: Block1D,
+    /// Local CSR offsets (length `count + 1`).
+    pub offsets: Vec<usize>,
+    /// Adjacency targets as *global* vertex ids (targets are usually
+    /// remote, so local re-indexing would not help).
+    pub adjacency: Vec<VertexId>,
+}
+
+impl Local1d {
+    /// Number of owned vertices.
+    pub fn count(&self) -> usize {
+        (self.range.end - self.range.start) as usize
+    }
+
+    /// Local index of global vertex `v` (must be owned).
+    #[inline]
+    pub fn to_local(&self, v: VertexId) -> usize {
+        debug_assert!(self.range.contains(&v));
+        (v - self.range.start) as usize
+    }
+
+    /// Global id of local index `i`.
+    #[inline]
+    pub fn to_global(&self, i: usize) -> VertexId {
+        self.range.start + i as u64
+    }
+
+    /// Neighbors (global ids) of owned global vertex `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let i = self.to_local(v);
+        &self.adjacency[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Number of locally stored adjacencies.
+    pub fn num_local_edges(&self) -> usize {
+        self.adjacency.len()
+    }
+}
+
+/// Extracts rank `rank`'s 1D partition of `g` over `p` ranks.
+pub fn extract_1d(g: &CsrGraph, p: usize, rank: usize) -> Local1d {
+    let block = Block1D::new(g.num_vertices(), p);
+    let range = block.range(rank);
+    let goff = g.offsets();
+    let base = goff[range.start as usize];
+    let offsets: Vec<usize> = (range.start..=range.end)
+        .map(|v| goff[v as usize] - base)
+        .collect();
+    let adjacency = g.adjacency()[goff[range.start as usize]..goff[range.end as usize]].to_vec();
+    Local1d {
+        range,
+        block,
+        offsets,
+        adjacency,
+    }
+}
+
+/// Rank-local piece of a 2D checkerboard partition (§3.2): processor
+/// `P(i, j)` holds submatrix `A_ij` covering matrix rows `row_range(i)` ×
+/// columns `col_range(j)`, where entry `(v, u)` represents edge `u → v`
+/// (the matrix is stored pre-transposed, as §3.2 assumes, so SpMSV pushes
+/// the frontier along out-edges).
+#[derive(Clone, Debug)]
+pub struct Local2d {
+    /// Grid coordinates of this rank.
+    pub coords: (usize, usize),
+    /// The global ownership map.
+    pub map: OwnerMap2D,
+    /// Global matrix-row range of this block (output/destination vertices).
+    pub row_range: Range<u64>,
+    /// Global matrix-column range of this block (input/source vertices).
+    pub col_range: Range<u64>,
+    /// Submatrix nonzeros as (block-local row, block-local col).
+    pub triples: Vec<(u64, u64)>,
+}
+
+impl Local2d {
+    /// Block height (output dimension of the local SpMSV).
+    pub fn nrows(&self) -> u64 {
+        self.row_range.end - self.row_range.start
+    }
+
+    /// Block width (input dimension of the local SpMSV).
+    pub fn ncols(&self) -> u64 {
+        self.col_range.end - self.col_range.start
+    }
+}
+
+/// Extracts `P(i, j)`'s submatrix: scans only the sources in
+/// `col_range(j)`, so aggregate extraction work over one processor row is
+/// `O(m)`.
+pub fn extract_2d(g: &CsrGraph, grid: Grid2D, i: usize, j: usize) -> Local2d {
+    let map = OwnerMap2D::new(g.num_vertices(), grid);
+    let row_range = map.matrix_row_range(i);
+    let col_range = map.matrix_col_range(j);
+    let mut triples = Vec::new();
+    for u in col_range.clone() {
+        for &v in g.neighbors(u) {
+            if row_range.contains(&v) {
+                triples.push((v - row_range.start, u - col_range.start));
+            }
+        }
+    }
+    Local2d {
+        coords: (i, j),
+        map,
+        row_range,
+        col_range,
+        triples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmbfs_graph::gen::{rmat, RmatConfig};
+    use dmbfs_graph::{CsrGraph, EdgeList};
+
+    fn sample() -> CsrGraph {
+        let mut el = rmat(&RmatConfig::graph500(7, 77));
+        el.canonicalize_undirected();
+        CsrGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn one_d_pieces_cover_all_edges() {
+        let g = sample();
+        let p = 5;
+        let total: usize = (0..p).map(|r| extract_1d(&g, p, r).num_local_edges()).sum();
+        assert_eq!(total as u64, g.num_edges());
+    }
+
+    #[test]
+    fn one_d_neighbors_match_global() {
+        let g = sample();
+        let p = 4;
+        for r in 0..p {
+            let local = extract_1d(&g, p, r);
+            for v in local.range.clone() {
+                assert_eq!(local.neighbors(v), g.neighbors(v), "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_d_local_global_round_trip() {
+        let g = sample();
+        let local = extract_1d(&g, 3, 1);
+        for v in local.range.clone() {
+            assert_eq!(local.to_global(local.to_local(v)), v);
+        }
+    }
+
+    #[test]
+    fn two_d_blocks_cover_all_edges_exactly_once() {
+        let g = sample();
+        let grid = Grid2D::new(2, 3);
+        let total: usize = (0..2)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| extract_2d(&g, grid, i, j).triples.len())
+            .sum();
+        assert_eq!(total as u64, g.num_edges());
+    }
+
+    #[test]
+    fn two_d_block_contains_expected_entry() {
+        // Edge 0 -> 1 must appear in the block owning row 1, col 0.
+        let el = EdgeList::new(4, vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let grid = Grid2D::new(2, 2);
+        let map = OwnerMap2D::new(4, grid);
+        let i = 0; // row range 0..2 contains v=1
+        let j = 0; // col range 0..2 contains u=0
+        let block = extract_2d(&g, grid, i, j);
+        assert_eq!(map.matrix_row_range(0), 0..2);
+        assert!(block.triples.contains(&(1, 0)), "{:?}", block.triples);
+    }
+
+    #[test]
+    fn two_d_triples_are_in_block_bounds() {
+        let g = sample();
+        let grid = Grid2D::new(4, 2);
+        for i in 0..4 {
+            for j in 0..2 {
+                let b = extract_2d(&g, grid, i, j);
+                for &(r, c) in &b.triples {
+                    assert!(r < b.nrows() && c < b.ncols());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Bit-parallel multi-source BFS (MS-BFS).
+//!
+//! Workloads built *on* BFS — diameter estimation, centrality sampling,
+//! all-pairs statistics — run many traversals of the same graph. MS-BFS
+//! (Then et al., VLDB 2014) batches up to 64 sources into one sweep: each
+//! vertex carries a 64-bit `seen` mask (bit `k` = reached by source `k`)
+//! and a `frontier` mask; one pass over the adjacency serves every source
+//! whose bit is live, amortizing the irregular memory traffic that §5.1
+//! identifies as the dominant cost (`(m/p)·α_L,n/p` is paid once for the
+//! whole batch instead of once per source).
+
+use dmbfs_graph::{CsrGraph, VertexId};
+
+/// Maximum sources per batch (one bit each).
+pub const MAX_BATCH: usize = 64;
+
+/// Levels for every source in the batch: `levels[k][v]` is the distance
+/// from `sources[k]` to `v`, or `-1` if unreachable.
+#[derive(Clone, Debug)]
+pub struct MultiSourceOutput {
+    /// The batched sources, in input order.
+    pub sources: Vec<VertexId>,
+    /// Per-source level arrays.
+    pub levels: Vec<Vec<i64>>,
+}
+
+/// Runs a bit-parallel BFS from up to [`MAX_BATCH`] sources at once.
+///
+/// # Panics
+/// Panics if `sources` is empty, exceeds [`MAX_BATCH`], or contains an
+/// out-of-range vertex.
+pub fn multi_source_bfs(g: &CsrGraph, sources: &[VertexId]) -> MultiSourceOutput {
+    assert!(
+        !sources.is_empty() && sources.len() <= MAX_BATCH,
+        "batch must hold 1..=64 sources"
+    );
+    let n = g.num_vertices() as usize;
+    let mut levels: Vec<Vec<i64>> = vec![vec![-1; n]; sources.len()];
+    let mut seen = vec![0u64; n];
+    let mut frontier = vec![0u64; n];
+    let mut frontier_vertices: Vec<VertexId> = Vec::new();
+    for (k, &s) in sources.iter().enumerate() {
+        assert!((s as usize) < n, "source {s} out of range");
+        let bit = 1u64 << k;
+        if seen[s as usize] & bit == 0 {
+            levels[k][s as usize] = 0;
+        }
+        if seen[s as usize] == 0 && frontier[s as usize] == 0 {
+            frontier_vertices.push(s);
+        }
+        seen[s as usize] |= bit;
+        frontier[s as usize] |= bit;
+    }
+    // Duplicate sources in one batch share bits correctly: each gets its
+    // own level array seeded above.
+    for (k, &s) in sources.iter().enumerate() {
+        levels[k][s as usize] = 0;
+    }
+
+    let mut depth: i64 = 0;
+    while !frontier_vertices.is_empty() {
+        depth += 1;
+        let mut next = vec![0u64; n];
+        let mut next_vertices: Vec<VertexId> = Vec::new();
+        for &u in &frontier_vertices {
+            let mask = frontier[u as usize];
+            for &v in g.neighbors(u) {
+                // Sources that reach v now for the first time.
+                let fresh = mask & !seen[v as usize];
+                if fresh != 0 {
+                    if next[v as usize] == 0 {
+                        next_vertices.push(v);
+                    }
+                    next[v as usize] |= fresh;
+                    seen[v as usize] |= fresh;
+                    let mut bits = fresh;
+                    while bits != 0 {
+                        let k = bits.trailing_zeros() as usize;
+                        levels[k][v as usize] = depth;
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+        for &u in &frontier_vertices {
+            frontier[u as usize] = 0;
+        }
+        for &v in &next_vertices {
+            frontier[v as usize] = next[v as usize];
+        }
+        frontier_vertices = next_vertices;
+    }
+
+    MultiSourceOutput {
+        sources: sources.to_vec(),
+        levels,
+    }
+}
+
+/// Exact diameter of the component containing `probe`, computed by batched
+/// eccentricity sweeps over all its members (feasible for graphs up to a
+/// few tens of thousands of vertices; the estimator in `apps` covers the
+/// rest).
+pub fn exact_component_diameter(g: &CsrGraph, probe: VertexId) -> u32 {
+    // Membership from one BFS.
+    let first = multi_source_bfs(g, &[probe]);
+    let members: Vec<VertexId> = (0..g.num_vertices())
+        .filter(|&v| first.levels[0][v as usize] >= 0)
+        .collect();
+    let mut diameter = 0i64;
+    for chunk in members.chunks(MAX_BATCH) {
+        let out = multi_source_bfs(g, chunk);
+        for lv in &out.levels {
+            diameter = diameter.max(lv.iter().copied().max().unwrap_or(0));
+        }
+    }
+    diameter as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::serial_bfs;
+    use dmbfs_graph::components::sample_sources;
+    use dmbfs_graph::gen::{grid2d, path, ring, rmat, RmatConfig};
+    use dmbfs_graph::EdgeList;
+
+    fn rmat_graph(scale: u32, seed: u64) -> CsrGraph {
+        let mut el = rmat(&RmatConfig::graph500(scale, seed));
+        el.canonicalize_undirected();
+        CsrGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn batch_matches_individual_bfs() {
+        let g = rmat_graph(9, 13);
+        let sources = sample_sources(&g, 16, 5);
+        let out = multi_source_bfs(&g, &sources);
+        for (k, &s) in sources.iter().enumerate() {
+            let expected = serial_bfs(&g, s);
+            assert_eq!(out.levels[k], expected.levels, "source {s}");
+        }
+    }
+
+    #[test]
+    fn full_64_source_batch() {
+        let g = rmat_graph(8, 17);
+        let sources: Vec<VertexId> = sample_sources(&g, 64, 9);
+        assert_eq!(sources.len(), 64);
+        let out = multi_source_bfs(&g, &sources);
+        // Spot-check a few against serial.
+        for k in [0usize, 31, 63] {
+            assert_eq!(out.levels[k], serial_bfs(&g, sources[k]).levels);
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_in_batch() {
+        let g = CsrGraph::from_edge_list(&path(6));
+        let out = multi_source_bfs(&g, &[2, 2, 5]);
+        assert_eq!(out.levels[0], out.levels[1]);
+        assert_eq!(out.levels[2], serial_bfs(&g, 5).levels);
+    }
+
+    #[test]
+    fn disconnected_batches_stay_disjoint() {
+        let el = EdgeList::new(6, vec![(0, 1), (1, 0), (3, 4), (4, 3)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let out = multi_source_bfs(&g, &[0, 3]);
+        assert_eq!(out.levels[0][3], -1);
+        assert_eq!(out.levels[1][0], -1);
+        assert_eq!(out.levels[0][1], 1);
+        assert_eq!(out.levels[1][4], 1);
+    }
+
+    #[test]
+    fn exact_diameter_on_known_graphs() {
+        assert_eq!(
+            exact_component_diameter(&CsrGraph::from_edge_list(&path(17)), 3),
+            16
+        );
+        assert_eq!(
+            exact_component_diameter(&CsrGraph::from_edge_list(&ring(10)), 0),
+            5
+        );
+        assert_eq!(
+            exact_component_diameter(&CsrGraph::from_edge_list(&grid2d(4, 6)), 7),
+            4 + 6 - 2
+        );
+    }
+
+    #[test]
+    fn exact_diameter_ignores_other_components() {
+        let el = EdgeList::new(40, {
+            // A 3-path and, separately, a long 30-path.
+            let mut e = vec![(0u64, 1u64), (1, 0), (1, 2), (2, 1)];
+            for v in 10..39u64 {
+                e.push((v, v + 1));
+                e.push((v + 1, v));
+            }
+            e
+        });
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(exact_component_diameter(&g, 0), 2);
+        assert_eq!(exact_component_diameter(&g, 10), 29);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn rejects_oversized_batches() {
+        let g = CsrGraph::from_edge_list(&path(100));
+        let sources: Vec<VertexId> = (0..65).collect();
+        multi_source_bfs(&g, &sources);
+    }
+}

@@ -1,0 +1,397 @@
+//! 1D vertex-partitioned distributed BFS — Algorithm 2 of the paper.
+//!
+//! Each process owns `n/p` vertices and their outgoing edges (§3.1). A
+//! level expands by enumerating the adjacencies of the local frontier into
+//! per-destination buffers (thread-parallel with thread-local buffers in
+//! the hybrid variant), exchanging them with a single `Alltoallv`, and
+//! having each owner claim the newly visited vertices. "The key aspects to
+//! note [...] is the extraneous computation (and communication) introduced
+//! due to the distributed graph scenario: creating the message buffers of
+//! cumulative size O(m) and the All-to-all communication step."
+
+use crate::distribute::{extract_1d, Local1d};
+use crate::{BfsOutput, UNREACHED};
+use dmbfs_comm::{Comm, CommStats, World};
+use dmbfs_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Instant;
+
+/// Configuration of a 1D run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bfs1dConfig {
+    /// Number of simulated MPI ranks.
+    pub ranks: usize,
+    /// Threads per rank: 1 = "Flat MPI", >1 = "Hybrid" (§6 uses 4 on
+    /// Franklin, 6 on Hopper).
+    pub threads_per_rank: usize,
+}
+
+impl Bfs1dConfig {
+    /// Flat MPI: one single-threaded process per simulated core.
+    pub fn flat(ranks: usize) -> Self {
+        Self {
+            ranks,
+            threads_per_rank: 1,
+        }
+    }
+
+    /// Hybrid MPI + multithreading.
+    pub fn hybrid(ranks: usize, threads_per_rank: usize) -> Self {
+        assert!(threads_per_rank >= 1);
+        Self {
+            ranks,
+            threads_per_rank,
+        }
+    }
+
+    /// True when this is the hybrid variant.
+    pub fn is_hybrid(&self) -> bool {
+        self.threads_per_rank > 1
+    }
+}
+
+/// Everything a 1D run produces: the BFS tree plus per-rank measurements.
+#[derive(Clone, Debug)]
+pub struct Dist1dRun {
+    /// Assembled global result.
+    pub output: BfsOutput,
+    /// Per-rank communication event streams (index = rank).
+    pub per_rank_stats: Vec<CommStats>,
+    /// Wall seconds of the timed BFS region (barrier-to-barrier, excluding
+    /// graph distribution), as measured on rank 0.
+    pub seconds: f64,
+    /// Number of BFS levels executed.
+    pub num_levels: u32,
+}
+
+/// Runs the 1D algorithm and returns the assembled result only.
+///
+/// # Examples
+/// ```
+/// use dmbfs_bfs::one_d::{bfs1d, Bfs1dConfig};
+/// use dmbfs_bfs::serial::serial_bfs;
+/// use dmbfs_graph::gen::grid2d;
+/// use dmbfs_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edge_list(&grid2d(4, 4));
+/// let distributed = bfs1d(&g, 0, &Bfs1dConfig::flat(4));
+/// assert_eq!(distributed.levels(), serial_bfs(&g, 0).levels());
+/// ```
+pub fn bfs1d(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> BfsOutput {
+    bfs1d_run(g, source, cfg).output
+}
+
+/// Runs the 1D algorithm with full instrumentation.
+pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun {
+    assert!(cfg.ranks > 0);
+    assert!((source) < g.num_vertices(), "source out of range");
+    let ranks = cfg.ranks;
+    let threads = cfg.threads_per_rank;
+
+    struct RankResult {
+        start: u64,
+        levels: Vec<i64>,
+        parents: Vec<i64>,
+        stats: CommStats,
+        seconds: f64,
+        num_levels: u32,
+    }
+
+    let results: Vec<RankResult> = World::run(ranks, |comm| {
+        let local = extract_1d(g, ranks, comm.rank());
+        let pool = make_pool(threads);
+
+        comm.barrier();
+        let t0 = Instant::now();
+        let (levels, parents, num_levels) = rank_bfs(comm, &local, source, pool.as_ref());
+        comm.barrier();
+        let seconds = t0.elapsed().as_secs_f64();
+
+        RankResult {
+            start: local.range.start,
+            levels,
+            parents,
+            stats: comm.take_stats(),
+            seconds,
+            num_levels,
+        }
+    });
+
+    let mut output = BfsOutput::unreached(source, g.num_vertices() as usize);
+    let mut per_rank_stats = Vec::with_capacity(ranks);
+    let mut seconds = 0.0f64;
+    let mut num_levels = 0;
+    for r in results {
+        let s = r.start as usize;
+        output.levels[s..s + r.levels.len()].copy_from_slice(&r.levels);
+        output.parents[s..s + r.parents.len()].copy_from_slice(&r.parents);
+        per_rank_stats.push(r.stats);
+        seconds = seconds.max(r.seconds);
+        num_levels = num_levels.max(r.num_levels);
+    }
+    Dist1dRun {
+        output,
+        per_rank_stats,
+        seconds,
+        num_levels,
+    }
+}
+
+/// Builds a dedicated pool for hybrid ranks (None = run serially, the flat
+/// variant; a shared global pool would serialize the simulated ranks
+/// against each other).
+fn make_pool(threads: usize) -> Option<rayon::ThreadPool> {
+    (threads > 1).then(|| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build rank thread pool")
+    })
+}
+
+/// The per-rank level loop of Algorithm 2.
+fn rank_bfs(
+    comm: &Comm,
+    local: &Local1d,
+    source: VertexId,
+    pool: Option<&rayon::ThreadPool>,
+) -> (Vec<i64>, Vec<i64>, u32) {
+    let p = comm.size();
+    let nloc = local.count();
+    let levels: Vec<AtomicI64> = (0..nloc).map(|_| AtomicI64::new(UNREACHED)).collect();
+    let parents: Vec<AtomicI64> = (0..nloc).map(|_| AtomicI64::new(UNREACHED)).collect();
+
+    // Lines 4–7: the owner seeds the frontier.
+    let mut frontier: Vec<VertexId> = Vec::new();
+    if local.block.owner(source) == comm.rank() {
+        let s = local.to_local(source);
+        levels[s].store(0, Ordering::Relaxed);
+        parents[s].store(source as i64, Ordering::Relaxed);
+        frontier.push(source);
+    }
+
+    let mut level: i64 = 1;
+    loop {
+        // Lines 13–19: enumerate adjacencies into per-destination buffers.
+        let send = match pool {
+            Some(pool) => pool.install(|| pack_parallel(local, &frontier, p)),
+            None => pack_serial(local, &frontier, p),
+        };
+        // Line 21: the all-to-all exchange of (target, parent) pairs.
+        let recv = comm.alltoallv(send);
+        // Lines 23–28: owners claim newly visited vertices.
+        let next = match pool {
+            Some(pool) => pool.install(|| unpack_parallel(local, &recv, &levels, &parents, level)),
+            None => unpack_serial(local, &recv, &levels, &parents, level),
+        };
+        // Global termination test.
+        let global_next = comm.allreduce(next.len() as u64, |a, b| a + b);
+        if global_next == 0 {
+            break;
+        }
+        frontier = next;
+        level += 1;
+    }
+
+    (
+        levels.into_iter().map(AtomicI64::into_inner).collect(),
+        parents.into_iter().map(AtomicI64::into_inner).collect(),
+        level as u32,
+    )
+}
+
+/// Serial buffer packing (flat variant).
+fn pack_serial(local: &Local1d, frontier: &[VertexId], p: usize) -> Vec<Vec<(u64, u64)>> {
+    let mut send: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+    for &u in frontier {
+        for &v in local.neighbors(u) {
+            send[local.block.owner(v)].push((v, u));
+        }
+    }
+    send
+}
+
+/// Thread-parallel packing with thread-local buffers merged at the end
+/// (the `tBuf_ij` scheme of Algorithm 2 lines 11/16/19).
+fn pack_parallel(local: &Local1d, frontier: &[VertexId], p: usize) -> Vec<Vec<(u64, u64)>> {
+    frontier
+        .par_iter()
+        .with_min_len(64)
+        .fold(
+            || vec![Vec::new(); p],
+            |mut bufs: Vec<Vec<(u64, u64)>>, &u| {
+                for &v in local.neighbors(u) {
+                    bufs[local.block.owner(v)].push((v, u));
+                }
+                bufs
+            },
+        )
+        .reduce(
+            || vec![Vec::new(); p],
+            |mut a, mut b| {
+                for (dst, src) in a.iter_mut().zip(b.iter_mut()) {
+                    dst.append(src);
+                }
+                a
+            },
+        )
+}
+
+/// Serial unpack: distance check and claim (lines 23–26).
+fn unpack_serial(
+    local: &Local1d,
+    recv: &[Vec<(u64, u64)>],
+    levels: &[AtomicI64],
+    parents: &[AtomicI64],
+    level: i64,
+) -> Vec<VertexId> {
+    let mut next = Vec::new();
+    for buf in recv {
+        for &(v, parent) in buf {
+            let i = local.to_local(v);
+            if levels[i].load(Ordering::Relaxed) == UNREACHED {
+                levels[i].store(level, Ordering::Relaxed);
+                parents[i].store(parent as i64, Ordering::Relaxed);
+                next.push(v);
+            }
+        }
+    }
+    next
+}
+
+/// Thread-parallel unpack with thread-local next stacks; CAS-claimed so a
+/// vertex enters the next frontier exactly once.
+fn unpack_parallel(
+    local: &Local1d,
+    recv: &[Vec<(u64, u64)>],
+    levels: &[AtomicI64],
+    parents: &[AtomicI64],
+    level: i64,
+) -> Vec<VertexId> {
+    recv.par_iter()
+        .flat_map_iter(|buf| buf.iter().copied())
+        .fold(Vec::new, |mut next: Vec<VertexId>, (v, parent)| {
+            let i = local.to_local(v);
+            if levels[i].load(Ordering::Relaxed) == UNREACHED
+                && levels[i]
+                    .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                parents[i].store(parent as i64, Ordering::Relaxed);
+                next.push(v);
+            }
+            next
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::serial_bfs;
+    use crate::validate::validate_bfs;
+    use dmbfs_comm::Pattern;
+    use dmbfs_graph::gen::{grid2d, path, rmat, RmatConfig};
+    use dmbfs_graph::{CsrGraph, EdgeList};
+
+    fn rmat_graph(scale: u32, seed: u64) -> CsrGraph {
+        let mut el = rmat(&RmatConfig::graph500(scale, seed));
+        el.canonicalize_undirected();
+        CsrGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn flat_matches_serial_on_grid() {
+        let g = CsrGraph::from_edge_list(&grid2d(6, 9));
+        let expected = serial_bfs(&g, 0);
+        for p in [1, 2, 3, 5, 8] {
+            let out = bfs1d(&g, 0, &Bfs1dConfig::flat(p));
+            assert_eq!(out.levels, expected.levels, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn flat_matches_serial_on_rmat() {
+        let g = rmat_graph(9, 4);
+        let expected = serial_bfs(&g, 3);
+        for p in [2, 4, 7] {
+            let out = bfs1d(&g, 3, &Bfs1dConfig::flat(p));
+            assert_eq!(out.levels, expected.levels, "p = {p}");
+            validate_bfs(&g, 3, &out.parents, &out.levels).unwrap();
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_serial() {
+        let g = rmat_graph(9, 6);
+        let expected = serial_bfs(&g, 1);
+        let out = bfs1d(&g, 1, &Bfs1dConfig::hybrid(3, 2));
+        assert_eq!(out.levels, expected.levels);
+        validate_bfs(&g, 1, &out.parents, &out.levels).unwrap();
+    }
+
+    #[test]
+    fn high_diameter_path_works() {
+        let g = CsrGraph::from_edge_list(&path(40));
+        let out = bfs1d(&g, 0, &Bfs1dConfig::flat(4));
+        let expected: Vec<i64> = (0..40).collect();
+        assert_eq!(out.levels, expected);
+    }
+
+    #[test]
+    fn source_not_on_rank_zero() {
+        let g = CsrGraph::from_edge_list(&grid2d(4, 4));
+        let expected = serial_bfs(&g, 15);
+        let out = bfs1d(&g, 15, &Bfs1dConfig::flat(4));
+        assert_eq!(out.levels, expected.levels);
+    }
+
+    #[test]
+    fn disconnected_graph_terminates() {
+        let el = EdgeList::new(8, vec![(0, 1), (1, 0), (6, 7), (7, 6)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let out = bfs1d(&g, 0, &Bfs1dConfig::flat(3));
+        assert_eq!(out.num_reached(), 2);
+        assert_eq!(out.levels[6], UNREACHED);
+    }
+
+    #[test]
+    fn run_reports_levels_and_alltoall_stats() {
+        let g = rmat_graph(8, 2);
+        let run = bfs1d_run(&g, 0, &Bfs1dConfig::flat(4));
+        assert_eq!(run.per_rank_stats.len(), 4);
+        assert!(run.seconds > 0.0);
+        assert!(run.num_levels >= 2);
+        // Every rank performed one alltoallv per level.
+        for stats in &run.per_rank_stats {
+            let a2a = stats
+                .events
+                .iter()
+                .filter(|e| e.pattern == Pattern::Alltoallv)
+                .count();
+            assert_eq!(a2a as u32, run.num_levels);
+        }
+    }
+
+    #[test]
+    fn single_rank_equals_serial() {
+        let g = rmat_graph(8, 9);
+        let out = bfs1d(&g, 5, &Bfs1dConfig::flat(1));
+        let expected = serial_bfs(&g, 5);
+        assert_eq!(out.levels, expected.levels);
+        // With one rank, even parents must match exactly (deterministic
+        // order).
+        validate_bfs(&g, 5, &out.parents, &out.levels).unwrap();
+    }
+
+    #[test]
+    fn more_ranks_than_vertices() {
+        let g = CsrGraph::from_edge_list(&path(3));
+        let out = bfs1d(&g, 0, &Bfs1dConfig::flat(6));
+        assert_eq!(out.levels, vec![0, 1, 2]);
+    }
+}

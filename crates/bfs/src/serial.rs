@@ -1,0 +1,143 @@
+//! Serial level-synchronous BFS — Algorithm 1 of the paper.
+//!
+//! "The required breadth-first ordering of vertices is accomplished in this
+//! case by using two stacks — FS and NS — for storing vertices at the
+//! current level (or 'frontier') and the newly-visited set of vertices."
+//! The FIFO ordering of the textbook queue algorithm is deliberately
+//! relaxed; work complexity stays O(m + n).
+
+use crate::{BfsOutput, UNREACHED};
+use dmbfs_graph::{CsrGraph, VertexId};
+
+/// Runs Algorithm 1 from `source`, producing levels and a spanning tree.
+///
+/// # Examples
+/// ```
+/// use dmbfs_bfs::serial::serial_bfs;
+/// use dmbfs_graph::gen::path;
+/// use dmbfs_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edge_list(&path(4)); // 0 - 1 - 2 - 3
+/// let out = serial_bfs(&g, 0);
+/// assert_eq!(out.levels, vec![0, 1, 2, 3]);
+/// assert_eq!(out.parents, vec![0, 0, 1, 2]);
+/// ```
+pub fn serial_bfs(g: &CsrGraph, source: VertexId) -> BfsOutput {
+    let n = g.num_vertices() as usize;
+    assert!((source as usize) < n, "source out of range");
+    let mut out = BfsOutput::unreached(source, n);
+    out.levels[source as usize] = 0;
+    out.parents[source as usize] = source as i64;
+
+    let mut fs: Vec<VertexId> = vec![source]; // frontier stack
+    let mut ns: Vec<VertexId> = Vec::new(); // next stack
+    let mut level: i64 = 1;
+    while !fs.is_empty() {
+        for &u in &fs {
+            for &v in g.neighbors(u) {
+                let slot = &mut out.levels[v as usize];
+                if *slot == UNREACHED {
+                    *slot = level;
+                    out.parents[v as usize] = u as i64;
+                    ns.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut fs, &mut ns);
+        ns.clear();
+        level += 1;
+    }
+    out
+}
+
+/// Counts the directed adjacencies incident to reached vertices — the
+/// "edges visited" quantity the Graph 500 TEPS rate normalizes by
+/// (each undirected edge of the traversed component is stored twice, so
+/// callers divide by two for undirected inputs).
+pub fn traversed_adjacencies(g: &CsrGraph, out: &BfsOutput) -> u64 {
+    (0..g.num_vertices())
+        .filter(|&v| out.levels[v as usize] != UNREACHED)
+        .map(|v| g.degree(v) as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmbfs_graph::gen::{binary_tree, grid2d, path, ring, rmat, RmatConfig};
+    use dmbfs_graph::stats::bfs_levels;
+    use dmbfs_graph::{CsrGraph, EdgeList};
+
+    #[test]
+    fn path_levels_and_parents() {
+        let g = CsrGraph::from_edge_list(&path(5));
+        let out = serial_bfs(&g, 0);
+        assert_eq!(out.levels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(out.parents, vec![0, 0, 1, 2, 3]);
+        assert_eq!(out.depth(), 4);
+    }
+
+    #[test]
+    fn source_is_its_own_parent() {
+        let g = CsrGraph::from_edge_list(&ring(6));
+        let out = serial_bfs(&g, 3);
+        assert_eq!(out.parents[3], 3);
+        assert_eq!(out.levels[3], 0);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unreached() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 0)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let out = serial_bfs(&g, 0);
+        assert_eq!(out.levels[2], UNREACHED);
+        assert_eq!(out.parents[3], UNREACHED);
+        assert_eq!(out.num_reached(), 2);
+    }
+
+    #[test]
+    fn tree_has_correct_level_sizes() {
+        let g = CsrGraph::from_edge_list(&binary_tree(5));
+        let out = serial_bfs(&g, 0);
+        for k in 0..5 {
+            let count = out.levels.iter().filter(|&&l| l == k).count();
+            assert_eq!(count, 1 << k);
+        }
+    }
+
+    #[test]
+    fn levels_match_stats_reference() {
+        let mut el = rmat(&RmatConfig::graph500(9, 17));
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        let out = serial_bfs(&g, 0);
+        let reference = bfs_levels(&g, 0);
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..g.num_vertices() as usize {
+            let expected = reference[v].map_or(UNREACHED, |l| l as i64);
+            assert_eq!(out.levels[v], expected, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn parents_are_one_level_up() {
+        let g = CsrGraph::from_edge_list(&grid2d(5, 5));
+        let out = serial_bfs(&g, 12);
+        for v in 0..25usize {
+            if out.levels[v] > 0 {
+                let p = out.parents[v] as usize;
+                assert_eq!(out.levels[p], out.levels[v] - 1, "vertex {v}");
+                assert!(g.has_edge(p as u64, v as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn traversed_adjacency_count() {
+        let el = EdgeList::new(5, vec![(0, 1), (1, 0), (3, 4), (4, 3)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let out = serial_bfs(&g, 0);
+        // Component {0,1} has 2 stored adjacencies.
+        assert_eq!(traversed_adjacencies(&g, &out), 2);
+    }
+}

@@ -1,0 +1,475 @@
+//! Distributed single-source shortest paths — the second of §1's classical
+//! problems ("finding spanning trees, shortest paths, …"), built on the
+//! same 1D owner-aggregation machinery as Algorithm 2.
+//!
+//! The algorithm is level-synchronous Bellman–Ford: each round relaxes the
+//! out-edges of vertices whose tentative distance improved in the previous
+//! round, routes the candidate `(target, distance, parent)` triples to the
+//! owners with one `Alltoallv`, and terminates when a global `Allreduce`
+//! sees no improvement anywhere. On unit weights every round is exactly a
+//! BFS level, so [`distributed_sssp`] degenerates to Algorithm 2 — a
+//! cross-check the tests exploit.
+//!
+//! The serial oracle is a binary-heap Dijkstra ([`serial_sssp`]).
+
+use dmbfs_comm::World;
+use dmbfs_graph::weighted::WeightedCsr;
+use dmbfs_graph::{Block1D, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of an SSSP computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SsspOutput {
+    /// Source vertex.
+    pub source: VertexId,
+    /// `dists[v]` = shortest distance from the source, `u64::MAX` if
+    /// unreachable.
+    pub dists: Vec<u64>,
+    /// Shortest-path-tree predecessor, `-1` if unreachable; the source is
+    /// its own parent.
+    pub parents: Vec<i64>,
+}
+
+/// Unreachable marker in [`SsspOutput::dists`].
+pub const UNREACHABLE: u64 = u64::MAX;
+
+impl SsspOutput {
+    /// Number of vertices with a finite distance.
+    pub fn num_reached(&self) -> u64 {
+        self.dists.iter().filter(|&&d| d != UNREACHABLE).count() as u64
+    }
+}
+
+/// Serial Dijkstra with a binary heap — the correctness oracle.
+pub fn serial_sssp(g: &WeightedCsr, source: VertexId) -> SsspOutput {
+    let n = g.num_vertices() as usize;
+    assert!((source as usize) < n, "source out of range");
+    let mut dists = vec![UNREACHABLE; n];
+    let mut parents = vec![-1i64; n];
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    dists[source as usize] = 0;
+    parents[source as usize] = source as i64;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dists[u as usize] {
+            continue; // stale entry
+        }
+        for &(v, w) in g.neighbors(u) {
+            let cand = d + w as u64;
+            if cand < dists[v as usize] {
+                dists[v as usize] = cand;
+                parents[v as usize] = u as i64;
+                heap.push(Reverse((cand, v)));
+            }
+        }
+    }
+    SsspOutput {
+        source,
+        dists,
+        parents,
+    }
+}
+
+/// Distributed level-synchronous Bellman–Ford over `p` simulated ranks.
+pub fn distributed_sssp(g: &WeightedCsr, source: VertexId, p: usize) -> SsspOutput {
+    assert!(p > 0);
+    assert!(source < g.num_vertices(), "source out of range");
+    let n = g.num_vertices();
+
+    struct RankResult {
+        start: u64,
+        dists: Vec<u64>,
+        parents: Vec<i64>,
+    }
+
+    let results: Vec<RankResult> = World::run(p, |comm| {
+        let block = Block1D::new(n, p);
+        let range = block.range(comm.rank());
+        // Adjacency access below touches only owned vertices, i.e. exactly
+        // this rank's 1D partition of the weighted graph.
+        let nloc = (range.end - range.start) as usize;
+        let mut dists = vec![UNREACHABLE; nloc];
+        let mut parents = vec![-1i64; nloc];
+        let mut active: Vec<VertexId> = Vec::new();
+        if block.owner(source) == comm.rank() {
+            let s = (source - range.start) as usize;
+            dists[s] = 0;
+            parents[s] = source as i64;
+            active.push(source);
+        }
+
+        loop {
+            // Relax out-edges of locally active vertices into
+            // per-destination buffers: (target, candidate, parent).
+            let mut send: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];
+            for &u in &active {
+                let du = dists[(u - range.start) as usize];
+                for &(v, w) in g.neighbors(u) {
+                    send[block.owner(v)].push((v, du + w as u64, u));
+                }
+            }
+            let recv = comm.alltoallv(send);
+            // Owners apply improvements.
+            let mut next: Vec<VertexId> = Vec::new();
+            for buf in recv {
+                for (v, cand, parent) in buf {
+                    let i = (v - range.start) as usize;
+                    if cand < dists[i] {
+                        dists[i] = cand;
+                        parents[i] = parent as i64;
+                        next.push(v);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            let total = comm.allreduce(next.len() as u64, |a, b| a + b);
+            if total == 0 {
+                break;
+            }
+            active = next;
+        }
+
+        RankResult {
+            start: range.start,
+            dists,
+            parents,
+        }
+    });
+
+    let mut dists = vec![UNREACHABLE; n as usize];
+    let mut parents = vec![-1i64; n as usize];
+    for r in results {
+        let s = r.start as usize;
+        dists[s..s + r.dists.len()].copy_from_slice(&r.dists);
+        parents[s..s + r.parents.len()].copy_from_slice(&r.parents);
+    }
+    SsspOutput {
+        source,
+        dists,
+        parents,
+    }
+}
+
+/// Distributed Δ-stepping (Meyer & Sanders) over `p` simulated ranks —
+/// the bucketed middle ground between Dijkstra (Δ = 1 on integer weights:
+/// one bucket per distance) and Bellman–Ford (Δ = ∞: a single bucket).
+/// The Graph 500 SSSP benchmark standardized on this algorithm.
+///
+/// Buckets are processed globally in order (an `Allreduce` finds the next
+/// nonempty bucket). Within a bucket, *light* edges (weight ≤ Δ) are
+/// relaxed iteratively until the bucket stabilizes; *heavy* edges
+/// (weight > Δ) are relaxed once per settled vertex when the bucket
+/// closes, since they can never reinsert into the current bucket.
+pub fn distributed_delta_stepping(
+    g: &WeightedCsr,
+    source: VertexId,
+    delta: u64,
+    p: usize,
+) -> SsspOutput {
+    assert!(p > 0);
+    assert!(delta >= 1, "delta must be at least 1");
+    assert!(source < g.num_vertices(), "source out of range");
+    let n = g.num_vertices();
+
+    struct RankResult {
+        start: u64,
+        dists: Vec<u64>,
+        parents: Vec<i64>,
+    }
+
+    let results: Vec<RankResult> = World::run(p, |comm| {
+        let block = Block1D::new(n, p);
+        let range = block.range(comm.rank());
+        let nloc = (range.end - range.start) as usize;
+        let mut dists = vec![UNREACHABLE; nloc];
+        let mut parents = vec![-1i64; nloc];
+        if block.owner(source) == comm.rank() {
+            let s = (source - range.start) as usize;
+            dists[s] = 0;
+            parents[s] = source as i64;
+        }
+        let bucket_of = |d: u64| -> u64 { d / delta };
+        // A vertex is settled once its bucket closes; its distance is then
+        // final (every lighter bucket has already closed), so it never
+        // re-enters the candidate scan.
+        let mut settled = vec![false; nloc];
+
+        loop {
+            // Find the globally lowest nonempty bucket among unsettled work.
+            let local_min = dists
+                .iter()
+                .zip(settled.iter())
+                .filter(|&(&d, &s)| d != UNREACHABLE && !s)
+                .map(|(&d, _)| bucket_of(d))
+                .min();
+            let current = comm.allreduce(local_min.unwrap_or(u64::MAX), |a, b| a.min(b));
+            if current == u64::MAX {
+                break;
+            }
+
+            // Light-edge phases: iterate until no distance in the current
+            // bucket improves anywhere.
+            let mut processed: Vec<bool> = vec![false; nloc];
+            loop {
+                let mut send: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];
+                for i in 0..nloc {
+                    let d = dists[i];
+                    if d == UNREACHABLE || settled[i] || bucket_of(d) != current || processed[i] {
+                        continue;
+                    }
+                    processed[i] = true;
+                    let u = range.start + i as u64;
+                    for &(v, w) in g.neighbors(u) {
+                        if (w as u64) <= delta {
+                            send[block.owner(v)].push((v, d + w as u64, u));
+                        }
+                    }
+                }
+                let recv = comm.alltoallv(send);
+                let mut reinserted = 0u64;
+                for buf in recv {
+                    for (v, cand, parent) in buf {
+                        let i = (v - range.start) as usize;
+                        if cand < dists[i] {
+                            dists[i] = cand;
+                            parents[i] = parent as i64;
+                            if bucket_of(cand) == current {
+                                // Back into the open bucket: another phase.
+                                processed[i] = false;
+                                reinserted += 1;
+                            }
+                        }
+                    }
+                }
+                let total = comm.allreduce(reinserted, |a, b| a + b);
+                if total == 0 {
+                    break;
+                }
+            }
+
+            // Heavy-edge relaxation: once per vertex settled in this bucket.
+            let mut send: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];
+            for i in 0..nloc {
+                let d = dists[i];
+                if d == UNREACHABLE || settled[i] || bucket_of(d) != current {
+                    continue;
+                }
+                let u = range.start + i as u64;
+                for &(v, w) in g.neighbors(u) {
+                    if (w as u64) > delta {
+                        send[block.owner(v)].push((v, d + w as u64, u));
+                    }
+                }
+            }
+            let recv = comm.alltoallv(send);
+            for buf in recv {
+                for (v, cand, parent) in buf {
+                    let i = (v - range.start) as usize;
+                    if cand < dists[i] {
+                        dists[i] = cand;
+                        parents[i] = parent as i64;
+                    }
+                }
+            }
+            // Close the bucket: everything left in it is final.
+            for i in 0..nloc {
+                if dists[i] != UNREACHABLE && bucket_of(dists[i]) == current {
+                    settled[i] = true;
+                }
+            }
+        }
+
+        RankResult {
+            start: range.start,
+            dists,
+            parents,
+        }
+    });
+
+    let mut dists = vec![UNREACHABLE; n as usize];
+    let mut parents = vec![-1i64; n as usize];
+    for r in results {
+        let s = r.start as usize;
+        dists[s..s + r.dists.len()].copy_from_slice(&r.dists);
+        parents[s..s + r.parents.len()].copy_from_slice(&r.parents);
+    }
+    SsspOutput {
+        source,
+        dists,
+        parents,
+    }
+}
+
+/// Validates a shortest-path tree: distances satisfy the triangle
+/// inequality over every edge with equality along tree edges.
+pub fn validate_sssp(g: &WeightedCsr, out: &SsspOutput) -> Result<(), String> {
+    let n = g.num_vertices() as usize;
+    if out.dists.len() != n || out.parents.len() != n {
+        return Err("output length mismatch".into());
+    }
+    if out.dists[out.source as usize] != 0 || out.parents[out.source as usize] != out.source as i64
+    {
+        return Err("source distance/parent wrong".into());
+    }
+    for (u, v, w) in g.edges() {
+        let (du, dv) = (out.dists[u as usize], out.dists[v as usize]);
+        if du != UNREACHABLE && (dv == UNREACHABLE || dv > du + w as u64) {
+            return Err(format!("edge ({u},{v},{w}) violates optimality"));
+        }
+    }
+    for v in 0..n as u64 {
+        if v == out.source || out.parents[v as usize] < 0 {
+            continue;
+        }
+        let parent = out.parents[v as usize] as VertexId;
+        let w = g
+            .neighbors(parent)
+            .iter()
+            .filter(|&&(t, _)| t == v)
+            .map(|&(_, w)| w as u64)
+            .min()
+            .ok_or_else(|| format!("tree edge ({parent},{v}) not in graph"))?;
+        if out.dists[v as usize] != out.dists[parent as usize] + w {
+            return Err(format!("tree edge ({parent},{v}) not tight"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::serial_bfs;
+    use dmbfs_graph::gen::{rmat, RmatConfig};
+    use dmbfs_graph::weighted::attach_uniform_weights;
+    use dmbfs_graph::EdgeList;
+
+    fn weighted_rmat(scale: u32, max_w: dmbfs_graph::weighted::Weight, seed: u64) -> WeightedCsr {
+        let mut el = rmat(&RmatConfig::graph500(scale, seed));
+        el.canonicalize_undirected();
+        WeightedCsr::from_edges(el.num_vertices, &attach_uniform_weights(&el, max_w, seed))
+    }
+
+    #[test]
+    fn dijkstra_on_a_small_known_graph() {
+        // 0 -2-> 1 -2-> 2, and a heavy shortcut 0 -9-> 2.
+        let g = WeightedCsr::from_edges(
+            3,
+            &[
+                (0, 1, 2),
+                (1, 0, 2),
+                (1, 2, 2),
+                (2, 1, 2),
+                (0, 2, 9),
+                (2, 0, 9),
+            ],
+        );
+        let out = serial_sssp(&g, 0);
+        assert_eq!(out.dists, vec![0, 2, 4]);
+        assert_eq!(out.parents, vec![0, 0, 1]);
+        validate_sssp(&g, &out).unwrap();
+    }
+
+    #[test]
+    fn distributed_matches_dijkstra() {
+        let g = weighted_rmat(8, 12, 5);
+        let expected = serial_sssp(&g, 0);
+        for p in [1usize, 3, 4, 7] {
+            let got = distributed_sssp(&g, 0, p);
+            assert_eq!(got.dists, expected.dists, "p = {p}");
+            validate_sssp(&g, &got).unwrap();
+        }
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_bfs() {
+        let g = weighted_rmat(8, 1, 9);
+        let sssp = distributed_sssp(&g, 2, 4);
+        let bfs = serial_bfs(&g.structure(), 2);
+        for v in 0..g.num_vertices() as usize {
+            let expected = if bfs.levels[v] < 0 {
+                UNREACHABLE
+            } else {
+                bfs.levels[v] as u64
+            };
+            assert_eq!(sssp.dists[v], expected, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreachable() {
+        let el = EdgeList::new(5, vec![(0, 1), (1, 0)]);
+        let edges = attach_uniform_weights(&el, 5, 1);
+        let g = WeightedCsr::from_edges(5, &edges);
+        let out = distributed_sssp(&g, 0, 2);
+        assert_eq!(out.num_reached(), 2);
+        assert_eq!(out.dists[3], UNREACHABLE);
+        validate_sssp(&g, &out).unwrap();
+    }
+
+    #[test]
+    fn delta_stepping_matches_dijkstra() {
+        let g = weighted_rmat(8, 12, 7);
+        let expected = serial_sssp(&g, 0);
+        for delta in [1u64, 3, 6, 12, 100] {
+            for p in [1usize, 3, 4] {
+                let got = distributed_delta_stepping(&g, 0, delta, p);
+                assert_eq!(got.dists, expected.dists, "delta={delta} p={p}");
+                validate_sssp(&g, &got).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn delta_one_behaves_like_dijkstra_buckets() {
+        // Δ = 1 on unit weights: one bucket per BFS level.
+        let g = weighted_rmat(7, 1, 3);
+        let got = distributed_delta_stepping(&g, 1, 1, 2);
+        assert_eq!(got.dists, serial_sssp(&g, 1).dists);
+    }
+
+    #[test]
+    fn huge_delta_degenerates_to_bellman_ford() {
+        let g = weighted_rmat(7, 9, 5);
+        let a = distributed_delta_stepping(&g, 0, u64::from(u32::MAX), 3);
+        let b = distributed_sssp(&g, 0, 3);
+        assert_eq!(a.dists, b.dists);
+    }
+
+    #[test]
+    fn delta_stepping_on_disconnected_graph() {
+        let el = EdgeList::new(5, vec![(0, 1), (1, 0)]);
+        let edges = attach_uniform_weights(&el, 5, 1);
+        let g = WeightedCsr::from_edges(5, &edges);
+        let out = distributed_delta_stepping(&g, 0, 3, 2);
+        assert_eq!(out.num_reached(), 2);
+        validate_sssp(&g, &out).unwrap();
+    }
+
+    #[test]
+    fn validator_catches_broken_distances() {
+        let g = weighted_rmat(7, 8, 3);
+        let mut out = serial_sssp(&g, 0);
+        // Corrupt a reachable vertex's distance.
+        let v = (0..g.num_vertices() as usize)
+            .find(|&v| out.dists[v] != UNREACHABLE && v as u64 != 0)
+            .unwrap();
+        out.dists[v] += 100;
+        assert!(validate_sssp(&g, &out).is_err());
+    }
+
+    #[test]
+    fn heavier_weights_change_tree_shape() {
+        // Sanity: distances with weights ≥ BFS levels (weights ≥ 1).
+        let g = weighted_rmat(7, 9, 11);
+        let sssp = serial_sssp(&g, 1);
+        let bfs = serial_bfs(&g.structure(), 1);
+        for v in 0..g.num_vertices() as usize {
+            if bfs.levels[v] >= 0 {
+                assert!(sssp.dists[v] >= bfs.levels[v] as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Graph 500 benchmark protocol: multi-source runs and TEPS accounting.
+//!
+//! §6: "we normalize the serial and parallel execution times by the number
+//! of edges visited in a BFS traversal and present a 'Traversed Edges Per
+//! Second' (TEPS) rate. [...] We only consider traversal execution times
+//! from vertices that appear in the large component, compute the average
+//! time using at least 16 randomly-chosen sources vertices for each
+//! benchmark graph, and normalize the time by the cumulative number of
+//! edges visited. [...] For TEPS calculation, we only count the number of
+//! edges in the original directed graph, despite visiting symmetric edges
+//! as well."
+
+use crate::serial::traversed_adjacencies;
+use crate::BfsOutput;
+use dmbfs_graph::components::sample_sources;
+use dmbfs_graph::{CsrGraph, VertexId};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Default source count, per the Graph 500 rule the paper follows.
+pub const DEFAULT_SOURCES: usize = 16;
+
+/// One source's measurement.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SourceRun {
+    /// The source vertex.
+    pub source: VertexId,
+    /// Traversal wall seconds.
+    pub seconds: f64,
+    /// Edges counted for TEPS in this traversal (original directed edges
+    /// within the traversed component = stored adjacencies / 2).
+    pub edges: u64,
+    /// TEPS of this traversal.
+    pub teps: f64,
+}
+
+/// Aggregate report over all sources of one configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct TepsReport {
+    /// Per-source measurements.
+    pub runs: Vec<SourceRun>,
+    /// Mean traversal time (the "mean search time" of Fig. 9/11).
+    pub mean_seconds: f64,
+    /// Graph 500 headline statistic: cumulative edges over cumulative time.
+    pub teps: f64,
+    /// Harmonic mean of per-source TEPS (the Graph 500 "mean_TEPS").
+    pub harmonic_mean_teps: f64,
+}
+
+impl TepsReport {
+    /// Builds the aggregate from per-source runs.
+    pub fn from_runs(runs: Vec<SourceRun>) -> Self {
+        assert!(!runs.is_empty(), "need at least one run");
+        let total_seconds: f64 = runs.iter().map(|r| r.seconds).sum();
+        let total_edges: u64 = runs.iter().map(|r| r.edges).sum();
+        let mean_seconds = total_seconds / runs.len() as f64;
+        let teps = total_edges as f64 / total_seconds;
+        let harmonic_mean_teps = runs.len() as f64 / runs.iter().map(|r| 1.0 / r.teps).sum::<f64>();
+        Self {
+            runs,
+            mean_seconds,
+            teps,
+            harmonic_mean_teps,
+        }
+    }
+
+    /// TEPS in billions (the unit of Figs. 5, 7, 10).
+    pub fn gteps(&self) -> f64 {
+        self.teps / 1e9
+    }
+
+    /// TEPS in millions (the unit of Table 2).
+    pub fn mteps(&self) -> f64 {
+        self.teps / 1e6
+    }
+}
+
+/// Computes the TEPS edge count for one traversal: stored adjacencies
+/// touched, halved because the benchmark graphs store both directions of
+/// every (originally directed) input edge.
+pub fn teps_edges(g: &CsrGraph, out: &BfsOutput) -> u64 {
+    traversed_adjacencies(g, out) / 2
+}
+
+/// Runs the full Graph 500 measurement protocol: samples `num_sources`
+/// sources from the large component (deterministically from `seed`), times
+/// `bfs` on each, and aggregates.
+///
+/// `bfs` returns the output plus its own measured seconds when it has a
+/// more precise internal timer (the distributed runners time
+/// barrier-to-barrier); return `None` seconds to use the harness timer.
+pub fn benchmark_bfs(
+    g: &CsrGraph,
+    num_sources: usize,
+    seed: u64,
+    mut bfs: impl FnMut(VertexId) -> (BfsOutput, Option<f64>),
+) -> TepsReport {
+    let sources = sample_sources(g, num_sources, seed);
+    assert!(!sources.is_empty(), "graph has no usable sources");
+    let runs = sources
+        .into_iter()
+        .map(|source| {
+            let t0 = Instant::now();
+            let (out, reported) = bfs(source);
+            let seconds = reported.unwrap_or_else(|| t0.elapsed().as_secs_f64());
+            let edges = teps_edges(g, &out);
+            SourceRun {
+                source,
+                seconds,
+                edges,
+                teps: edges as f64 / seconds,
+            }
+        })
+        .collect();
+    TepsReport::from_runs(runs)
+}
+
+/// Convenience: the per-source TEPS ratio between two reports (how many
+/// times faster `ours` is than `theirs`), using the aggregate TEPS.
+pub fn speedup(ours: &TepsReport, theirs: &TepsReport) -> f64 {
+    ours.teps / theirs.teps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::serial_bfs;
+    use dmbfs_graph::gen::{rmat, RmatConfig};
+    use dmbfs_graph::EdgeList;
+
+    fn rmat_graph(scale: u32, seed: u64) -> CsrGraph {
+        let mut el = rmat(&RmatConfig::graph500(scale, seed));
+        el.canonicalize_undirected();
+        CsrGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn protocol_runs_requested_sources() {
+        let g = rmat_graph(9, 2);
+        let report = benchmark_bfs(&g, 8, 42, |s| (serial_bfs(&g, s), None));
+        assert_eq!(report.runs.len(), 8);
+        assert!(report.teps > 0.0);
+        assert!(report.mean_seconds > 0.0);
+        assert!(report.harmonic_mean_teps > 0.0);
+    }
+
+    #[test]
+    fn teps_counts_half_the_stored_adjacencies() {
+        // Triangle: 6 stored adjacencies, 3 original edges.
+        let el = EdgeList::new(3, vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let out = serial_bfs(&g, 0);
+        assert_eq!(teps_edges(&g, &out), 3);
+    }
+
+    #[test]
+    fn teps_ignores_untraversed_components() {
+        let el = EdgeList::new(5, vec![(0, 1), (1, 0), (3, 4), (4, 3)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let out = serial_bfs(&g, 0);
+        assert_eq!(teps_edges(&g, &out), 1);
+    }
+
+    #[test]
+    fn aggregate_teps_is_edge_weighted() {
+        let runs = vec![
+            SourceRun {
+                source: 0,
+                seconds: 1.0,
+                edges: 100,
+                teps: 100.0,
+            },
+            SourceRun {
+                source: 1,
+                seconds: 1.0,
+                edges: 300,
+                teps: 300.0,
+            },
+        ];
+        let report = TepsReport::from_runs(runs);
+        assert!((report.teps - 200.0).abs() < 1e-9);
+        assert!((report.harmonic_mean_teps - 150.0).abs() < 1e-9);
+        assert!((report.mean_seconds - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reported_seconds_override_harness_timer() {
+        let g = rmat_graph(7, 5);
+        let report = benchmark_bfs(&g, 2, 1, |s| (serial_bfs(&g, s), Some(2.0)));
+        for run in &report.runs {
+            assert!((run.seconds - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let runs = vec![SourceRun {
+            source: 0,
+            seconds: 1.0,
+            edges: 3_000_000_000,
+            teps: 3e9,
+        }];
+        let report = TepsReport::from_runs(runs);
+        assert!((report.gteps() - 3.0).abs() < 1e-9);
+        assert!((report.mteps() - 3000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,639 @@
+//! 2D checkerboard-partitioned distributed BFS — Algorithm 3 of the paper.
+//!
+//! "Each BFS iteration is computationally equivalent to a sparse
+//! matrix-sparse vector multiplication (SpMSV) [...]
+//! `x_{k+1} ← Aᵀ ⊗ x_k ⊙ ∪x_i`" (§3.2). Processors form a `pr × pc` grid;
+//! each iteration performs:
+//!
+//! 1. **TransposeVector** — redistribute the frontier so that processor
+//!    column `j` holds the subvector its matrix columns need ("simply a
+//!    pairwise exchange between P(i,j) and P(j,i)" on square grids).
+//! 2. **Expand** — `Allgatherv` along each processor *column* (`pr`
+//!    participants): every processor obtains the full frontier piece `f_j`.
+//! 3. **Local SpMSV** — `t_i ← A_ij ⊗ f_j` over the (select, max)
+//!    semiring; the hybrid variant splits the local matrix row-wise across
+//!    threads (§4.1, Fig. 2).
+//! 4. **Fold** — `Alltoallv` along each processor *row* (`pc`
+//!    participants) delivers each candidate parent to the vector owner.
+//! 5. **Mask & update** — `t_ij ← t_ij ⊙ π̄_ij; π_ij ← π_ij + t_ij;
+//!    f_ij ← t_ij` (lines 9–11): keep only first discoveries.
+//!
+//! The collectives thus involve only `pr` or `pc ≈ √p` processors — the
+//! communication-avoidance the paper's abstract claims ("reduces the
+//! communication overhead at high process concurrencies by a factor of
+//! 3.5").
+//!
+//! [`VectorDistribution`] selects between the paper's balanced "2D vector
+//! distribution" and the diagonal-only layout whose severe load imbalance
+//! §4.3 / Fig. 4 demonstrates.
+
+use crate::distribute::{extract_2d, Local2d};
+use crate::{BfsOutput, UNREACHED};
+use dmbfs_comm::algorithms::{allgather_doubling, allgather_ring};
+use dmbfs_comm::{Comm, CommStats, World};
+use dmbfs_graph::{CsrGraph, Grid2D, VertexId};
+use dmbfs_matrix::{spmsv, Dcsc, MergeKernel, RowSplitDcsc, SelectMax, SpaWorkspace, SparseVector};
+use std::ops::Range;
+use std::time::Instant;
+
+/// How frontier/parent vector entries are assigned to processors (§4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VectorDistribution {
+    /// The paper's choice: every processor owns ≈ n/p vector elements,
+    /// matching the matrix distribution. "Distributing the vectors over
+    /// all processors (2D vector distribution) remedies this problem and
+    /// we observe almost no load imbalance."
+    #[default]
+    TwoD,
+    /// Vector owned by diagonal processors only (requires a square grid) —
+    /// adequate for SpMV, but for SpMSV it "causes severe imbalance": the
+    /// diagonal processor performs the entire merge while its row idles
+    /// (Fig. 4 shows the resulting 3–4× idle time).
+    Diagonal,
+}
+
+/// Which allgather algorithm runs the expand phase (§7's collective-
+/// optimization future work: the schedules differ in latency/bandwidth
+/// trade-offs, visible in the recorded event streams and the replay model).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExpandAlgorithm {
+    /// One logical exchange on the runtime's board (an ideal MPI
+    /// implementation's `MPI_Allgatherv`).
+    #[default]
+    Board,
+    /// Ring allgather: `pr − 1` neighbor rounds, bandwidth-optimal.
+    Ring,
+    /// Recursive doubling: `log₂ pr` rounds, latency-optimal; requires a
+    /// power-of-two processor-column size (falls back to Board otherwise).
+    Doubling,
+}
+
+/// Configuration of a 2D run.
+#[derive(Clone, Copy, Debug)]
+pub struct Bfs2dConfig {
+    /// The processor grid (`Grid2D::closest_square(p)` reproduces §6).
+    pub grid: Grid2D,
+    /// Threads per rank: 1 = "Flat MPI", >1 = "Hybrid".
+    pub threads_per_rank: usize,
+    /// Vector distribution (§4.3 ablation).
+    pub distribution: VectorDistribution,
+    /// SpMSV merge kernel (§4.2; `Auto` is the paper's polyalgorithm).
+    pub kernel: MergeKernel,
+    /// Expand-phase collective algorithm (§7 ablation).
+    pub expand: ExpandAlgorithm,
+}
+
+impl Bfs2dConfig {
+    /// Flat MPI on `grid` with the paper's defaults.
+    pub fn flat(grid: Grid2D) -> Self {
+        Self {
+            grid,
+            threads_per_rank: 1,
+            distribution: VectorDistribution::TwoD,
+            kernel: MergeKernel::Auto,
+            expand: ExpandAlgorithm::Board,
+        }
+    }
+
+    /// Hybrid MPI + multithreading on `grid`.
+    pub fn hybrid(grid: Grid2D, threads_per_rank: usize) -> Self {
+        assert!(threads_per_rank >= 1);
+        Self {
+            threads_per_rank,
+            ..Self::flat(grid)
+        }
+    }
+
+    /// True when this is the hybrid variant.
+    pub fn is_hybrid(&self) -> bool {
+        self.threads_per_rank > 1
+    }
+}
+
+/// Per-rank computation work counters of one 2D run — the quantities whose
+/// spread across the grid exposes the §4.3 load imbalance (Fig. 4).
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct RankWork {
+    /// SpMSV output entries produced across all levels.
+    pub spmsv_output: u64,
+    /// Fold entries received and merged (the work that piles onto diagonal
+    /// processors under the diagonal vector distribution).
+    pub fold_received: u64,
+    /// Expanded frontier entries consumed as SpMSV input.
+    pub expand_received: u64,
+}
+
+impl RankWork {
+    /// Scalar work proxy used for imbalance heatmaps.
+    pub fn total(&self) -> u64 {
+        self.spmsv_output + self.fold_received + self.expand_received
+    }
+}
+
+/// Results and measurements of a 2D run.
+#[derive(Clone, Debug)]
+pub struct Dist2dRun {
+    /// Assembled global result.
+    pub output: BfsOutput,
+    /// Per-world-rank communication statistics (row-major grid order).
+    pub per_rank_stats: Vec<CommStats>,
+    /// Per-world-rank computation work counters.
+    pub per_rank_work: Vec<RankWork>,
+    /// Wall seconds of the timed region (max over ranks).
+    pub seconds: f64,
+    /// BFS levels executed.
+    pub num_levels: u32,
+}
+
+/// Runs the 2D algorithm, returning the assembled result only.
+///
+/// # Examples
+/// ```
+/// use dmbfs_bfs::serial::serial_bfs;
+/// use dmbfs_bfs::two_d::{bfs2d, Bfs2dConfig};
+/// use dmbfs_graph::gen::grid2d;
+/// use dmbfs_graph::{CsrGraph, Grid2D};
+///
+/// let g = CsrGraph::from_edge_list(&grid2d(4, 4));
+/// let out = bfs2d(&g, 5, &Bfs2dConfig::flat(Grid2D::new(2, 2)));
+/// assert_eq!(out.levels(), serial_bfs(&g, 5).levels());
+/// ```
+pub fn bfs2d(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> BfsOutput {
+    bfs2d_run(g, source, cfg).output
+}
+
+/// Runs the 2D algorithm with full instrumentation.
+pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun {
+    assert!(source < g.num_vertices(), "source out of range");
+    if cfg.distribution == VectorDistribution::Diagonal {
+        assert!(
+            cfg.grid.is_square(),
+            "diagonal vector distribution requires a square grid"
+        );
+    }
+    let grid = cfg.grid;
+    let p = grid.size();
+
+    struct RankResult {
+        vrange: Range<u64>,
+        levels: Vec<i64>,
+        parents: Vec<i64>,
+        stats: CommStats,
+        work: RankWork,
+        seconds: f64,
+        num_levels: u32,
+    }
+
+    let results: Vec<RankResult> = World::run(p, |comm| {
+        let (i, j) = grid.coords_of(comm.rank());
+        let block = extract_2d(g, grid, i, j);
+        let state = RankState::new(comm, cfg, block);
+        let pool = (cfg.threads_per_rank > 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(cfg.threads_per_rank)
+                .build()
+                .expect("failed to build rank thread pool")
+        });
+
+        // Row communicator P(i, :) for the fold, column communicator
+        // P(:, j) for the expand. Sub-rank = grid position by construction.
+        let row_comm = comm.split(i as u64, j as u64);
+        let col_comm = comm.split((grid.rows() + j) as u64, i as u64);
+        debug_assert_eq!(row_comm.rank(), j);
+        debug_assert_eq!(col_comm.rank(), i);
+
+        comm.barrier();
+        let _setup_events = comm.take_stats(); // exclude setup from accounting
+        let t0 = Instant::now();
+        let (levels, parents, num_levels, work) =
+            state.run(comm, &row_comm, &col_comm, source, pool.as_ref());
+        comm.barrier();
+        let seconds = t0.elapsed().as_secs_f64();
+
+        // One stream per rank: world events (transpose, allreduce) plus the
+        // row/column communicator events (fold, expand).
+        let mut stats = comm.take_stats();
+        stats.merge(&row_comm.take_stats());
+        stats.merge(&col_comm.take_stats());
+        RankResult {
+            vrange: state.vrange,
+            levels,
+            parents,
+            stats,
+            work,
+            seconds,
+            num_levels,
+        }
+    });
+
+    let mut output = BfsOutput::unreached(source, g.num_vertices() as usize);
+    let mut per_rank_stats = Vec::with_capacity(p);
+    let mut per_rank_work = Vec::with_capacity(p);
+    let mut seconds = 0.0f64;
+    let mut num_levels = 0;
+    for r in results {
+        let s = r.vrange.start as usize;
+        output.levels[s..s + r.levels.len()].copy_from_slice(&r.levels);
+        output.parents[s..s + r.parents.len()].copy_from_slice(&r.parents);
+        per_rank_stats.push(r.stats);
+        per_rank_work.push(r.work);
+        seconds = seconds.max(r.seconds);
+        num_levels = num_levels.max(r.num_levels);
+    }
+    Dist2dRun {
+        output,
+        per_rank_stats,
+        per_rank_work,
+        seconds,
+        num_levels,
+    }
+}
+
+/// Per-rank algorithm state.
+struct RankState {
+    cfg: Bfs2dConfig,
+    coords: (usize, usize),
+    block: Local2d,
+    /// Flat-variant matrix (unsplit DCSC).
+    matrix: Option<Dcsc>,
+    /// Hybrid-variant matrix (row-split across threads).
+    split: Option<RowSplitDcsc>,
+    /// Vector range owned under the configured distribution.
+    vrange: Range<u64>,
+}
+
+impl RankState {
+    fn new(_comm: &Comm, cfg: &Bfs2dConfig, block: Local2d) -> Self {
+        let (i, j) = block.coords;
+        let vrange = match cfg.distribution {
+            VectorDistribution::TwoD => block.map.vector_range(i, j),
+            VectorDistribution::Diagonal => block.map.diagonal_range(i, j),
+        };
+        let (matrix, split) = if cfg.is_hybrid() {
+            (
+                None,
+                Some(RowSplitDcsc::from_triples(
+                    block.nrows(),
+                    block.ncols(),
+                    &block.triples,
+                    cfg.threads_per_rank,
+                )),
+            )
+        } else {
+            (
+                Some(Dcsc::from_triples(
+                    block.nrows(),
+                    block.ncols(),
+                    &block.triples,
+                )),
+                None,
+            )
+        };
+        Self {
+            cfg: *cfg,
+            coords: (i, j),
+            block,
+            matrix,
+            split,
+            vrange,
+        }
+    }
+
+    /// Vector owner (grid coords) of global vertex `g`.
+    fn vector_owner(&self, g: VertexId) -> (usize, usize) {
+        match self.cfg.distribution {
+            VectorDistribution::TwoD => self.block.map.vector_owner(g),
+            VectorDistribution::Diagonal => self.block.map.diagonal_owner(g),
+        }
+    }
+
+    /// The level-synchronous loop of Algorithm 3.
+    fn run(
+        &self,
+        comm: &Comm,
+        row_comm: &Comm,
+        col_comm: &Comm,
+        source: VertexId,
+        pool: Option<&rayon::ThreadPool>,
+    ) -> (Vec<i64>, Vec<i64>, u32, RankWork) {
+        let grid = self.cfg.grid;
+        let (i, j) = self.coords;
+        let nloc = (self.vrange.end - self.vrange.start) as usize;
+        let mut levels = vec![UNREACHED; nloc];
+        let mut parents = vec![UNREACHED; nloc];
+        let mut work = RankWork::default();
+        let mut ws: SpaWorkspace<u64> = SpaWorkspace::new(self.block.nrows());
+
+        // Line 2: f(s) ← s at the vector owner of the source.
+        let mut frontier: Vec<VertexId> = Vec::new();
+        if self.vector_owner(source) == (i, j) {
+            let s = (source - self.vrange.start) as usize;
+            levels[s] = 0;
+            parents[s] = source as i64;
+            frontier.push(source);
+        }
+
+        let mut level: i64 = 1;
+        loop {
+            // Line 5: TransposeVector.
+            let transposed = self.transpose(comm, &frontier);
+            // Line 6: expand along the processor column.
+            let gathered = match self.cfg.expand {
+                ExpandAlgorithm::Board => col_comm.allgatherv(transposed),
+                ExpandAlgorithm::Ring => allgather_ring(col_comm, transposed),
+                ExpandAlgorithm::Doubling if col_comm.size().is_power_of_two() => {
+                    allgather_doubling(col_comm, transposed)
+                }
+                ExpandAlgorithm::Doubling => col_comm.allgatherv(transposed),
+            };
+            let fvec = self.assemble_frontier(gathered);
+            work.expand_received += fvec.nnz() as u64;
+            // Line 7: local SpMSV on the (select, max) semiring.
+            let t = match (pool, &self.split, &self.matrix) {
+                (Some(pool), Some(split), _) => {
+                    pool.install(|| split.par_spmsv::<SelectMax>(&fvec, self.cfg.kernel))
+                }
+                (_, _, Some(m)) => spmsv::<SelectMax>(m, &fvec, self.cfg.kernel, &mut ws),
+                _ => unreachable!("one matrix representation always exists"),
+            };
+            work.spmsv_output += t.nnz() as u64;
+            // Line 8: fold along the processor row to the vector owners.
+            let mut fold_bufs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); grid.cols()];
+            for (r, parent) in t.iter() {
+                let g = self.block.row_range.start + r;
+                let (oi, oj) = self.vector_owner(g);
+                debug_assert_eq!(oi, i, "fold target must stay in the processor row");
+                fold_bufs[oj].push((g, parent));
+            }
+            let folded = row_comm.alltoallv(fold_bufs);
+            // Lines 9–11: mask by π̄, update π, form the next frontier.
+            let mut next: Vec<VertexId> = Vec::new();
+            let mut merged: Vec<(u64, u64)> = folded.into_iter().flatten().collect();
+            work.fold_received += merged.len() as u64;
+            merged.sort_unstable();
+            // Keep the max parent per vertex: after the sort, the last
+            // entry of each group (SelectMax's add).
+            let mut k = 0;
+            while k < merged.len() {
+                let g = merged[k].0;
+                let mut best = merged[k].1;
+                while k + 1 < merged.len() && merged[k + 1].0 == g {
+                    k += 1;
+                    best = best.max(merged[k].1);
+                }
+                k += 1;
+                let idx = (g - self.vrange.start) as usize;
+                if parents[idx] == UNREACHED {
+                    parents[idx] = best as i64;
+                    levels[idx] = level;
+                    next.push(g);
+                }
+            }
+            // Termination: is the global frontier empty?
+            let total = comm.allreduce(next.len() as u64, |a, b| a + b);
+            if total == 0 {
+                break;
+            }
+            frontier = next;
+            level += 1;
+        }
+
+        (levels, parents, level as u32, work)
+    }
+
+    /// Line 5: sends each owned frontier entry toward the processor column
+    /// that owns its matrix-column chunk. On square grids every entry of
+    /// P(i,j) targets P(j,i) — the paper's pairwise exchange; on general
+    /// grids this becomes a (sparse) all-to-all.
+    fn transpose(&self, comm: &Comm, frontier: &[VertexId]) -> Vec<VertexId> {
+        let grid = self.cfg.grid;
+        let (i, j) = self.coords;
+        if grid.is_square() {
+            // All owned entries live in row chunk i = column chunk i.
+            debug_assert!(frontier.iter().all(|&g| self.block.map.col_owner(g) == i));
+            let partner = grid.rank_of(j, i);
+            comm.sendrecv(partner, frontier.to_vec())
+        } else {
+            let mut bufs: Vec<Vec<VertexId>> = vec![Vec::new(); comm.size()];
+            for &g in frontier {
+                let jstar = self.block.map.col_owner(g);
+                let x = j % grid.rows();
+                bufs[grid.rank_of(x, jstar)].push(g);
+            }
+            comm.alltoallv(bufs).into_iter().flatten().collect()
+        }
+    }
+
+    /// Line 6 epilogue: assembles the allgathered pieces into the sorted
+    /// sparse frontier vector `f_j`, rebased to block-local columns. Values
+    /// carry the (global) vertex id — the candidate parent under the
+    /// (select, max) semiring.
+    fn assemble_frontier(&self, gathered: Vec<Vec<VertexId>>) -> SparseVector<u64> {
+        let base = self.block.col_range.start;
+        let mut entries: Vec<(u64, u64)> = gathered
+            .into_iter()
+            .flatten()
+            .map(|g| {
+                debug_assert!(self.block.col_range.contains(&g));
+                (g - base, g)
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(c, _)| c);
+        entries.dedup_by_key(|e| e.0);
+        SparseVector::from_sorted(self.block.ncols(), entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::serial_bfs;
+    use crate::validate::validate_bfs;
+    use dmbfs_comm::Pattern;
+    use dmbfs_graph::gen::{grid2d, path, rmat, RmatConfig};
+    use dmbfs_graph::{CsrGraph, EdgeList};
+
+    fn rmat_graph(scale: u32, seed: u64) -> CsrGraph {
+        let mut el = rmat(&RmatConfig::graph500(scale, seed));
+        el.canonicalize_undirected();
+        CsrGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn flat_square_matches_serial() {
+        let g = rmat_graph(8, 11);
+        let expected = serial_bfs(&g, 0);
+        for grid in [Grid2D::new(1, 1), Grid2D::new(2, 2), Grid2D::new(3, 3)] {
+            let out = bfs2d(&g, 0, &Bfs2dConfig::flat(grid));
+            assert_eq!(out.levels, expected.levels, "grid {grid:?}");
+            validate_bfs(&g, 0, &out.parents, &out.levels).unwrap();
+        }
+    }
+
+    #[test]
+    fn flat_rectangular_matches_serial() {
+        let g = rmat_graph(8, 13);
+        let expected = serial_bfs(&g, 2);
+        for grid in [
+            Grid2D::new(2, 3),
+            Grid2D::new(3, 2),
+            Grid2D::new(1, 4),
+            Grid2D::new(4, 1),
+        ] {
+            let out = bfs2d(&g, 2, &Bfs2dConfig::flat(grid));
+            assert_eq!(out.levels, expected.levels, "grid {grid:?}");
+            validate_bfs(&g, 2, &out.parents, &out.levels).unwrap();
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_serial() {
+        let g = rmat_graph(8, 15);
+        let expected = serial_bfs(&g, 5);
+        let out = bfs2d(&g, 5, &Bfs2dConfig::hybrid(Grid2D::new(2, 2), 2));
+        assert_eq!(out.levels, expected.levels);
+        validate_bfs(&g, 5, &out.parents, &out.levels).unwrap();
+    }
+
+    #[test]
+    fn diagonal_distribution_matches_serial() {
+        let g = rmat_graph(8, 17);
+        let expected = serial_bfs(&g, 1);
+        let cfg = Bfs2dConfig {
+            distribution: VectorDistribution::Diagonal,
+            ..Bfs2dConfig::flat(Grid2D::new(3, 3))
+        };
+        let out = bfs2d(&g, 1, &cfg);
+        assert_eq!(out.levels, expected.levels);
+        validate_bfs(&g, 1, &out.parents, &out.levels).unwrap();
+    }
+
+    #[test]
+    fn all_kernels_agree() {
+        let g = rmat_graph(7, 19);
+        let expected = serial_bfs(&g, 0);
+        for kernel in [MergeKernel::Spa, MergeKernel::Heap, MergeKernel::Auto] {
+            let cfg = Bfs2dConfig {
+                kernel,
+                ..Bfs2dConfig::flat(Grid2D::new(2, 2))
+            };
+            let out = bfs2d(&g, 0, &cfg);
+            assert_eq!(out.levels, expected.levels, "kernel {kernel:?}");
+        }
+    }
+
+    #[test]
+    fn high_diameter_path_works() {
+        let g = CsrGraph::from_edge_list(&path(30));
+        let out = bfs2d(&g, 0, &Bfs2dConfig::flat(Grid2D::new(2, 2)));
+        let expected: Vec<i64> = (0..30).collect();
+        assert_eq!(out.levels, expected);
+    }
+
+    #[test]
+    fn disconnected_graph_terminates() {
+        let el = EdgeList::new(9, vec![(0, 1), (1, 0), (7, 8), (8, 7)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let out = bfs2d(&g, 0, &Bfs2dConfig::flat(Grid2D::new(2, 2)));
+        assert_eq!(out.num_reached(), 2);
+        assert_eq!(out.levels[7], UNREACHED);
+    }
+
+    #[test]
+    fn grid_graph_source_anywhere() {
+        let g = CsrGraph::from_edge_list(&grid2d(5, 6));
+        for source in [0u64, 7, 29] {
+            let expected = serial_bfs(&g, source);
+            let out = bfs2d(&g, source, &Bfs2dConfig::flat(Grid2D::new(2, 3)));
+            assert_eq!(out.levels, expected.levels, "source {source}");
+        }
+    }
+
+    #[test]
+    fn run_records_expand_and_fold_patterns() {
+        let g = rmat_graph(8, 23);
+        let run = bfs2d_run(&g, 0, &Bfs2dConfig::flat(Grid2D::new(2, 2)));
+        assert!(run.num_levels >= 2);
+        for stats in &run.per_rank_stats {
+            let ag = stats
+                .events
+                .iter()
+                .filter(|e| e.pattern == Pattern::Allgatherv)
+                .count() as u32;
+            let a2a = stats
+                .events
+                .iter()
+                .filter(|e| e.pattern == Pattern::Alltoallv)
+                .count() as u32;
+            let p2p = stats
+                .events
+                .iter()
+                .filter(|e| e.pattern == Pattern::PointToPoint)
+                .count() as u32;
+            assert_eq!(ag, run.num_levels);
+            assert_eq!(a2a, run.num_levels);
+            assert_eq!(p2p, run.num_levels);
+            // Expand/fold happen in √p-sized groups, not world-sized ones.
+            for e in &stats.events {
+                if matches!(e.pattern, Pattern::Allgatherv | Pattern::Alltoallv) {
+                    assert_eq!(e.group_size, 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expand_algorithms_agree() {
+        let g = rmat_graph(8, 33);
+        let expected = serial_bfs(&g, 0);
+        for (grid, expand) in [
+            (Grid2D::new(4, 2), ExpandAlgorithm::Ring),
+            (Grid2D::new(4, 2), ExpandAlgorithm::Doubling),
+            (Grid2D::new(3, 3), ExpandAlgorithm::Ring),
+            (Grid2D::new(3, 3), ExpandAlgorithm::Doubling), // falls back
+        ] {
+            let cfg = Bfs2dConfig {
+                expand,
+                ..Bfs2dConfig::flat(grid)
+            };
+            let out = bfs2d(&g, 0, &cfg);
+            assert_eq!(out.levels, expected.levels, "{grid:?} {expand:?}");
+            validate_bfs(&g, 0, &out.parents, &out.levels).unwrap();
+        }
+    }
+
+    #[test]
+    fn expand_algorithms_have_distinct_event_schedules() {
+        let g = rmat_graph(8, 35);
+        let mk = |expand| {
+            let cfg = Bfs2dConfig {
+                expand,
+                ..Bfs2dConfig::flat(Grid2D::new(4, 4))
+            };
+            bfs2d_run(&g, 0, &cfg)
+        };
+        let board = mk(ExpandAlgorithm::Board);
+        let ring = mk(ExpandAlgorithm::Ring);
+        assert_eq!(board.output.levels, ring.output.levels);
+        // Ring replaces each Allgatherv with p2p rounds: more calls.
+        let calls = |run: &Dist2dRun| run.per_rank_stats[0].num_calls();
+        assert!(calls(&ring) > calls(&board));
+        let ag = |run: &Dist2dRun| {
+            run.per_rank_stats[0]
+                .events
+                .iter()
+                .filter(|e| e.pattern == Pattern::Allgatherv)
+                .count()
+        };
+        assert_eq!(ag(&ring), 0);
+        assert_eq!(ag(&board) as u32, board.num_levels);
+    }
+
+    #[test]
+    fn single_cell_grid_equals_serial() {
+        let g = rmat_graph(7, 29);
+        let out = bfs2d(&g, 3, &Bfs2dConfig::flat(Grid2D::new(1, 1)));
+        let expected = serial_bfs(&g, 3);
+        assert_eq!(out.levels, expected.levels);
+    }
+}

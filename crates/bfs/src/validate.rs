@@ -1,0 +1,330 @@
+//! Graph 500-style BFS result validation.
+//!
+//! The Graph 500 benchmark (whose rules the paper's evaluation follows)
+//! requires every reported traversal to pass structural validation. The
+//! checks below are the spec's five, adapted to level+parent output:
+//!
+//! 1. the source is its own parent at level 0;
+//! 2. parents and levels agree on reachability;
+//! 3. every tree edge `(parents[v], v)` exists in the graph;
+//! 4. every tree edge spans exactly one level;
+//! 5. every graph edge spans at most one level, and no edge connects a
+//!    reached vertex to an unreached one (completeness).
+
+use crate::UNREACHED;
+use dmbfs_graph::{CsrGraph, VertexId};
+
+/// A validation failure, naming the violated rule and the witness vertex.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// `parents[source] != source` or `levels[source] != 0`.
+    BadSource,
+    /// One of `parents[v]`/`levels[v]` is set and the other is not.
+    ReachabilityMismatch(VertexId),
+    /// `parents[v]` is not a neighbor of `v`.
+    TreeEdgeMissing(VertexId),
+    /// `levels[v] != levels[parents[v]] + 1`.
+    TreeEdgeLevelSkew(VertexId),
+    /// A graph edge connects levels differing by more than one.
+    EdgeLevelSkew(VertexId, VertexId),
+    /// A graph edge leaves the reached set (BFS stopped early).
+    Incomplete(VertexId, VertexId),
+    /// Array lengths don't match the vertex count.
+    WrongLength,
+    /// A parent or level value is out of range.
+    OutOfRange(VertexId),
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::BadSource => write!(f, "source has wrong parent or level"),
+            ValidationError::ReachabilityMismatch(v) => {
+                write!(f, "vertex {v}: parent/level reachability disagrees")
+            }
+            ValidationError::TreeEdgeMissing(v) => {
+                write!(f, "vertex {v}: tree edge to parent not in graph")
+            }
+            ValidationError::TreeEdgeLevelSkew(v) => {
+                write!(f, "vertex {v}: level is not parent level + 1")
+            }
+            ValidationError::EdgeLevelSkew(u, v) => {
+                write!(f, "edge ({u},{v}) spans more than one level")
+            }
+            ValidationError::Incomplete(u, v) => {
+                write!(f, "edge ({u},{v}) leaves the reached set")
+            }
+            ValidationError::WrongLength => write!(f, "output arrays have wrong length"),
+            ValidationError::OutOfRange(v) => write!(f, "vertex {v}: value out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a BFS tree + level assignment against `g` (undirected
+/// interpretation: `g` must store both directions of each edge, as all
+/// benchmark graphs here do).
+pub fn validate_bfs(
+    g: &CsrGraph,
+    source: VertexId,
+    parents: &[i64],
+    levels: &[i64],
+) -> Result<(), ValidationError> {
+    let n = g.num_vertices() as usize;
+    if parents.len() != n || levels.len() != n {
+        return Err(ValidationError::WrongLength);
+    }
+    // Rule 1: the source.
+    if parents[source as usize] != source as i64 || levels[source as usize] != 0 {
+        return Err(ValidationError::BadSource);
+    }
+    // Rules 2–4: per-vertex tree checks.
+    for v in 0..n {
+        let (p, l) = (parents[v], levels[v]);
+        if (p == UNREACHED) != (l == UNREACHED) {
+            return Err(ValidationError::ReachabilityMismatch(v as VertexId));
+        }
+        if p == UNREACHED {
+            continue;
+        }
+        if p < 0 || p >= n as i64 || l < 0 || l > n as i64 {
+            return Err(ValidationError::OutOfRange(v as VertexId));
+        }
+        if v as u64 == source {
+            continue;
+        }
+        if !g.has_edge(p as VertexId, v as VertexId) {
+            return Err(ValidationError::TreeEdgeMissing(v as VertexId));
+        }
+        if levels[p as usize] != l - 1 {
+            return Err(ValidationError::TreeEdgeLevelSkew(v as VertexId));
+        }
+    }
+    // Rule 5: per-edge checks.
+    for (u, v) in g.edges() {
+        let (lu, lv) = (levels[u as usize], levels[v as usize]);
+        match (lu == UNREACHED, lv == UNREACHED) {
+            (false, false) if (lu - lv).abs() > 1 => {
+                return Err(ValidationError::EdgeLevelSkew(u, v));
+            }
+            (false, true) => return Err(ValidationError::Incomplete(u, v)),
+            // (true, false) is the same edge seen from the other side and
+            // will be caught there; (true, true) is fine.
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Validates a BFS on a *directed* graph (§6: "We use undirected graphs
+/// for all our experiments, but the BFS approaches can work with directed
+/// graphs as well"). Differences from [`validate_bfs`]:
+///
+/// * tree edges must follow edge direction (`parents[v] → v` stored);
+/// * a directed edge `u → v` with `u` reached only bounds `v` from above
+///   (`level(v) ≤ level(u) + 1`) — levels may *drop* arbitrarily across an
+///   edge, and `v` unreached while `u` is reached is impossible, but
+///   `u` unreached while `v` is reached is fine.
+pub fn validate_bfs_directed(
+    g: &CsrGraph,
+    source: VertexId,
+    parents: &[i64],
+    levels: &[i64],
+) -> Result<(), ValidationError> {
+    let n = g.num_vertices() as usize;
+    if parents.len() != n || levels.len() != n {
+        return Err(ValidationError::WrongLength);
+    }
+    if parents[source as usize] != source as i64 || levels[source as usize] != 0 {
+        return Err(ValidationError::BadSource);
+    }
+    for v in 0..n {
+        let (p, l) = (parents[v], levels[v]);
+        if (p == UNREACHED) != (l == UNREACHED) {
+            return Err(ValidationError::ReachabilityMismatch(v as VertexId));
+        }
+        if p == UNREACHED {
+            continue;
+        }
+        if p < 0 || p >= n as i64 || l < 0 || l > n as i64 {
+            return Err(ValidationError::OutOfRange(v as VertexId));
+        }
+        if v as u64 == source {
+            continue;
+        }
+        if !g.has_edge(p as VertexId, v as VertexId) {
+            return Err(ValidationError::TreeEdgeMissing(v as VertexId));
+        }
+        if levels[p as usize] != l - 1 {
+            return Err(ValidationError::TreeEdgeLevelSkew(v as VertexId));
+        }
+    }
+    for (u, v) in g.edges() {
+        let (lu, lv) = (levels[u as usize], levels[v as usize]);
+        if lu != UNREACHED {
+            if lv == UNREACHED {
+                return Err(ValidationError::Incomplete(u, v));
+            }
+            if lv > lu + 1 {
+                return Err(ValidationError::EdgeLevelSkew(u, v));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::serial_bfs;
+    use dmbfs_graph::gen::{grid2d, path, rmat, RmatConfig};
+    use dmbfs_graph::{CsrGraph, EdgeList};
+
+    fn graph() -> CsrGraph {
+        CsrGraph::from_edge_list(&grid2d(4, 4))
+    }
+
+    #[test]
+    fn serial_output_validates() {
+        let g = graph();
+        let out = serial_bfs(&g, 5);
+        validate_bfs(&g, 5, &out.parents, &out.levels).unwrap();
+    }
+
+    #[test]
+    fn rmat_output_validates() {
+        let mut el = rmat(&RmatConfig::graph500(9, 3));
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        let out = serial_bfs(&g, 0);
+        validate_bfs(&g, 0, &out.parents, &out.levels).unwrap();
+    }
+
+    #[test]
+    fn detects_bad_source() {
+        let g = graph();
+        let mut out = serial_bfs(&g, 0);
+        out.parents[0] = 1;
+        assert_eq!(
+            validate_bfs(&g, 0, &out.parents, &out.levels),
+            Err(ValidationError::BadSource)
+        );
+    }
+
+    #[test]
+    fn detects_reachability_mismatch() {
+        let g = graph();
+        let mut out = serial_bfs(&g, 0);
+        out.parents[7] = UNREACHED; // level still set
+        assert_eq!(
+            validate_bfs(&g, 0, &out.parents, &out.levels),
+            Err(ValidationError::ReachabilityMismatch(7))
+        );
+    }
+
+    #[test]
+    fn detects_fake_tree_edge() {
+        // Two branches from the root: 0-1-3 and 0-2-4. Vertex 1 is at the
+        // right level to be 4's parent but is not its neighbor.
+        let el = EdgeList::new(
+            5,
+            vec![
+                (0, 1),
+                (1, 0),
+                (0, 2),
+                (2, 0),
+                (1, 3),
+                (3, 1),
+                (2, 4),
+                (4, 2),
+            ],
+        );
+        let g = CsrGraph::from_edge_list(&el);
+        let mut out = serial_bfs(&g, 0);
+        out.parents[4] = 1;
+        assert_eq!(
+            validate_bfs(&g, 0, &out.parents, &out.levels),
+            Err(ValidationError::TreeEdgeMissing(4))
+        );
+    }
+
+    #[test]
+    fn detects_level_skew_on_tree_edge() {
+        let g = graph();
+        let mut out = serial_bfs(&g, 0);
+        out.levels[15] += 1;
+        let err = validate_bfs(&g, 0, &out.parents, &out.levels).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::TreeEdgeLevelSkew(_) | ValidationError::EdgeLevelSkew(..)
+        ));
+    }
+
+    #[test]
+    fn detects_incomplete_traversal() {
+        let g = CsrGraph::from_edge_list(&path(4));
+        let mut out = serial_bfs(&g, 0);
+        // Pretend BFS stopped before vertex 3.
+        out.parents[3] = UNREACHED;
+        out.levels[3] = UNREACHED;
+        assert_eq!(
+            validate_bfs(&g, 0, &out.parents, &out.levels),
+            Err(ValidationError::Incomplete(2, 3))
+        );
+    }
+
+    #[test]
+    fn detects_wrong_length() {
+        let g = graph();
+        let out = serial_bfs(&g, 0);
+        assert_eq!(
+            validate_bfs(&g, 0, &out.parents[..10], &out.levels),
+            Err(ValidationError::WrongLength)
+        );
+    }
+
+    #[test]
+    fn directed_validator_accepts_directed_bfs() {
+        // Directed chain with a back edge: 0 -> 1 -> 2 -> 0 plus 0 -> 3.
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let out = serial_bfs(&g, 0);
+        assert_eq!(out.levels, vec![0, 1, 2, 1]);
+        validate_bfs_directed(&g, 0, &out.parents, &out.levels).unwrap();
+        // The undirected validator would (correctly) reject this: edge
+        // (2, 0) spans two levels.
+        assert!(validate_bfs(&g, 0, &out.parents, &out.levels).is_err());
+    }
+
+    #[test]
+    fn directed_validator_rejects_early_stop() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let mut out = serial_bfs(&g, 0);
+        out.levels[2] = UNREACHED;
+        out.parents[2] = UNREACHED;
+        assert_eq!(
+            validate_bfs_directed(&g, 0, &out.parents, &out.levels),
+            Err(ValidationError::Incomplete(1, 2))
+        );
+    }
+
+    #[test]
+    fn directed_validator_rejects_overlong_level() {
+        let el = EdgeList::new(3, vec![(0, 1), (0, 2), (1, 2)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let mut out = serial_bfs(&g, 0);
+        out.levels[2] = 2; // claims distance 2 though 0 -> 2 exists
+        out.parents[2] = 1;
+        assert!(validate_bfs_directed(&g, 0, &out.parents, &out.levels).is_err());
+    }
+
+    #[test]
+    fn accepts_disconnected_graphs() {
+        let el = EdgeList::new(5, vec![(0, 1), (1, 0), (3, 4), (4, 3)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let out = serial_bfs(&g, 0);
+        validate_bfs(&g, 0, &out.parents, &out.levels).unwrap();
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the BFS crate's applications and SSSP.
+
+use dmbfs_bfs::apps::{distributed_components, distributed_diameter};
+use dmbfs_bfs::serial::serial_bfs;
+use dmbfs_bfs::sssp::{
+    distributed_delta_stepping, distributed_sssp, serial_sssp, validate_sssp, UNREACHABLE,
+};
+use dmbfs_graph::components::connected_components;
+use dmbfs_graph::stats::eccentricity;
+use dmbfs_graph::weighted::{attach_uniform_weights, WeightedCsr};
+use dmbfs_graph::{CsrGraph, EdgeList};
+use proptest::prelude::*;
+
+/// Strategy: a canonicalized undirected graph on `n` vertices.
+fn graph(n: u64, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    prop::collection::vec((0..n, 0..n), 1..max_m).prop_map(move |edges| {
+        let mut el = EdgeList::new(n, edges);
+        el.canonicalize_undirected();
+        CsrGraph::from_edge_list(&el)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn distributed_sssp_matches_dijkstra(
+        g in graph(60, 300),
+        max_w in 1u32..12,
+        p in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let el = g.to_edge_list();
+        let wg = WeightedCsr::from_edges(
+            g.num_vertices(),
+            &attach_uniform_weights(&el, max_w, seed),
+        );
+        let source = seed % g.num_vertices();
+        let expected = serial_sssp(&wg, source);
+        let got = distributed_sssp(&wg, source, p);
+        prop_assert_eq!(&got.dists, &expected.dists);
+        validate_sssp(&wg, &got).unwrap();
+    }
+
+    #[test]
+    fn delta_stepping_matches_dijkstra_for_any_delta(
+        g in graph(50, 250),
+        max_w in 1u32..10,
+        delta in 1u64..30,
+        p in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let el = g.to_edge_list();
+        let wg = WeightedCsr::from_edges(
+            g.num_vertices(),
+            &attach_uniform_weights(&el, max_w, seed),
+        );
+        let source = seed % g.num_vertices();
+        let expected = serial_sssp(&wg, source);
+        let got = distributed_delta_stepping(&wg, source, delta, p);
+        prop_assert_eq!(&got.dists, &expected.dists);
+        validate_sssp(&wg, &got).unwrap();
+    }
+
+    #[test]
+    fn sssp_distance_at_least_bfs_level(
+        g in graph(50, 250),
+        max_w in 2u32..9,
+        seed in any::<u64>(),
+    ) {
+        let el = g.to_edge_list();
+        let wg = WeightedCsr::from_edges(
+            g.num_vertices(),
+            &attach_uniform_weights(&el, max_w, seed),
+        );
+        let source = seed % g.num_vertices();
+        let sssp = serial_sssp(&wg, source);
+        let bfs = serial_bfs(&g, source);
+        for v in 0..g.num_vertices() as usize {
+            // Reachability agrees; distance dominates hop count.
+            prop_assert_eq!(sssp.dists[v] == UNREACHABLE, bfs.levels[v] < 0);
+            if bfs.levels[v] >= 0 {
+                prop_assert!(sssp.dists[v] >= bfs.levels[v] as u64);
+                prop_assert!(sssp.dists[v] <= bfs.levels[v] as u64 * max_w as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_components_partition_matches_union_find(
+        g in graph(40, 150),
+        p in 1usize..6,
+    ) {
+        let expected = connected_components(&g);
+        let got = distributed_components(&g, p);
+        prop_assert_eq!(got.num_components(), expected.num_components);
+        for u in 0..g.num_vertices() as usize {
+            for v in (u + 1)..g.num_vertices() as usize {
+                prop_assert_eq!(
+                    got.labels[u] == got.labels[v],
+                    expected.labels[u] == expected.labels[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_bfs_matches_per_source_serial(
+        g in graph(60, 300),
+        batch in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        use dmbfs_bfs::multi_source::multi_source_bfs;
+        let n = g.num_vertices();
+        let sources: Vec<u64> = (0..batch as u64)
+            .map(|k| (seed.wrapping_add(k * 7919)) % n)
+            .collect();
+        let out = multi_source_bfs(&g, &sources);
+        for (k, &s) in sources.iter().enumerate() {
+            let expected = serial_bfs(&g, s);
+            prop_assert_eq!(&out.levels[k], &expected.levels, "source {}", s);
+        }
+    }
+
+    #[test]
+    fn diameter_estimate_is_a_valid_lower_bound(
+        g in graph(30, 120),
+        seed in any::<u64>(),
+    ) {
+        let start = seed % g.num_vertices();
+        let est = distributed_diameter(&g, start, 3, 2);
+        // A true lower bound on the source component's diameter, and at
+        // least the start vertex's own eccentricity (the first sweep).
+        let cc = connected_components(&g);
+        let true_diameter = (0..g.num_vertices())
+            .filter(|&v| cc.labels[v as usize] == cc.labels[start as usize])
+            .map(|v| eccentricity(&g, v))
+            .max()
+            .unwrap_or(0);
+        prop_assert!(est <= true_diameter);
+        prop_assert!(est >= eccentricity(&g, start));
+    }
+}

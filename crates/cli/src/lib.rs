@@ -1,0 +1,720 @@
+//! # dmbfs-cli — command-line front end
+//!
+//! Subcommands (see `dmbfs help`):
+//!
+//! * `generate` — write a benchmark graph (R-MAT / Erdős–Rényi / web
+//!   crawl) to the binary edge-list format, optionally Graph 500-prepared
+//!   (symmetrized + shuffled).
+//! * `stats` — instance characterization: degrees, components, diameter.
+//! * `bfs` — run any BFS variant from a file, validate, report TEPS.
+//! * `components` — distributed connected components.
+//! * `sssp` — distributed single-source shortest paths on uniformly
+//!   weighted instances.
+//! * `convert` — binary ↔ Matrix Market.
+//!
+//! The argument grammar is deliberately tiny (`--key value` pairs after a
+//! subcommand); everything is also available as a library call for tests.
+
+use dmbfs_bfs::apps::{distributed_components, distributed_diameter};
+use dmbfs_bfs::centrality::approx_betweenness;
+use dmbfs_bfs::multi_source::exact_component_diameter;
+use dmbfs_bfs::one_d::{bfs1d_run, Bfs1dConfig};
+use dmbfs_bfs::pagerank::{distributed_pagerank, PageRankConfig};
+use dmbfs_bfs::serial::serial_bfs;
+use dmbfs_bfs::shared::shared_bfs;
+use dmbfs_bfs::sssp::{distributed_sssp, validate_sssp};
+use dmbfs_bfs::teps::teps_edges;
+use dmbfs_bfs::two_d::{bfs2d_run, Bfs2dConfig};
+use dmbfs_bfs::validate::validate_bfs;
+use dmbfs_graph::components::{connected_components, sample_sources};
+use dmbfs_graph::gen::{erdos_renyi, rmat, webcrawl, RmatConfig, WebCrawlConfig};
+use dmbfs_graph::stats::{approx_diameter, degree_stats};
+use dmbfs_graph::weighted::{attach_uniform_weights, WeightedCsr};
+use dmbfs_graph::{io, CsrGraph, EdgeList, Grid2D, RandomPermutation};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A parsed command line: subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Errors surfaced to the user with exit code 2.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parses `argv[1..]` into [`Args`].
+pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, CliError> {
+    let mut it = argv.into_iter();
+    let command = it.next().ok_or_else(|| err(USAGE))?;
+    let mut positional = Vec::new();
+    let mut options = BTreeMap::new();
+    let mut rest: Vec<String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        if let Some(key) = rest[i].strip_prefix("--") {
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| err(format!("missing value for --{key}")))?
+                .clone();
+            options.insert(key.to_string(), value);
+            i += 2;
+        } else {
+            positional.push(std::mem::take(&mut rest[i]));
+            i += 1;
+        }
+    }
+    Ok(Args {
+        command,
+        positional,
+        options,
+    })
+}
+
+impl Args {
+    fn opt_u64(&self, key: &str, default: u64) -> Result<u64, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{key} expects an integer, got '{v}'"))),
+        }
+    }
+
+    fn opt_str(&self, key: &str, default: &str) -> String {
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    fn require(&self, key: &str) -> Result<String, CliError> {
+        self.options
+            .get(key)
+            .cloned()
+            .ok_or_else(|| err(format!("missing required option --{key}")))
+    }
+
+    fn input_file(&self) -> Result<String, CliError> {
+        self.positional
+            .first()
+            .cloned()
+            .ok_or_else(|| err("missing input file argument"))
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+dmbfs — distributed-memory BFS toolkit (Buluç & Madduri, SC'11)
+
+USAGE:
+  dmbfs generate --model rmat|er|webcrawl --scale S [--edge-factor E]
+                 [--seed X] [--prepared true] --out FILE
+  dmbfs stats FILE
+  dmbfs bfs FILE [--algorithm serial|shared|direction|1d|2d] [--ranks P]
+                 [--threads T] [--source V] [--validate true]
+  dmbfs teps FILE [--algorithm ...] [--ranks P] [--sources N]
+  dmbfs components FILE [--ranks P]
+  dmbfs sssp FILE [--ranks P] [--max-weight W] [--source V]
+  dmbfs diameter FILE [--exact true] [--ranks P]
+  dmbfs pagerank FILE [--ranks P] [--damping D] [--top K]
+  dmbfs centrality FILE [--samples K] [--top K]
+  dmbfs convert FILE --to bin|mm --out FILE
+  dmbfs help
+";
+
+/// Executes a parsed command, returning the report to print.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "stats" => cmd_stats(args),
+        "bfs" => cmd_bfs(args),
+        "teps" => cmd_teps(args),
+        "components" => cmd_components(args),
+        "sssp" => cmd_sssp(args),
+        "diameter" => cmd_diameter(args),
+        "pagerank" => cmd_pagerank(args),
+        "centrality" => cmd_centrality(args),
+        "convert" => cmd_convert(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let model = args.opt_str("model", "rmat");
+    let scale = args.opt_u64("scale", 14)? as u32;
+    let ef = args.opt_u64("edge-factor", 16)?;
+    let seed = args.opt_u64("seed", 1)?;
+    let out = args.require("out")?;
+    let mut el: EdgeList = match model.as_str() {
+        "rmat" => rmat(&RmatConfig::graph500_ef(scale, ef, seed)),
+        "er" => {
+            let n = 1u64 << scale;
+            erdos_renyi(n, ef * n, seed)
+        }
+        "webcrawl" => webcrawl(&WebCrawlConfig::uk_union_like(1 << scale.min(20), seed)),
+        other => return Err(err(format!("unknown model '{other}'"))),
+    };
+    let prepared = args.opt_str("prepared", "true") == "true";
+    if prepared {
+        el.canonicalize_undirected();
+        let perm = RandomPermutation::new(el.num_vertices, seed ^ 0xD5BF);
+        el = perm.apply_edge_list(&el);
+    }
+    io::save_binary(&el, &out)?;
+    Ok(format!(
+        "wrote {} ({} vertices, {} stored edges, prepared = {prepared})",
+        out,
+        el.num_vertices,
+        el.len()
+    ))
+}
+
+fn load(args: &Args) -> Result<CsrGraph, CliError> {
+    let path = args.input_file()?;
+    let el = if path.ends_with(".mtx") {
+        io::read_matrix_market(std::fs::File::open(&path)?)?
+    } else {
+        io::load_binary(&path)?
+    };
+    Ok(CsrGraph::from_edge_list(&el))
+}
+
+fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let d = degree_stats(&g);
+    let cc = connected_components(&g);
+    let giant = cc.sizes[cc.largest() as usize];
+    let src = sample_sources(&g, 1, 1)
+        .first()
+        .copied()
+        .unwrap_or_default();
+    let diameter = approx_diameter(&g, src);
+    let mut out = String::new();
+    writeln!(out, "vertices            {}", d.n).unwrap();
+    writeln!(out, "stored adjacencies  {}", d.m).unwrap();
+    writeln!(out, "mean degree         {:.2}", d.mean).unwrap();
+    writeln!(out, "max degree          {}", d.max).unwrap();
+    writeln!(out, "isolated vertices   {}", d.isolated).unwrap();
+    writeln!(
+        out,
+        "top-1% edge share   {:.1}%",
+        100.0 * d.top1pct_edge_share
+    )
+    .unwrap();
+    writeln!(out, "components          {}", cc.num_components).unwrap();
+    writeln!(out, "giant component     {giant}").unwrap();
+    writeln!(out, "approx diameter     {diameter}").unwrap();
+    Ok(out)
+}
+
+fn run_algorithm(
+    g: &CsrGraph,
+    algorithm: &str,
+    ranks: usize,
+    threads: usize,
+    source: u64,
+) -> Result<dmbfs_bfs::BfsOutput, CliError> {
+    Ok(match algorithm {
+        "serial" => serial_bfs(g, source),
+        "shared" => shared_bfs(g, source),
+        "direction" => dmbfs_bfs::direction::direction_optimizing_bfs(g, source).output,
+        "1d" => {
+            let cfg = if threads > 1 {
+                Bfs1dConfig::hybrid(ranks, threads)
+            } else {
+                Bfs1dConfig::flat(ranks)
+            };
+            bfs1d_run(g, source, &cfg).output
+        }
+        "2d" => {
+            let grid = Grid2D::closest_square(ranks);
+            let cfg = if threads > 1 {
+                Bfs2dConfig::hybrid(grid, threads)
+            } else {
+                Bfs2dConfig::flat(grid)
+            };
+            bfs2d_run(g, source, &cfg).output
+        }
+        other => return Err(err(format!("unknown algorithm '{other}'"))),
+    })
+}
+
+fn cmd_bfs(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let algorithm = args.opt_str("algorithm", "2d");
+    let ranks = args.opt_u64("ranks", 4)? as usize;
+    let threads = args.opt_u64("threads", 1)? as usize;
+    let source = match args.options.get("source") {
+        Some(v) => v.parse().map_err(|_| err("--source expects a vertex id"))?,
+        None => sample_sources(&g, 1, 7)
+            .first()
+            .copied()
+            .ok_or_else(|| err("graph has no usable source"))?,
+    };
+    if source >= g.num_vertices() {
+        return Err(err(format!(
+            "source {source} out of range (n = {})",
+            g.num_vertices()
+        )));
+    }
+    let t0 = Instant::now();
+    let out = run_algorithm(&g, &algorithm, ranks, threads, source)?;
+    let secs = t0.elapsed().as_secs_f64();
+    if args.opt_str("validate", "true") == "true" {
+        validate_bfs(&g, source, &out.parents, out.levels())
+            .map_err(|e| err(format!("validation failed: {e}")))?;
+    }
+    let edges = teps_edges(&g, &out);
+    Ok(format!(
+        "algorithm {algorithm} source {source}: reached {} of {} vertices, depth {}, \
+         {} edges, {:.1} ms, {:.2} MTEPS (validated)",
+        out.num_reached(),
+        g.num_vertices(),
+        out.depth(),
+        edges,
+        secs * 1e3,
+        edges as f64 / secs / 1e6,
+    ))
+}
+
+fn cmd_teps(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let algorithm = args.opt_str("algorithm", "2d");
+    let ranks = args.opt_u64("ranks", 4)? as usize;
+    let threads = args.opt_u64("threads", 1)? as usize;
+    let num_sources = args.opt_u64("sources", 16)? as usize;
+    let report = dmbfs_bfs::teps::benchmark_bfs(&g, num_sources, 5, |s| {
+        (
+            run_algorithm(&g, &algorithm, ranks, threads, s).expect("algorithm runs"),
+            None,
+        )
+    });
+    Ok(format!(
+        "algorithm {algorithm}: {} sources, {:.2} MTEPS aggregate, {:.2} MTEPS harmonic mean, \
+         {:.1} ms mean search time",
+        report.runs.len(),
+        report.mteps(),
+        report.harmonic_mean_teps / 1e6,
+        report.mean_seconds * 1e3,
+    ))
+}
+
+fn cmd_components(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let ranks = args.opt_u64("ranks", 4)? as usize;
+    let t0 = Instant::now();
+    let out = distributed_components(&g, ranks);
+    let secs = t0.elapsed().as_secs_f64();
+    Ok(format!(
+        "{} components in {} rounds over {} ranks ({:.1} ms)",
+        out.num_components(),
+        out.rounds,
+        ranks,
+        secs * 1e3,
+    ))
+}
+
+fn cmd_sssp(args: &Args) -> Result<String, CliError> {
+    let path = args.input_file()?;
+    let el = if path.ends_with(".mtx") {
+        io::read_matrix_market(std::fs::File::open(&path)?)?
+    } else {
+        io::load_binary(&path)?
+    };
+    let ranks = args.opt_u64("ranks", 4)? as usize;
+    let max_weight = args.opt_u64("max-weight", 10)? as u32;
+    let weighted = WeightedCsr::from_edges(
+        el.num_vertices,
+        &attach_uniform_weights(&el, max_weight.max(1), 5),
+    );
+    let source = match args.options.get("source") {
+        Some(v) => v.parse().map_err(|_| err("--source expects a vertex id"))?,
+        None => {
+            let g = CsrGraph::from_edge_list(&el);
+            sample_sources(&g, 1, 7)
+                .first()
+                .copied()
+                .ok_or_else(|| err("graph has no usable source"))?
+        }
+    };
+    let t0 = Instant::now();
+    let out = distributed_sssp(&weighted, source, ranks);
+    let secs = t0.elapsed().as_secs_f64();
+    validate_sssp(&weighted, &out).map_err(|e| err(format!("validation failed: {e}")))?;
+    let max_dist = out
+        .dists
+        .iter()
+        .filter(|&&d| d != dmbfs_bfs::sssp::UNREACHABLE)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    Ok(format!(
+        "sssp from {source} over {ranks} ranks (weights 1..={max_weight}): reached {} vertices,          max distance {max_dist}, {:.1} ms (validated)",
+        out.num_reached(),
+        secs * 1e3,
+    ))
+}
+
+fn cmd_diameter(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let probe = sample_sources(&g, 1, 1)
+        .first()
+        .copied()
+        .ok_or_else(|| err("graph has no usable vertex"))?;
+    let t0 = Instant::now();
+    let (value, kind) = if args.opt_str("exact", "false") == "true" {
+        (exact_component_diameter(&g, probe), "exact (MS-BFS sweep)")
+    } else {
+        let ranks = args.opt_u64("ranks", 4)? as usize;
+        (
+            distributed_diameter(&g, probe, 4, ranks),
+            "lower bound (distributed double sweep)",
+        )
+    };
+    Ok(format!(
+        "diameter of the giant component: {value} — {kind} ({:.1} ms)",
+        t0.elapsed().as_secs_f64() * 1e3
+    ))
+}
+
+fn cmd_pagerank(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let ranks = args.opt_u64("ranks", 4)? as usize;
+    let top = args.opt_u64("top", 5)? as usize;
+    let damping: f64 = args
+        .opt_str("damping", "0.85")
+        .parse()
+        .map_err(|_| err("--damping expects a float"))?;
+    let cfg = PageRankConfig {
+        damping,
+        ..PageRankConfig::new(Grid2D::closest_square(ranks))
+    };
+    let t0 = Instant::now();
+    let out = distributed_pagerank(&g, &cfg);
+    let secs = t0.elapsed().as_secs_f64();
+    let mut report = format!(
+        "pagerank converged in {} iterations over {ranks} ranks ({:.1} ms); top {top}:\n",
+        out.iterations,
+        secs * 1e3
+    );
+    for &v in out.ranking().iter().take(top) {
+        report.push_str(&format!(
+            "  vertex {v:>8}  score {:.6}\n",
+            out.scores[v as usize]
+        ));
+    }
+    Ok(report)
+}
+
+fn cmd_centrality(args: &Args) -> Result<String, CliError> {
+    let g = load(args)?;
+    let samples = args.opt_u64("samples", 64)? as usize;
+    let top = args.opt_u64("top", 5)? as usize;
+    let t0 = Instant::now();
+    let scores = approx_betweenness(&g, samples, 7);
+    let secs = t0.elapsed().as_secs_f64();
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut report = format!(
+        "betweenness ({} sampled sources, {:.1} ms); top {top}:\n",
+        samples.min(g.num_vertices() as usize),
+        secs * 1e3
+    );
+    for &v in order.iter().take(top) {
+        report.push_str(&format!("  vertex {v:>8}  score {:.1}\n", scores[v]));
+    }
+    Ok(report)
+}
+
+fn cmd_convert(args: &Args) -> Result<String, CliError> {
+    let g_path = args.input_file()?;
+    let to = args.require("to")?;
+    let out = args.require("out")?;
+    let el = if g_path.ends_with(".mtx") {
+        io::read_matrix_market(std::fs::File::open(&g_path)?)?
+    } else {
+        io::load_binary(&g_path)?
+    };
+    match to.as_str() {
+        "bin" => io::save_binary(&el, &out)?,
+        "mm" => io::write_matrix_market(&el, std::fs::File::create(&out)?)?,
+        other => return Err(err(format!("unknown target format '{other}'"))),
+    }
+    Ok(format!("wrote {out} ({} edges) as {to}", el.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        parse_args(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dmbfs-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parser_splits_options_and_positionals() {
+        let a = args(&["bfs", "graph.bin", "--ranks", "8", "--algorithm", "1d"]);
+        assert_eq!(a.command, "bfs");
+        assert_eq!(a.positional, vec!["graph.bin"]);
+        assert_eq!(a.options["ranks"], "8");
+        assert_eq!(a.options["algorithm"], "1d");
+    }
+
+    #[test]
+    fn parser_rejects_missing_value() {
+        let result = parse_args(["bfs".to_string(), "--ranks".to_string()]);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_stats_bfs_components_pipeline() {
+        let dir = tmpdir();
+        let file = dir.join("g.bin");
+        let file_s = file.to_str().unwrap();
+
+        let msg = run(&args(&[
+            "generate", "--model", "rmat", "--scale", "9", "--seed", "3", "--out", file_s,
+        ]))
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+
+        let stats = run(&args(&["stats", file_s])).unwrap();
+        assert!(stats.contains("vertices            512"), "{stats}");
+
+        for algorithm in ["serial", "shared", "direction", "1d", "2d"] {
+            let msg = run(&args(&[
+                "bfs",
+                file_s,
+                "--algorithm",
+                algorithm,
+                "--ranks",
+                "4",
+            ]))
+            .unwrap();
+            assert!(msg.contains("validated"), "{algorithm}: {msg}");
+        }
+
+        let msg = run(&args(&["components", file_s, "--ranks", "3"])).unwrap();
+        assert!(msg.contains("components in"), "{msg}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn convert_round_trips_through_matrix_market() {
+        let dir = tmpdir();
+        let bin = dir.join("c.bin");
+        let mm = dir.join("c.mtx");
+        let back = dir.join("c2.bin");
+        run(&args(&[
+            "generate",
+            "--model",
+            "er",
+            "--scale",
+            "7",
+            "--out",
+            bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "convert",
+            bin.to_str().unwrap(),
+            "--to",
+            "mm",
+            "--out",
+            mm.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "convert",
+            mm.to_str().unwrap(),
+            "--to",
+            "bin",
+            "--out",
+            back.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let a = io::load_binary(&bin).unwrap();
+        let mut b = io::load_binary(&back).unwrap();
+        let mut a2 = a.clone();
+        a2.dedup();
+        b.dedup();
+        assert_eq!(a2, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bfs_rejects_bad_source() {
+        let dir = tmpdir();
+        let file = dir.join("s.bin");
+        run(&args(&[
+            "generate",
+            "--model",
+            "rmat",
+            "--scale",
+            "7",
+            "--out",
+            file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let result = run(&args(&[
+            "bfs",
+            file.to_str().unwrap(),
+            "--source",
+            "999999",
+        ]));
+        assert!(result.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sssp_command_validates() {
+        let dir = tmpdir();
+        let file = dir.join("w.bin");
+        run(&args(&[
+            "generate",
+            "--model",
+            "rmat",
+            "--scale",
+            "8",
+            "--out",
+            file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run(&args(&[
+            "sssp",
+            file.to_str().unwrap(),
+            "--ranks",
+            "3",
+            "--max-weight",
+            "7",
+        ]))
+        .unwrap();
+        assert!(msg.contains("validated"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diameter_command_reports_both_modes() {
+        let dir = tmpdir();
+        let file = dir.join("d.bin");
+        run(&args(&[
+            "generate",
+            "--model",
+            "rmat",
+            "--scale",
+            "8",
+            "--out",
+            file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let est = run(&args(&["diameter", file.to_str().unwrap()])).unwrap();
+        assert!(est.contains("lower bound"), "{est}");
+        let exact = run(&args(&[
+            "diameter",
+            file.to_str().unwrap(),
+            "--exact",
+            "true",
+        ]))
+        .unwrap();
+        assert!(exact.contains("exact"), "{exact}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pagerank_and_centrality_commands_report() {
+        let dir = tmpdir();
+        let file = dir.join("pr.bin");
+        run(&args(&[
+            "generate",
+            "--model",
+            "rmat",
+            "--scale",
+            "8",
+            "--out",
+            file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run(&args(&["pagerank", file.to_str().unwrap(), "--ranks", "4"])).unwrap();
+        assert!(msg.contains("converged"), "{msg}");
+        let msg = run(&args(&[
+            "centrality",
+            file.to_str().unwrap(),
+            "--samples",
+            "16",
+        ]))
+        .unwrap();
+        assert!(msg.contains("betweenness"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn teps_command_reports_rates() {
+        let dir = tmpdir();
+        let file = dir.join("t.bin");
+        run(&args(&[
+            "generate",
+            "--model",
+            "rmat",
+            "--scale",
+            "8",
+            "--out",
+            file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run(&args(&[
+            "teps",
+            file.to_str().unwrap(),
+            "--sources",
+            "3",
+            "--algorithm",
+            "1d",
+        ]))
+        .unwrap();
+        assert!(msg.contains("MTEPS"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

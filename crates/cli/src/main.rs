@@ -1,0 +1,18 @@
+//! `dmbfs` binary: thin wrapper over the library in `lib.rs`.
+
+use std::io::Write;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = dmbfs_cli::parse_args(argv).and_then(|args| dmbfs_cli::run(&args));
+    match result {
+        Ok(report) => {
+            // Ignore broken pipes (`dmbfs ... | head`) instead of panicking.
+            let _ = writeln!(std::io::stdout(), "{report}");
+        }
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! A reusable, poisonable barrier.
+//!
+//! `std::sync::Barrier` deadlocks forever if a participant dies. Rank
+//! failures must instead *propagate*: when any rank panics, the world is
+//! poisoned and every thread blocked in a barrier wakes up and panics too,
+//! so [`crate::World::run`] can join everything and re-raise the original
+//! payload. The generation counter makes the barrier reusable (the
+//! classic sense-reversing design expressed with a counter).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared poison flag for an entire [`crate::World`]: one flag covers every
+/// communicator derived from it, so a panic anywhere unblocks everyone.
+#[derive(Debug, Default)]
+pub struct Poison {
+    flag: AtomicBool,
+}
+
+impl Poison {
+    /// Marks the world as poisoned.
+    pub fn set(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once any rank has panicked.
+    pub fn is_set(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Watchdog limit for barrier waits, read once per process:
+/// `DMBFS_COMM_TIMEOUT_SECS` (default 300; `0` disables).
+fn watchdog_timeout() -> Option<Duration> {
+    use std::sync::OnceLock;
+    static LIMIT: OnceLock<Option<Duration>> = OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        let secs: u64 = std::env::var("DMBFS_COMM_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        (secs > 0).then(|| Duration::from_secs(secs))
+    })
+}
+
+#[derive(Debug)]
+struct State {
+    count: usize,
+    generation: u64,
+}
+
+/// Reusable barrier over `n` participants that aborts (by panicking in every
+/// waiter) when its [`Poison`] flag is set.
+#[derive(Debug)]
+pub struct PoisonBarrier {
+    n: usize,
+    state: Mutex<State>,
+    cvar: Condvar,
+    poison: Arc<Poison>,
+}
+
+impl PoisonBarrier {
+    /// A barrier for `n` participants sharing `poison`.
+    pub fn new(n: usize, poison: Arc<Poison>) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        Self {
+            n,
+            state: Mutex::new(State {
+                count: 0,
+                generation: 0,
+            }),
+            cvar: Condvar::new(),
+            poison,
+        }
+    }
+
+    /// Blocks until all `n` participants arrive.
+    ///
+    /// # Panics
+    /// Panics in every waiter if the world is poisoned while waiting (or on
+    /// entry), carrying a message that identifies the failure mode; also
+    /// panics (after poisoning the world) when the wait exceeds the
+    /// watchdog timeout — the signature of a collective-call mismatch,
+    /// where some rank will never arrive. The timeout defaults to 300 s
+    /// and is configured with `DMBFS_COMM_TIMEOUT_SECS` (0 disables).
+    pub fn wait(&self) {
+        self.wait_with_timeout(watchdog_timeout());
+    }
+
+    /// [`PoisonBarrier::wait`] with an explicit watchdog limit (used by the
+    /// public path with the env-configured default, and by tests directly).
+    pub fn wait_with_timeout(&self, timeout: Option<Duration>) {
+        if self.poison.is_set() {
+            panic!("communicator poisoned: a peer rank panicked");
+        }
+        let started = std::time::Instant::now();
+        let mut state = self.state.lock();
+        state.count += 1;
+        if state.count == self.n {
+            state.count = 0;
+            state.generation = state.generation.wrapping_add(1);
+            self.cvar.notify_all();
+            return;
+        }
+        let generation = state.generation;
+        while state.generation == generation {
+            // Timed wait so poisoning is observed even without a wakeup.
+            self.cvar.wait_for(&mut state, Duration::from_millis(20));
+            if self.poison.is_set() {
+                // Leave the barrier consistent for any stragglers.
+                self.cvar.notify_all();
+                panic!("communicator poisoned: a peer rank panicked");
+            }
+            if let Some(limit) = timeout {
+                if started.elapsed() > limit {
+                    self.poison.set();
+                    self.cvar.notify_all();
+                    panic!(
+                        "collective watchdog: still waiting after {limit:?} — \
+                         probable mismatched collective calls across ranks \
+                         (set DMBFS_COMM_TIMEOUT_SECS to adjust, 0 to disable)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn releases_all_participants() {
+        let poison = Arc::new(Poison::default());
+        let barrier = Arc::new(PoisonBarrier::new(4, poison));
+        let before = Arc::new(AtomicUsize::new(0));
+        let after = Arc::new(AtomicUsize::new(0));
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let (b, before, after) = (barrier.clone(), before.clone(), after.clone());
+                s.spawn(move || {
+                    before.fetch_add(1, Ordering::SeqCst);
+                    b.wait();
+                    // Everyone must have incremented `before` by now.
+                    assert_eq!(before.load(Ordering::SeqCst), 4);
+                    after.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(after.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn is_reusable_across_generations() {
+        let poison = Arc::new(Poison::default());
+        let barrier = Arc::new(PoisonBarrier::new(3, poison));
+        thread::scope(|s| {
+            for _ in 0..3 {
+                let b = barrier.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        b.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn poison_unblocks_waiters() {
+        let poison = Arc::new(Poison::default());
+        let barrier = Arc::new(PoisonBarrier::new(2, poison.clone()));
+        let b = barrier.clone();
+        let waiter = thread::spawn(move || b.wait());
+        thread::sleep(Duration::from_millis(50));
+        poison.set();
+        let result = waiter.join();
+        assert!(result.is_err(), "waiter should panic on poison");
+    }
+
+    #[test]
+    fn poisoned_entry_panics_immediately() {
+        let poison = Arc::new(Poison::default());
+        poison.set();
+        let barrier = PoisonBarrier::new(2, poison);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| barrier.wait()));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn watchdog_detects_missing_participant() {
+        // One of two participants never arrives: the waiter must poison the
+        // world and panic instead of hanging forever.
+        let poison = Arc::new(Poison::default());
+        let barrier = Arc::new(PoisonBarrier::new(2, poison.clone()));
+        let b = barrier.clone();
+        let waiter = thread::spawn(move || b.wait_with_timeout(Some(Duration::from_millis(80))));
+        let result = waiter.join();
+        assert!(result.is_err(), "watchdog should fire");
+        assert!(poison.is_set(), "watchdog must poison the world");
+    }
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let barrier = PoisonBarrier::new(1, Arc::new(Poison::default()));
+        for _ in 0..10 {
+            barrier.wait();
+        }
+    }
+}

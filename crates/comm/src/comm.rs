@@ -1,0 +1,474 @@
+//! Communicator handles and typed collectives.
+
+use crate::barrier::{Poison, PoisonBarrier};
+use crate::stats::{CommEvent, CommStats, Pattern};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared state of one communicator: an exchange board with one slot per
+/// rank plus a poisonable barrier.
+pub(crate) struct Shared {
+    pub(crate) slots: Vec<Mutex<Option<Arc<dyn Any + Send + Sync>>>>,
+    pub(crate) barrier: PoisonBarrier,
+    pub(crate) poison: Arc<Poison>,
+}
+
+impl Shared {
+    pub(crate) fn new(size: usize, poison: Arc<Poison>) -> Arc<Self> {
+        Arc::new(Self {
+            slots: (0..size).map(|_| Mutex::new(None)).collect(),
+            barrier: PoisonBarrier::new(size, poison.clone()),
+            poison,
+        })
+    }
+}
+
+/// One rank's handle to a communicator — the analogue of an
+/// `(MPI_Comm, rank)` pair. Handles are created by [`crate::World::run`]
+/// (the world communicator) and [`Comm::split`] (sub-communicators); each
+/// handle belongs to exactly one thread.
+///
+/// All collectives are **blocking** and must be called by every rank of the
+/// communicator in the same order with compatible arguments, exactly as in
+/// MPI. Payload types need `Clone + Send + Sync + 'static`.
+pub struct Comm {
+    shared: Arc<Shared>,
+    rank: usize,
+    stats: RefCell<CommStats>,
+}
+
+impl Comm {
+    pub(crate) fn new(shared: Arc<Shared>, rank: usize) -> Self {
+        Self {
+            shared,
+            rank,
+            stats: RefCell::new(CommStats::default()),
+        }
+    }
+
+    /// A standalone single-rank communicator: lets distributed code run
+    /// unmodified in a serial context (tests, examples).
+    pub fn single() -> Self {
+        let poison = Arc::new(Poison::default());
+        Self::new(Shared::new(1, poison), 0)
+    }
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    /// Snapshot of the statistics recorded so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Drains and returns the recorded statistics.
+    pub fn take_stats(&self) -> CommStats {
+        std::mem::take(&mut self.stats.borrow_mut())
+    }
+
+    fn record(&self, pattern: Pattern, bytes_out: u64, bytes_in: u64, start: Instant) {
+        self.stats.borrow_mut().events.push(CommEvent {
+            pattern,
+            group_size: self.size(),
+            bytes_out,
+            bytes_in,
+            wall: start.elapsed(),
+        });
+    }
+
+    fn deposit<T: Send + Sync + 'static>(&self, value: T) {
+        *self.shared.slots[self.rank].lock() = Some(Arc::new(value));
+    }
+
+    fn read<T: Send + Sync + 'static>(&self, rank: usize) -> Arc<T> {
+        let guard = self.shared.slots[rank].lock();
+        let any = guard
+            .as_ref()
+            .expect("exchange-board slot empty: mismatched collective call")
+            .clone();
+        any.downcast::<T>()
+            .expect("exchange-board type mismatch: ranks called different collectives")
+    }
+
+    /// Pure synchronization barrier.
+    pub fn barrier(&self) {
+        let start = Instant::now();
+        self.shared.barrier.wait();
+        self.record(Pattern::Barrier, 0, 0, start);
+    }
+
+    /// Variable all-to-all: `bufs[j]` is this rank's payload for rank `j`
+    /// (`bufs.len()` must equal `size()`); returns `recv` with `recv[j]` =
+    /// what rank `j` sent to this rank.
+    ///
+    /// This is the workhorse of both algorithms: the 1D frontier exchange
+    /// (Algorithm 2 line 21) and the 2D fold phase (Algorithm 3 line 8).
+    ///
+    /// # Examples
+    /// ```
+    /// use dmbfs_comm::World;
+    ///
+    /// let received = World::run(2, |comm| {
+    ///     // Rank r sends [r] to everyone (including itself).
+    ///     let bufs = vec![vec![comm.rank() as u8], vec![comm.rank() as u8]];
+    ///     comm.alltoallv(bufs)
+    /// });
+    /// assert_eq!(received[0], vec![vec![0], vec![1]]);
+    /// assert_eq!(received[1], vec![vec![0], vec![1]]);
+    /// ```
+    pub fn alltoallv<T: Clone + Send + Sync + 'static>(&self, bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(bufs.len(), self.size(), "need one buffer per rank");
+        let start = Instant::now();
+        let elem = size_of::<T>() as u64;
+        let bytes_out: u64 = bufs
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != self.rank)
+            .map(|(_, b)| b.len() as u64 * elem)
+            .sum();
+        self.deposit(bufs);
+        self.shared.barrier.wait();
+        let mut recv: Vec<Vec<T>> = Vec::with_capacity(self.size());
+        let mut bytes_in = 0u64;
+        for j in 0..self.size() {
+            let theirs = self.read::<Vec<Vec<T>>>(j);
+            if j != self.rank {
+                bytes_in += theirs[self.rank].len() as u64 * elem;
+            }
+            recv.push(theirs[self.rank].clone());
+        }
+        self.shared.barrier.wait();
+        self.record(Pattern::Alltoallv, bytes_out, bytes_in, start);
+        recv
+    }
+
+    /// Variable all-gather: every rank contributes `mine`; returns the
+    /// contributions of all ranks indexed by rank. The 2D expand phase
+    /// (Algorithm 3 line 6) runs this on the processor-column communicator.
+    pub fn allgatherv<T: Clone + Send + Sync + 'static>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
+        let start = Instant::now();
+        let elem = size_of::<T>() as u64;
+        let bytes_out = mine.len() as u64 * elem * (self.size() as u64 - 1);
+        self.deposit(mine);
+        self.shared.barrier.wait();
+        let mut all: Vec<Vec<T>> = Vec::with_capacity(self.size());
+        let mut bytes_in = 0u64;
+        for j in 0..self.size() {
+            let theirs = self.read::<Vec<T>>(j);
+            if j != self.rank {
+                bytes_in += theirs.len() as u64 * elem;
+            }
+            all.push((*theirs).clone());
+        }
+        self.shared.barrier.wait();
+        self.record(Pattern::Allgatherv, bytes_out, bytes_in, start);
+        all
+    }
+
+    /// All-gather of one value per rank.
+    pub fn allgather<T: Clone + Send + Sync + 'static>(&self, mine: T) -> Vec<T> {
+        self.allgatherv(vec![mine])
+            .into_iter()
+            .map(|mut v| v.pop().expect("one element per rank"))
+            .collect()
+    }
+
+    /// All-reduce with a caller-supplied associative, commutative `op`.
+    /// Every rank must pass an identical `op`; the fold happens in rank
+    /// order on every rank, so results are deterministic and identical.
+    pub fn allreduce<T: Clone + Send + Sync + 'static>(
+        &self,
+        mine: T,
+        op: impl Fn(T, T) -> T,
+    ) -> T {
+        let start = Instant::now();
+        let elem = size_of::<T>() as u64;
+        self.deposit(mine);
+        self.shared.barrier.wait();
+        let mut acc: Option<T> = None;
+        for j in 0..self.size() {
+            let v = (*self.read::<T>(j)).clone();
+            acc = Some(match acc {
+                None => v,
+                Some(a) => op(a, v),
+            });
+        }
+        self.shared.barrier.wait();
+        self.record(
+            Pattern::Allreduce,
+            elem,
+            elem * (self.size() as u64 - 1),
+            start,
+        );
+        acc.expect("communicator has at least one rank")
+    }
+
+    /// Broadcast from `root`: `root` passes `Some(value)`, everyone else
+    /// `None`; all ranks return the root's value.
+    pub fn broadcast<T: Clone + Send + Sync + 'static>(&self, root: usize, mine: Option<T>) -> T {
+        assert!(root < self.size());
+        assert_eq!(
+            mine.is_some(),
+            self.rank == root,
+            "exactly the root must supply the broadcast value"
+        );
+        let start = Instant::now();
+        let elem = size_of::<T>() as u64;
+        self.deposit(mine);
+        self.shared.barrier.wait();
+        let value = (*self.read::<Option<T>>(root))
+            .clone()
+            .expect("root deposited Some");
+        self.shared.barrier.wait();
+        let (out, inn) = if self.rank == root {
+            (elem * (self.size() as u64 - 1), 0)
+        } else {
+            (0, elem)
+        };
+        self.record(Pattern::Broadcast, out, inn, start);
+        value
+    }
+
+    /// Gather to `root`: returns `Some(all values indexed by rank)` on the
+    /// root, `None` elsewhere.
+    pub fn gather<T: Clone + Send + Sync + 'static>(&self, root: usize, mine: T) -> Option<Vec<T>> {
+        assert!(root < self.size());
+        let start = Instant::now();
+        let elem = size_of::<T>() as u64;
+        self.deposit(mine);
+        self.shared.barrier.wait();
+        let result = if self.rank == root {
+            let mut all = Vec::with_capacity(self.size());
+            for j in 0..self.size() {
+                all.push((*self.read::<T>(j)).clone());
+            }
+            Some(all)
+        } else {
+            None
+        };
+        self.shared.barrier.wait();
+        let (out, inn) = if self.rank == root {
+            (0, elem * (self.size() as u64 - 1))
+        } else {
+            (elem, 0)
+        };
+        self.record(Pattern::Gather, out, inn, start);
+        result
+    }
+
+    /// Variable gather to `root`: returns `Some(contributions indexed by
+    /// rank)` on the root, `None` elsewhere.
+    pub fn gatherv<T: Clone + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        mine: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
+        assert!(root < self.size());
+        let start = Instant::now();
+        let elem = size_of::<T>() as u64;
+        let out = if self.rank == root {
+            0
+        } else {
+            mine.len() as u64 * elem
+        };
+        self.deposit(mine);
+        self.shared.barrier.wait();
+        let (result, inn) = if self.rank == root {
+            let mut all = Vec::with_capacity(self.size());
+            let mut inn = 0;
+            for j in 0..self.size() {
+                let theirs = self.read::<Vec<T>>(j);
+                if j != self.rank {
+                    inn += theirs.len() as u64 * elem;
+                }
+                all.push((*theirs).clone());
+            }
+            (Some(all), inn)
+        } else {
+            (None, 0)
+        };
+        self.shared.barrier.wait();
+        self.record(Pattern::Gather, out, inn, start);
+        result
+    }
+
+    /// Variable scatter from `root`: the root passes `Some(bufs)` with one
+    /// buffer per rank; every rank returns its buffer.
+    pub fn scatterv<T: Clone + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        bufs: Option<Vec<Vec<T>>>,
+    ) -> Vec<T> {
+        assert!(root < self.size());
+        assert_eq!(
+            bufs.is_some(),
+            self.rank == root,
+            "exactly the root must supply the scatter buffers"
+        );
+        if let Some(ref b) = bufs {
+            assert_eq!(b.len(), self.size(), "need one buffer per rank");
+        }
+        let start = Instant::now();
+        let elem = size_of::<T>() as u64;
+        let out = bufs
+            .as_ref()
+            .map(|b| {
+                b.iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != self.rank)
+                    .map(|(_, v)| v.len() as u64 * elem)
+                    .sum()
+            })
+            .unwrap_or(0);
+        self.deposit(bufs);
+        self.shared.barrier.wait();
+        let mine = self
+            .read::<Option<Vec<Vec<T>>>>(root)
+            .as_ref()
+            .as_ref()
+            .expect("root deposited Some")[self.rank]
+            .clone();
+        self.shared.barrier.wait();
+        let inn = if self.rank == root {
+            0
+        } else {
+            mine.len() as u64 * elem
+        };
+        self.record(Pattern::Broadcast, out, inn, start);
+        mine
+    }
+
+    /// Exclusive prefix scan: rank r receives `op` folded over the values
+    /// of ranks `0..r` (`init` for rank 0). Deterministic rank order.
+    pub fn exscan<T: Clone + Send + Sync + 'static>(
+        &self,
+        mine: T,
+        init: T,
+        op: impl Fn(T, T) -> T,
+    ) -> T {
+        let start = Instant::now();
+        let elem = size_of::<T>() as u64;
+        self.deposit(mine);
+        self.shared.barrier.wait();
+        let mut acc = init;
+        for j in 0..self.rank {
+            acc = op(acc, (*self.read::<T>(j)).clone());
+        }
+        self.shared.barrier.wait();
+        self.record(Pattern::Allreduce, elem, elem * self.rank as u64, start);
+        acc
+    }
+
+    /// Reduce-scatter: every rank contributes one value per rank; rank `j`
+    /// returns `op` folded over everyone's j-th contribution. The
+    /// building block of communication-avoiding reductions.
+    pub fn reduce_scatter<T: Clone + Send + Sync + 'static>(
+        &self,
+        mine: Vec<T>,
+        op: impl Fn(T, T) -> T,
+    ) -> T {
+        assert_eq!(mine.len(), self.size(), "need one contribution per rank");
+        let start = Instant::now();
+        let elem = size_of::<T>() as u64;
+        let p = self.size() as u64;
+        self.deposit(mine);
+        self.shared.barrier.wait();
+        let mut acc: Option<T> = None;
+        for j in 0..self.size() {
+            let v = self.read::<Vec<T>>(j)[self.rank].clone();
+            acc = Some(match acc {
+                None => v,
+                Some(a) => op(a, v),
+            });
+        }
+        self.shared.barrier.wait();
+        self.record(Pattern::Allreduce, elem * (p - 1), elem * (p - 1), start);
+        acc.expect("communicator has at least one rank")
+    }
+
+    /// Pairwise exchange: sends `data` to `partner` and returns what
+    /// `partner` sent here. The partner assignment must be a symmetric
+    /// permutation across all ranks (`partner(partner(r)) == r`), and every
+    /// rank must participate — this is the square-grid `TransposeVector`
+    /// of §3.2, "simply a pairwise exchange between P(i,j) and P(j,i)".
+    /// A rank may partner itself (the diagonal), which is a local copy.
+    pub fn sendrecv<T: Clone + Send + Sync + 'static>(
+        &self,
+        partner: usize,
+        data: Vec<T>,
+    ) -> Vec<T> {
+        assert!(partner < self.size());
+        let start = Instant::now();
+        let elem = size_of::<T>() as u64;
+        let bytes_out = if partner == self.rank {
+            0
+        } else {
+            data.len() as u64 * elem
+        };
+        self.deposit((partner, data));
+        self.shared.barrier.wait();
+        let theirs = self.read::<(usize, Vec<T>)>(partner);
+        assert_eq!(
+            theirs.0, self.rank,
+            "sendrecv partner mismatch: rank {} expected partner {} to point back",
+            self.rank, partner
+        );
+        let received = theirs.1.clone();
+        let bytes_in = if partner == self.rank {
+            0
+        } else {
+            received.len() as u64 * elem
+        };
+        self.shared.barrier.wait();
+        self.record(Pattern::PointToPoint, bytes_out, bytes_in, start);
+        received
+    }
+
+    /// Splits the communicator à la `MPI_Comm_split`: ranks with equal
+    /// `color` form a new communicator, ordered by `(key, old rank)`.
+    /// Returns this rank's handle in its new communicator.
+    ///
+    /// The 2D algorithm calls this twice on the world communicator to build
+    /// the processor-row communicator (color = row index) for the fold phase
+    /// and the processor-column communicator (color = column index) for the
+    /// expand phase.
+    pub fn split(&self, color: u64, key: u64) -> Comm {
+        // Round 1: learn everyone's (color, key).
+        let infos = self.allgather((color, key));
+        let mut members: Vec<usize> = (0..self.size()).filter(|&r| infos[r].0 == color).collect();
+        members.sort_by_key(|&r| (infos[r].1, r));
+        let my_group_rank = members
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("self must be in own color group");
+        let leader = members[0];
+
+        // Round 2: each group leader creates the shared state; members pick
+        // it up from the leader's world slot.
+        let start = Instant::now();
+        let created: Option<Arc<Shared>> = if self.rank == leader {
+            Some(Shared::new(members.len(), self.shared.poison.clone()))
+        } else {
+            None
+        };
+        self.deposit(created);
+        self.shared.barrier.wait();
+        let group_shared = (*self.read::<Option<Arc<Shared>>>(leader))
+            .clone()
+            .expect("leader deposited the group state");
+        self.shared.barrier.wait();
+        self.record(Pattern::Broadcast, 0, 0, start);
+
+        Comm::new(group_shared, my_group_rank)
+    }
+}

@@ -1,0 +1,42 @@
+//! # dmbfs-comm — in-process message-passing runtime
+//!
+//! The paper's algorithms are expressed against MPI: ranks with private
+//! memory, `MPI_Alltoallv`, `MPI_Allgatherv`, `MPI_Allreduce`, communicator
+//! splitting for processor rows/columns, and barriers. Mature Rust MPI
+//! bindings are not available in this environment, so this crate provides a
+//! faithful in-process substitute:
+//!
+//! * Every rank runs on its own OS thread with *strictly private* state —
+//!   the rank closure receives only its [`Comm`] handle, and all inter-rank
+//!   data movement goes through explicit typed collectives.
+//! * Collectives rendezvous on a shared exchange board with a two-barrier
+//!   protocol (deposit → barrier → read → barrier), which makes the board
+//!   safely reusable and gives MPI's bulk-synchronous semantics exactly.
+//! * [`Comm::split`] mirrors `MPI_Comm_split`, providing the row and column
+//!   communicators of the 2D algorithm (§3.2).
+//! * Every collective records a [`CommEvent`] — pattern, group size, bytes
+//!   in/out, wall time spent inside the call (including barrier waiting,
+//!   i.e. load imbalance, which is how the paper accounts MPI time in
+//!   Fig. 4: "The waiting time for this blocking collective is accounted
+//!   for the total MPI time"). `dmbfs-model` replays these events through
+//!   an α–β network model to predict times on real interconnects.
+//! * Rank panics poison the world: every blocked collective unblocks and
+//!   panics, and [`World::run`] propagates the original payload, so a bug
+//!   in one rank fails tests instead of deadlocking them.
+//!
+//! What this deliberately does **not** model in-process: network latency and
+//! bandwidth (that is `dmbfs-model`'s job, driven by the recorded events)
+//! and MPI progress/overlap semantics (the paper's algorithms use blocking
+//! collectives only).
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+mod barrier;
+mod comm;
+mod stats;
+mod world;
+
+pub use comm::Comm;
+pub use stats::{CommEvent, CommStats, Pattern};
+pub use world::World;

@@ -1,0 +1,170 @@
+//! Communication accounting.
+//!
+//! Every collective call records a [`CommEvent`]. Two consumers:
+//!
+//! 1. **In-process measurement** — the wall time spent inside collectives
+//!    (which, with blocking semantics, includes waiting for slower peers)
+//!    is the quantity Fig. 4 plots: "The time spent in MPI calls [...] The
+//!    idling times of the waiting processors account for the higher MPI
+//!    time spent on off-diagonal processors."
+//! 2. **Network modeling** — `dmbfs-model` replays events through the α–β
+//!    cost model of §5 to produce modeled communication times for machine
+//!    profiles (Franklin/Hopper) and core counts we cannot run directly.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Communication pattern of a collective, used to select the pattern-
+/// specific sustained bandwidth term β_{N,pattern} of §5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// `MPI_Alltoallv` — the 1D algorithm's frontier exchange and the 2D
+    /// algorithm's fold phase.
+    Alltoallv,
+    /// `MPI_Allgatherv` — the 2D algorithm's expand phase.
+    Allgatherv,
+    /// `MPI_Allreduce` — frontier-emptiness and result reductions.
+    Allreduce,
+    /// One-to-all broadcast.
+    Broadcast,
+    /// All-to-one gather.
+    Gather,
+    /// Pairwise exchange (the square-grid `TransposeVector` of §3.2).
+    PointToPoint,
+    /// Pure synchronization.
+    Barrier,
+}
+
+impl Pattern {
+    /// Stable lowercase name (JSON output, table rows).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pattern::Alltoallv => "alltoallv",
+            Pattern::Allgatherv => "allgatherv",
+            Pattern::Allreduce => "allreduce",
+            Pattern::Broadcast => "broadcast",
+            Pattern::Gather => "gather",
+            Pattern::PointToPoint => "p2p",
+            Pattern::Barrier => "barrier",
+        }
+    }
+}
+
+/// One collective call as seen by one rank.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CommEvent {
+    /// Which collective.
+    pub pattern: Pattern,
+    /// Number of ranks in the participating communicator — the paper's
+    /// key observation is that 2D limits this to `pr` or `pc` ≈ √p.
+    pub group_size: usize,
+    /// Payload bytes this rank contributed.
+    pub bytes_out: u64,
+    /// Payload bytes this rank received.
+    pub bytes_in: u64,
+    /// Wall time spent inside the call, including barrier waits.
+    pub wall: Duration,
+}
+
+/// Aggregate per-rank communication statistics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Every collective call, in program order.
+    pub events: Vec<CommEvent>,
+}
+
+impl CommStats {
+    /// Total calls recorded.
+    pub fn num_calls(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total bytes sent by this rank.
+    pub fn bytes_out(&self) -> u64 {
+        self.events.iter().map(|e| e.bytes_out).sum()
+    }
+
+    /// Total bytes received by this rank.
+    pub fn bytes_in(&self) -> u64 {
+        self.events.iter().map(|e| e.bytes_in).sum()
+    }
+
+    /// Total wall time inside collectives.
+    pub fn wall(&self) -> Duration {
+        self.events.iter().map(|e| e.wall).sum()
+    }
+
+    /// Wall time inside collectives matching `pattern`.
+    pub fn wall_for(&self, pattern: Pattern) -> Duration {
+        self.events
+            .iter()
+            .filter(|e| e.pattern == pattern)
+            .map(|e| e.wall)
+            .sum()
+    }
+
+    /// Bytes sent under `pattern`.
+    pub fn bytes_out_for(&self, pattern: Pattern) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.pattern == pattern)
+            .map(|e| e.bytes_out)
+            .sum()
+    }
+
+    /// Merges another rank's stats into this one (event order interleaved
+    /// arbitrarily; aggregates remain exact).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.events.extend_from_slice(&other.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pattern: Pattern, out: u64, inn: u64, micros: u64) -> CommEvent {
+        CommEvent {
+            pattern,
+            group_size: 4,
+            bytes_out: out,
+            bytes_in: inn,
+            wall: Duration::from_micros(micros),
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_correctly() {
+        let stats = CommStats {
+            events: vec![
+                ev(Pattern::Alltoallv, 100, 80, 5),
+                ev(Pattern::Allgatherv, 40, 200, 7),
+                ev(Pattern::Alltoallv, 10, 10, 3),
+            ],
+        };
+        assert_eq!(stats.num_calls(), 3);
+        assert_eq!(stats.bytes_out(), 150);
+        assert_eq!(stats.bytes_in(), 290);
+        assert_eq!(stats.wall(), Duration::from_micros(15));
+        assert_eq!(stats.wall_for(Pattern::Alltoallv), Duration::from_micros(8));
+        assert_eq!(stats.bytes_out_for(Pattern::Allgatherv), 40);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = CommStats {
+            events: vec![ev(Pattern::Barrier, 0, 0, 1)],
+        };
+        let b = CommStats {
+            events: vec![ev(Pattern::Gather, 8, 0, 2)],
+        };
+        a.merge(&b);
+        assert_eq!(a.num_calls(), 2);
+    }
+
+    #[test]
+    fn pattern_names_are_stable() {
+        assert_eq!(Pattern::Alltoallv.name(), "alltoallv");
+        assert_eq!(Pattern::PointToPoint.name(), "p2p");
+    }
+}

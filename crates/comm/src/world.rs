@@ -1,0 +1,364 @@
+//! World launcher: one thread per rank, panic propagation.
+
+use crate::barrier::Poison;
+use crate::comm::{Comm, Shared};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Entry point of the runtime: runs a closure on `p` simulated ranks.
+///
+/// Analogous to `mpiexec -n p`: each rank executes `f(comm)` on its own OS
+/// thread, where `comm` is its handle to the world communicator. The rank
+/// closure owns all of its state; the only sharing is through collectives.
+pub struct World;
+
+impl World {
+    /// Runs `f` on `p` ranks and returns their results indexed by rank.
+    ///
+    /// # Examples
+    /// ```
+    /// use dmbfs_comm::World;
+    ///
+    /// // Four ranks compute a global sum, MPI-style.
+    /// let sums = World::run(4, |comm| {
+    ///     comm.allreduce(comm.rank() as u64, |a, b| a + b)
+    /// });
+    /// assert_eq!(sums, vec![6, 6, 6, 6]);
+    /// ```
+    ///
+    /// # Panics
+    /// If any rank panics, the world is poisoned (unblocking every
+    /// collective) and the first panic payload is re-raised here after all
+    /// threads have been joined — a failed rank can never deadlock the
+    /// caller.
+    pub fn run<R, F>(p: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        assert!(p > 0, "need at least one rank");
+        let poison = Arc::new(Poison::default());
+        let shared = Shared::new(p, poison.clone());
+        let f = &f;
+
+        let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..p)
+                .map(|rank| {
+                    let shared = shared.clone();
+                    let poison = poison.clone();
+                    scope.spawn(move || {
+                        let comm = Comm::new(shared, rank);
+                        let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                        if result.is_err() {
+                            poison.set();
+                        }
+                        result
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread itself must not die"))
+                .collect()
+        });
+
+        let mut ok = Vec::with_capacity(p);
+        let mut first_panic = None;
+        for r in results {
+            match r {
+                Ok(v) => ok.push(v),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        // Prefer a payload that is not the secondary
+                        // "poisoned" panic, so the user sees the root cause.
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = pick_root_cause(first_panic, &mut ok, p) {
+            resume_unwind(payload);
+        }
+        ok
+    }
+}
+
+/// Returns the panic payload to re-raise, if any. Prefers non-poison
+/// payloads so the root cause surfaces instead of the sympathetic
+/// "communicator poisoned" panics of the other ranks.
+fn pick_root_cause(
+    first: Option<Box<dyn std::any::Any + Send>>,
+    ok: &mut [impl Sized],
+    p: usize,
+) -> Option<Box<dyn std::any::Any + Send>> {
+    let payload = first?;
+    // If some ranks succeeded we still fail the whole run: a partial world
+    // result is never meaningful.
+    let _ = (ok.len(), p);
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pattern;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let ids = World::run(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(ids, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = World::run(1, |comm| {
+            comm.barrier();
+            comm.allreduce(21u64, |a, b| a + b)
+        });
+        assert_eq!(out, vec![21]);
+    }
+
+    #[test]
+    fn alltoallv_routes_payloads() {
+        let out = World::run(3, |comm| {
+            // Rank r sends vec![r*10 + j] to rank j.
+            let bufs: Vec<Vec<u64>> = (0..3)
+                .map(|j| vec![(comm.rank() * 10 + j) as u64])
+                .collect();
+            comm.alltoallv(bufs)
+        });
+        // Rank j receives from rank r the value r*10 + j.
+        for (j, recv) in out.iter().enumerate() {
+            for (r, buf) in recv.iter().enumerate() {
+                assert_eq!(buf, &vec![(r * 10 + j) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_handles_empty_and_uneven_buffers() {
+        let out = World::run(4, |comm| {
+            let r = comm.rank();
+            // Rank r sends r copies of its id to rank 0, nothing elsewhere.
+            let mut bufs: Vec<Vec<usize>> = vec![Vec::new(); 4];
+            bufs[0] = vec![r; r];
+            comm.alltoallv(bufs)
+        });
+        let at_zero = &out[0];
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..4 {
+            assert_eq!(at_zero[r], vec![r; r]);
+        }
+        for other in &out[1..] {
+            assert!(other.iter().all(Vec::is_empty));
+        }
+    }
+
+    #[test]
+    fn allgatherv_collects_in_rank_order() {
+        let out = World::run(3, |comm| {
+            comm.allgatherv(vec![comm.rank() as u32; comm.rank() + 1])
+        });
+        for recv in out {
+            assert_eq!(recv, vec![vec![0], vec![1, 1], vec![2, 2, 2]]);
+        }
+    }
+
+    #[test]
+    fn allreduce_is_deterministic_and_complete() {
+        let out = World::run(5, |comm| {
+            comm.allreduce(comm.rank() as u64 + 1, |a, b| a * b)
+        });
+        assert_eq!(out, vec![120; 5]);
+    }
+
+    #[test]
+    fn broadcast_distributes_root_value() {
+        let out = World::run(4, |comm| {
+            let value = if comm.rank() == 2 {
+                Some("hello".to_string())
+            } else {
+                None
+            };
+            comm.broadcast(2, value)
+        });
+        assert_eq!(out, vec!["hello"; 4]);
+    }
+
+    #[test]
+    fn gather_collects_only_at_root() {
+        let out = World::run(3, |comm| comm.gather(1, comm.rank() as u8));
+        assert_eq!(out[0], None);
+        assert_eq!(out[1], Some(vec![0, 1, 2]));
+        assert_eq!(out[2], None);
+    }
+
+    #[test]
+    fn gatherv_collects_uneven_buffers_at_root() {
+        let out = World::run(4, |comm| {
+            comm.gatherv(2, vec![comm.rank() as u8; comm.rank()])
+        });
+        for (r, res) in out.iter().enumerate() {
+            if r == 2 {
+                let got = res.as_ref().unwrap();
+                #[allow(clippy::needless_range_loop)]
+                for src in 0..4 {
+                    assert_eq!(got[src], vec![src as u8; src]);
+                }
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn scatterv_distributes_root_buffers() {
+        let out = World::run(3, |comm| {
+            let bufs =
+                (comm.rank() == 1).then(|| (0..3).map(|j| vec![j as u64 * 10; j + 1]).collect());
+            comm.scatterv(1, bufs)
+        });
+        assert_eq!(out[0], vec![0]);
+        assert_eq!(out[1], vec![10, 10]);
+        assert_eq!(out[2], vec![20, 20, 20]);
+    }
+
+    #[test]
+    fn exscan_computes_exclusive_prefixes() {
+        let out = World::run(5, |comm| {
+            comm.exscan(comm.rank() as u64 + 1, 0, |a, b| a + b)
+        });
+        // Rank r gets sum of 1..=r.
+        assert_eq!(out, vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn reduce_scatter_reduces_columns() {
+        let out = World::run(3, |comm| {
+            // Rank r contributes [r, r*10, r*100]; column j reduces by sum.
+            let mine = vec![
+                comm.rank() as u64,
+                comm.rank() as u64 * 10,
+                comm.rank() as u64 * 100,
+            ];
+            comm.reduce_scatter(mine, |a, b| a + b)
+        });
+        assert_eq!(out, vec![3, 30, 300]); // 0+1+2 scaled per column
+    }
+
+    #[test]
+    fn sendrecv_transposes_pairs() {
+        // 2x2 grid transpose: ranks 1 and 2 swap, 0 and 3 self-exchange.
+        let out = World::run(4, |comm| {
+            let (i, j) = (comm.rank() / 2, comm.rank() % 2);
+            let partner = j * 2 + i;
+            comm.sendrecv(partner, vec![comm.rank() as u64])
+        });
+        assert_eq!(out, vec![vec![0], vec![2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn split_builds_row_communicators() {
+        // 2x3 grid: color = row. Sub-ranks must follow column order.
+        let out = World::run(6, |comm| {
+            let (row, col) = (comm.rank() / 3, comm.rank() % 3);
+            let row_comm = comm.split(row as u64, col as u64);
+            let sum = row_comm.allreduce(comm.rank() as u64, |a, b| a + b);
+            (row_comm.rank(), row_comm.size(), sum)
+        });
+        // Row 0 = ranks {0,1,2} sum 3; row 1 = {3,4,5} sum 12.
+        for (r, &(sub_rank, sub_size, sum)) in out.iter().enumerate() {
+            assert_eq!(sub_size, 3);
+            assert_eq!(sub_rank, r % 3);
+            assert_eq!(sum, if r < 3 { 3 } else { 12 });
+        }
+    }
+
+    #[test]
+    fn split_then_collectives_are_isolated() {
+        // Column communicators must not interfere with each other.
+        let out = World::run(4, |comm| {
+            let col = comm.rank() % 2;
+            let col_comm = comm.split(col as u64, comm.rank() as u64);
+
+            col_comm.allgather(comm.rank())
+        });
+        assert_eq!(out[0], vec![0, 2]);
+        assert_eq!(out[1], vec![1, 3]);
+        assert_eq!(out[2], vec![0, 2]);
+        assert_eq!(out[3], vec![1, 3]);
+    }
+
+    #[test]
+    fn nested_split_works() {
+        // Split world into halves, then split halves again.
+        let out = World::run(8, |comm| {
+            let half = comm.split((comm.rank() / 4) as u64, comm.rank() as u64);
+            let quarter = half.split((half.rank() / 2) as u64, half.rank() as u64);
+            quarter.allreduce(comm.rank() as u64, |a, b| a + b)
+        });
+        assert_eq!(out, vec![1, 1, 5, 5, 9, 9, 13, 13]);
+    }
+
+    #[test]
+    fn stats_record_bytes_and_patterns() {
+        let stats = World::run(2, |comm| {
+            comm.alltoallv(vec![vec![1u64, 2], vec![3u64]]);
+            comm.barrier();
+            comm.take_stats()
+        });
+        let s0 = &stats[0];
+        assert_eq!(s0.num_calls(), 2);
+        // Rank 0 sent vec![3u64] to rank 1: 8 bytes out (self-part excluded).
+        assert_eq!(s0.bytes_out_for(Pattern::Alltoallv), 8);
+        assert_eq!(s0.events[1].pattern, Pattern::Barrier);
+    }
+
+    #[test]
+    fn rank_panic_propagates_instead_of_deadlocking() {
+        let result = std::panic::catch_unwind(|| {
+            World::run(4, |comm| {
+                if comm.rank() == 2 {
+                    panic!("rank 2 exploded");
+                }
+                // Other ranks block in a collective; poison must free them.
+                comm.barrier();
+                comm.allreduce(1u64, |a, b| a + b)
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn world_reuse_is_independent() {
+        for _ in 0..3 {
+            let out = World::run(3, |comm| comm.allreduce(1u32, |a, b| a + b));
+            assert_eq!(out, vec![3; 3]);
+        }
+    }
+
+    #[test]
+    fn comm_single_runs_collectives() {
+        let comm = Comm::single();
+        assert_eq!(comm.allreduce(7u64, |a, b| a + b), 7);
+        assert_eq!(comm.allgather(5u8), vec![5]);
+        let recv = comm.alltoallv(vec![vec![9u8]]);
+        assert_eq!(recv, vec![vec![9]]);
+    }
+
+    #[test]
+    fn large_world_smoke() {
+        // 64 ranks exchanging; exercises heavy thread oversubscription.
+        let out = World::run(64, |comm| {
+            let bufs: Vec<Vec<u64>> = (0..64)
+                .map(|j| vec![comm.rank() as u64 * j as u64])
+                .collect();
+            let recv = comm.alltoallv(bufs);
+            recv.iter().map(|b| b[0]).sum::<u64>()
+        });
+        // Rank j receives r*j from every r: j * sum(r) = j * 2016.
+        for (j, &sum) in out.iter().enumerate() {
+            assert_eq!(sum, 2016 * j as u64);
+        }
+    }
+}

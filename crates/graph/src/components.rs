@@ -1,0 +1,203 @@
+//! Connected components and benchmark source selection.
+//!
+//! Graph 500 (and §6: "We only consider traversal execution times from
+//! vertices that appear in the large component") requires BFS sources to be
+//! sampled from the giant component. This module finds components with a
+//! union-find over the edge set and samples sources deterministically.
+
+use crate::{CsrGraph, VertexId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_xoshiro::Xoshiro256PlusPlus;
+
+/// Result of a connected-components computation (undirected semantics: an
+/// edge connects its endpoints regardless of direction).
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component label per vertex, in `0..num_components`.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+    /// Vertex count per component.
+    pub sizes: Vec<u64>,
+}
+
+impl Components {
+    /// Label of the largest component.
+    pub fn largest(&self) -> u32 {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+            .map(|(i, _)| i as u32)
+            .expect("no components in an empty graph")
+    }
+
+    /// Vertices in the largest component.
+    pub fn largest_members(&self) -> Vec<VertexId> {
+        let l = self.largest();
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == l)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+}
+
+/// Union-find with path halving and union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+/// Computes connected components of `g` (undirected interpretation).
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_vertices() as usize;
+    assert!(n <= u32::MAX as usize, "component labels are u32");
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        uf.union(u as u32, v as u32);
+    }
+    // Compact root ids into dense labels.
+    let mut labels = vec![0u32; n];
+    let mut label_of_root = vec![u32::MAX; n];
+    let mut sizes: Vec<u64> = Vec::new();
+    #[allow(clippy::needless_range_loop)] // v is also the union-find key
+    for v in 0..n {
+        let root = uf.find(v as u32) as usize;
+        if label_of_root[root] == u32::MAX {
+            label_of_root[root] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        let l = label_of_root[root];
+        labels[v] = l;
+        sizes[l as usize] += 1;
+    }
+    Components {
+        labels,
+        num_components: sizes.len(),
+        sizes,
+    }
+}
+
+/// Samples `count` distinct BFS source vertices from the largest component,
+/// preferring vertices with nonzero degree (a degree-0 "member" can only be
+/// an isolated vertex, which the giant component never contains for the
+/// benchmark families). Deterministic in `seed`. Fewer than `count` sources
+/// are returned when the component is small.
+pub fn sample_sources(g: &CsrGraph, count: usize, seed: u64) -> Vec<VertexId> {
+    let cc = connected_components(g);
+    let mut members = cc.largest_members();
+    members.retain(|&v| g.degree(v) > 0 || members_len_is_one(&cc));
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let mut picked = Vec::with_capacity(count);
+    // Partial Fisher-Yates over the member list.
+    let take = count.min(members.len());
+    for i in 0..take {
+        let j = rng.gen_range(i..members.len());
+        members.swap(i, j);
+        picked.push(members[i]);
+    }
+    picked
+}
+
+fn members_len_is_one(cc: &Components) -> bool {
+    cc.sizes[cc.largest() as usize] == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{path, rmat, RmatConfig};
+    use crate::EdgeList;
+
+    #[test]
+    fn two_paths_give_two_components() {
+        // 0-1-2 and 3-4
+        let el = EdgeList::new(5, vec![(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components, 2);
+        assert_eq!(cc.sizes[cc.largest() as usize], 3);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_components() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 0)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components, 3);
+    }
+
+    #[test]
+    fn path_is_one_component() {
+        let g = CsrGraph::from_edge_list(&path(50));
+        assert_eq!(connected_components(&g).num_components, 1);
+    }
+
+    #[test]
+    fn sources_come_from_largest_component() {
+        let el = EdgeList::new(6, vec![(0, 1), (1, 0), (1, 2), (2, 1), (4, 5), (5, 4)]);
+        let g = CsrGraph::from_edge_list(&el);
+        let cc = connected_components(&g);
+        let largest = cc.largest();
+        for s in sample_sources(&g, 3, 1) {
+            assert_eq!(cc.labels[s as usize], largest);
+        }
+    }
+
+    #[test]
+    fn sources_are_distinct_and_deterministic() {
+        let mut el = rmat(&RmatConfig::graph500(8, 2));
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        let a = sample_sources(&g, 16, 42);
+        let b = sample_sources(&g, 16, 42);
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len());
+    }
+
+    #[test]
+    fn rmat_giant_component_dominates() {
+        let mut el = rmat(&RmatConfig::graph500(10, 4));
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        let cc = connected_components(&g);
+        let giant = cc.sizes[cc.largest() as usize];
+        assert!(giant as f64 > 0.5 * g.num_vertices() as f64);
+    }
+}

@@ -1,0 +1,252 @@
+//! Compressed sparse row (CSR) adjacency storage.
+//!
+//! §4.1 of the paper: "we use a 'compressed sparse row' (CSR)-like
+//! representation for storing adjacencies. All adjacencies of a vertex are
+//! sorted and compactly stored in a contiguous chunk of memory, with
+//! adjacencies of vertex i+1 next to the adjacencies of i. [...] An array of
+//! size n+1 stores the start of each contiguous vertex adjacency block."
+
+use crate::{Edge, EdgeList, VertexId};
+use rayon::prelude::*;
+
+/// A static graph in CSR form.
+///
+/// For directed graphs only out-edges are stored; undirected graphs store
+/// each edge twice (once per direction), matching the paper's convention.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    n: u64,
+    /// `offsets[v]..offsets[v+1]` indexes `adjacency` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency blocks.
+    adjacency: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list via counting sort.
+    ///
+    /// Duplicate edges are kept (callers wanting simple graphs should
+    /// [`EdgeList::dedup`] first); adjacency blocks are sorted ascending.
+    /// Runs the sort phase in parallel for large inputs.
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        Self::from_edges(el.num_vertices, &el.edges)
+    }
+
+    /// Builds a CSR graph from raw edges over `0..n`.
+    ///
+    /// # Examples
+    /// ```
+    /// use dmbfs_graph::CsrGraph;
+    ///
+    /// let g = CsrGraph::from_edges(3, &[(0, 2), (0, 1), (1, 2)]);
+    /// assert_eq!(g.neighbors(0), &[1, 2]); // sorted adjacency block
+    /// assert_eq!(g.degree(1), 1);
+    /// assert!(g.has_edge(1, 2));
+    /// ```
+    pub fn from_edges(n: u64, edges: &[Edge]) -> Self {
+        let nu = usize::try_from(n).expect("vertex count exceeds usize");
+        let mut counts = vec![0usize; nu + 1];
+        for &(u, _) in edges {
+            debug_assert!(u < n, "source {} out of range (n = {})", u, n);
+            counts[u as usize + 1] += 1;
+        }
+        // Exclusive prefix sum -> offsets.
+        for i in 0..nu {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut adjacency = vec![0 as VertexId; edges.len()];
+        for &(u, v) in edges {
+            debug_assert!(v < n, "target {} out of range (n = {})", v, n);
+            let c = &mut cursor[u as usize];
+            adjacency[*c] = v;
+            *c += 1;
+        }
+        // Sort each adjacency block; parallel over vertices.
+        {
+            let blocks: Vec<&mut [VertexId]> = split_by_offsets(&mut adjacency, &offsets);
+            blocks.into_par_iter().for_each(|b| b.sort_unstable());
+        }
+        Self {
+            n,
+            offsets,
+            adjacency,
+        }
+    }
+
+    /// Number of vertices `n`.
+    pub fn num_vertices(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of stored (directed) adjacencies `m`. For an undirected graph
+    /// built through [`EdgeList::symmetrize`], this is twice the undirected
+    /// edge count.
+    pub fn num_edges(&self) -> u64 {
+        self.adjacency.len() as u64
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted out-neighbors of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The raw offsets array (length `n + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated adjacency array (length `m`).
+    pub fn adjacency(&self) -> &[VertexId] {
+        &self.adjacency
+    }
+
+    /// Iterates over all edges `(u, v)` in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// True if `(u, v)` is present; binary search over the sorted block.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n as usize)
+            .map(|v| self.offsets[v + 1] - self.offsets[v])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Verifies CSR structural invariants; used by tests and after
+    /// deserialization / partition exchanges.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.offsets.len() != self.n as usize + 1 {
+            return Err(format!(
+                "offsets length {} != n+1 = {}",
+                self.offsets.len(),
+                self.n + 1
+            ));
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets[0] != 0".into());
+        }
+        if *self.offsets.last().unwrap() != self.adjacency.len() {
+            return Err("offsets[n] != adjacency length".into());
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets not monotone".into());
+        }
+        for v in 0..self.n {
+            let nbrs = self.neighbors(v);
+            if nbrs.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("adjacency block of {} not sorted", v));
+            }
+            if nbrs.iter().any(|&w| w >= self.n) {
+                return Err(format!("adjacency of {} has out-of-range target", v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the graph's edges as an [`EdgeList`] (inverse of
+    /// [`CsrGraph::from_edge_list`] up to edge ordering).
+    pub fn to_edge_list(&self) -> EdgeList {
+        EdgeList::new(self.n, self.edges().collect())
+    }
+}
+
+/// Splits `data` into mutable chunks delimited by `offsets` (length k+1).
+fn split_by_offsets<'a, T>(data: &'a mut [T], offsets: &[usize]) -> Vec<&'a mut [T]> {
+    let mut blocks = Vec::with_capacity(offsets.len().saturating_sub(1));
+    let mut rest = data;
+    let mut consumed = 0usize;
+    for w in offsets.windows(2) {
+        let len = w[1] - w[0];
+        debug_assert_eq!(w[0], consumed);
+        let (head, tail) = rest.split_at_mut(len);
+        blocks.push(head);
+        rest = tail;
+        consumed += len;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> {1,2}, 1 -> {3}, 2 -> {3}, 3 -> {}
+        CsrGraph::from_edges(4, &[(0, 2), (0, 1), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn builds_sorted_blocks() {
+        let g = diamond();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.neighbors(3), &[] as &[VertexId]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn has_edge_uses_sorted_lookup() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(3, 3));
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_blocks() {
+        let g = CsrGraph::from_edges(5, &[(4, 0)]);
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 0);
+        }
+        assert_eq!(g.neighbors(4), &[0]);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_edges_are_preserved() {
+        let g = CsrGraph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_iteration_round_trips() {
+        let g = diamond();
+        let el = g.to_edge_list();
+        let g2 = CsrGraph::from_edge_list(&el);
+        assert_eq!(g, g2);
+    }
+}

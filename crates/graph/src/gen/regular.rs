@@ -1,0 +1,163 @@
+//! Deterministic regular graph families.
+//!
+//! These give exact, hand-checkable BFS level structures for correctness
+//! tests, and arbitrarily high diameters — the regime in which the paper
+//! notes "the level synchronous approach is also clearly inefficient for
+//! high-diameter graphs" (§2.2) and which Fig. 11 probes with uk-union.
+
+use crate::{Edge, EdgeList};
+
+/// Undirected path `0 - 1 - ... - (n-1)`; diameter `n - 1`.
+pub fn path(n: u64) -> EdgeList {
+    let mut edges = Vec::with_capacity(2 * n.saturating_sub(1) as usize);
+    for v in 1..n {
+        edges.push((v - 1, v));
+        edges.push((v, v - 1));
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Undirected cycle on `n >= 3` vertices; diameter `n / 2`.
+pub fn ring(n: u64) -> EdgeList {
+    assert!(n >= 3, "a ring needs at least 3 vertices");
+    let mut el = path(n);
+    el.edges.push((n - 1, 0));
+    el.edges.push((0, n - 1));
+    el
+}
+
+/// Complete binary tree with `levels` levels (`2^levels - 1` vertices,
+/// root 0); BFS from the root discovers exactly `2^k` vertices at level `k`.
+pub fn binary_tree(levels: u32) -> EdgeList {
+    let n = (1u64 << levels) - 1;
+    let mut edges = Vec::new();
+    for v in 1..n {
+        let parent = (v - 1) / 2;
+        edges.push((parent, v));
+        edges.push((v, parent));
+    }
+    EdgeList::new(n, edges)
+}
+
+/// `rows × cols` 4-connected grid; diameter `rows + cols - 2`.
+pub fn grid2d(rows: u64, cols: u64) -> EdgeList {
+    let n = rows * cols;
+    let idx = |r: u64, c: u64| r * cols + c;
+    let mut edges: Vec<Edge> = Vec::with_capacity(4 * n as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+                edges.push((idx(r, c + 1), idx(r, c)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+                edges.push((idx(r + 1, c), idx(r, c)));
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// `rows × cols` torus (grid with wraparound links); the interconnect
+/// topology of the paper's Franklin machine is the 3D analogue.
+pub fn torus2d(rows: u64, cols: u64) -> EdgeList {
+    assert!(rows >= 3 && cols >= 3, "torus needs >= 3 per dimension");
+    let n = rows * cols;
+    let idx = |r: u64, c: u64| r * cols + c;
+    let mut edges: Vec<Edge> = Vec::with_capacity(4 * n as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            let right = idx(r, (c + 1) % cols);
+            let down = idx((r + 1) % rows, c);
+            let here = idx(r, c);
+            edges.push((here, right));
+            edges.push((right, here));
+            edges.push((here, down));
+            edges.push((down, here));
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// `x × y × z` 6-connected 3D grid.
+pub fn grid3d(x: u64, y: u64, z: u64) -> EdgeList {
+    let n = x * y * z;
+    let idx = |i: u64, j: u64, k: u64| (i * y + j) * z + k;
+    let mut edges: Vec<Edge> = Vec::new();
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                let here = idx(i, j, k);
+                if i + 1 < x {
+                    edges.push((here, idx(i + 1, j, k)));
+                    edges.push((idx(i + 1, j, k), here));
+                }
+                if j + 1 < y {
+                    edges.push((here, idx(i, j + 1, k)));
+                    edges.push((idx(i, j + 1, k), here));
+                }
+                if k + 1 < z {
+                    edges.push((here, idx(i, j, k + 1)));
+                    edges.push((idx(i, j, k + 1), here));
+                }
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrGraph;
+
+    #[test]
+    fn path_has_expected_shape() {
+        let g = CsrGraph::from_edge_list(&path(5));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.num_edges(), 8);
+    }
+
+    #[test]
+    fn ring_is_2_regular() {
+        let g = CsrGraph::from_edge_list(&ring(6));
+        for v in 0..6 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn binary_tree_counts() {
+        let el = binary_tree(4); // 15 vertices
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 28); // 14 undirected edges
+        assert_eq!(g.degree(0), 2); // root
+        assert_eq!(g.degree(14), 1); // leaf
+    }
+
+    #[test]
+    fn grid_corner_and_center_degrees() {
+        let g = CsrGraph::from_edge_list(&grid2d(3, 3));
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(4), 4); // center
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = CsrGraph::from_edge_list(&torus2d(4, 5));
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn grid3d_interior_is_6_regular() {
+        let g = CsrGraph::from_edge_list(&grid3d(3, 3, 3));
+        assert_eq!(g.degree(13), 6); // center of 3x3x3
+        assert_eq!(g.degree(0), 3); // corner
+    }
+}

@@ -1,0 +1,160 @@
+//! Social-network generator models beyond R-MAT.
+//!
+//! §1 motivates the work with "social interaction data" and "communication
+//! data such as email and phone networks"; two classical models of those:
+//!
+//! * [`preferential_attachment`] — Barabási–Albert: power-law degrees via
+//!   degree-proportional attachment (the mechanism the web-crawl
+//!   generator uses per community, exposed standalone).
+//! * [`small_world`] — Watts–Strogatz: a ring lattice with random
+//!   rewiring; high clustering, logarithmic diameter. Sweeping the rewire
+//!   probability moves an instance continuously between the paper's two
+//!   regimes (high-diameter lattice ↔ low-diameter random graph), which
+//!   the examples use to probe where the 2D algorithm starts winning.
+
+use super::stream_rng;
+use crate::{Edge, EdgeList, VertexId};
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: vertices arrive one at a time
+/// and attach to `attach` earlier vertices with probability proportional
+/// to current degree. Returns a symmetric edge list. Deterministic in
+/// `seed`.
+pub fn preferential_attachment(n: u64, attach: u64, seed: u64) -> EdgeList {
+    assert!(n >= 2, "need at least two vertices");
+    let attach = attach.max(1);
+    let mut rng = stream_rng(seed, 0);
+    // Endpoint-sampling trick: choosing a uniform element of `endpoints`
+    // selects a vertex with probability proportional to its degree.
+    let mut endpoints: Vec<VertexId> = vec![0];
+    let mut edges: Vec<Edge> = Vec::with_capacity(2 * n as usize * attach as usize);
+    for v in 1..n {
+        let mut targets: Vec<VertexId> = Vec::with_capacity(attach as usize);
+        for _ in 0..attach.min(v) {
+            // Mix uniform and preferential to avoid absorbing states.
+            let t = if endpoints.is_empty() || rng.gen_bool(0.25) {
+                rng.gen_range(0..v)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            edges.push((v, t));
+            edges.push((t, v));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Watts–Strogatz small world: ring lattice where each vertex connects to
+/// its `k/2` nearest neighbors on each side, then every edge is rewired to
+/// a random endpoint with probability `rewire_p`. Returns a symmetric edge
+/// list. Deterministic in `seed`.
+pub fn small_world(n: u64, k: u64, rewire_p: f64, seed: u64) -> EdgeList {
+    assert!(n >= 4, "need at least four vertices");
+    assert!(k >= 2 && k < n, "k must be in [2, n)");
+    assert!((0.0..=1.0).contains(&rewire_p));
+    let half = (k / 2).max(1);
+    let mut rng = stream_rng(seed, 1);
+    let mut edges: Vec<Edge> = Vec::with_capacity(2 * (n * half) as usize);
+    for v in 0..n {
+        for d in 1..=half {
+            let mut w = (v + d) % n;
+            if rng.gen_bool(rewire_p) {
+                // Rewire to a uniform non-self endpoint.
+                loop {
+                    let candidate = rng.gen_range(0..n);
+                    if candidate != v {
+                        w = candidate;
+                        break;
+                    }
+                }
+            }
+            edges.push((v, w));
+            edges.push((w, v));
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::stats::{approx_diameter, degree_stats};
+    use crate::CsrGraph;
+
+    #[test]
+    fn preferential_attachment_is_connected_and_skewed() {
+        let mut el = preferential_attachment(2000, 4, 7);
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(connected_components(&g).num_components, 1);
+        let stats = degree_stats(&g);
+        assert!(
+            stats.max as f64 > 5.0 * stats.mean,
+            "power-law tail expected: max {} mean {}",
+            stats.max,
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_deterministic() {
+        assert_eq!(
+            preferential_attachment(300, 3, 5).edges,
+            preferential_attachment(300, 3, 5).edges
+        );
+    }
+
+    #[test]
+    fn small_world_unrewired_is_a_lattice() {
+        let mut el = small_world(64, 4, 0.0, 1);
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        // 4-regular ring lattice: every vertex has degree 4, diameter n/k.
+        for v in 0..64 {
+            assert_eq!(g.degree(v), 4, "vertex {v}");
+        }
+        assert_eq!(approx_diameter(&g, 0), 16);
+    }
+
+    #[test]
+    fn rewiring_collapses_the_diameter() {
+        let diameter_at = |p: f64| {
+            let mut el = small_world(512, 6, p, 3);
+            el.canonicalize_undirected();
+            let g = CsrGraph::from_edge_list(&el);
+            approx_diameter(&g, 0)
+        };
+        let lattice = diameter_at(0.0);
+        let rewired = diameter_at(0.3);
+        assert!(
+            rewired * 3 < lattice,
+            "small-world shortcut effect: {lattice} -> {rewired}"
+        );
+    }
+
+    #[test]
+    fn small_world_stays_connected_under_moderate_rewiring() {
+        let mut el = small_world(400, 6, 0.2, 9);
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(connected_components(&g).num_components, 1);
+    }
+
+    #[test]
+    fn generators_respect_vertex_bounds() {
+        for el in [
+            preferential_attachment(50, 2, 1),
+            small_world(50, 4, 0.5, 2),
+        ] {
+            el.validate().unwrap();
+        }
+    }
+}

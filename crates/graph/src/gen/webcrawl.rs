@@ -1,0 +1,209 @@
+//! Synthetic web-crawl generator — stand-in for the `uk-union` dataset.
+//!
+//! The paper's one real-world instance is a web crawl of the .uk domain
+//! (Boldi & Vigna) whose defining property for BFS is its *diameter of
+//! roughly 140*: "the uk-union dataset has a relatively high-diameter and
+//! the BFS takes approximately 140 iterations to complete" (§6). That makes
+//! the traversal synchronization-bound — many iterations with small
+//! frontiers — which is the regime Fig. 11 studies.
+//!
+//! We cannot redistribute the crawl, so this generator produces a graph with
+//! the same *relevant* structure: a long chain of host-like communities,
+//! each with a skewed internal degree distribution (preferential
+//! attachment), sparsely bridged to its neighbors. A BFS from one end must
+//! cross every bridge, so the diameter grows linearly with the number of
+//! communities while intra-community expansion keeps frontiers non-trivial.
+
+use super::stream_rng;
+use crate::{Edge, EdgeList, VertexId};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Configuration for the synthetic web-crawl.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WebCrawlConfig {
+    /// Number of communities chained together. BFS from community 0 takes
+    /// at least `num_communities` levels, so ~70 communities reproduce
+    /// uk-union's ≈140-level traversal (each community adds ≈2 levels).
+    pub num_communities: u64,
+    /// Vertices per community.
+    pub community_size: u64,
+    /// Average intra-community degree (preferential attachment out-degree).
+    pub intra_degree: u64,
+    /// Undirected bridge edges between consecutive communities.
+    pub bridges: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl WebCrawlConfig {
+    /// A uk-union-like instance scaled to `community_size` vertices per
+    /// community: 70 chained communities (≈140 BFS levels), skewed internal
+    /// degrees, 2 bridges per junction.
+    pub fn uk_union_like(community_size: u64, seed: u64) -> Self {
+        Self {
+            num_communities: 70,
+            community_size,
+            intra_degree: 12,
+            bridges: 2,
+            seed,
+        }
+    }
+
+    /// Total vertex count.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_communities * self.community_size
+    }
+}
+
+/// Generates the undirected (symmetric) edge list. Deterministic in `seed`.
+pub fn webcrawl(cfg: &WebCrawlConfig) -> EdgeList {
+    assert!(cfg.community_size >= 2, "community too small");
+    assert!(cfg.num_communities >= 1, "need at least one community");
+    let n = cfg.num_vertices();
+
+    // Intra-community edges: preferential attachment within each community,
+    // generated independently (and in parallel) per community.
+    let mut edges: Vec<Edge> = (0..cfg.num_communities)
+        .into_par_iter()
+        .flat_map_iter(|comm| {
+            let base = comm * cfg.community_size;
+            let mut rng = stream_rng(cfg.seed, comm);
+            community_edges(base, cfg.community_size, cfg.intra_degree, &mut rng)
+        })
+        .collect();
+
+    // Bridges between consecutive communities. Endpoints are biased toward
+    // low intra-community ids, i.e. the community "hubs", mimicking hosts
+    // linking through their front pages.
+    let mut rng = stream_rng(cfg.seed, u64::MAX);
+    for comm in 0..cfg.num_communities.saturating_sub(1) {
+        let a_base = comm * cfg.community_size;
+        let b_base = (comm + 1) * cfg.community_size;
+        for _ in 0..cfg.bridges.max(1) {
+            let u = a_base + biased_low(cfg.community_size, &mut rng);
+            let v = b_base + biased_low(cfg.community_size, &mut rng);
+            edges.push((u, v));
+            edges.push((v, u));
+        }
+    }
+
+    EdgeList::new(n, edges)
+}
+
+/// Preferential-attachment edges inside one community, already symmetric.
+fn community_edges<R: Rng>(base: VertexId, size: u64, degree: u64, rng: &mut R) -> Vec<Edge> {
+    // Vertex k attaches to `degree/2` earlier vertices chosen by a repeated
+    // endpoint-sampling trick (sampling an endpoint of an existing edge is
+    // proportional to its degree).
+    let half = (degree / 2).max(1) as usize;
+    let mut targets: Vec<VertexId> = Vec::with_capacity(size as usize * half);
+    let mut edges: Vec<Edge> = Vec::with_capacity(size as usize * half * 2);
+    for k in 1..size {
+        for _ in 0..half.min(k as usize) {
+            // With prob 1/2 sample uniformly, else proportional to degree.
+            let t = if targets.is_empty() || rng.gen::<bool>() {
+                rng.gen_range(0..k)
+            } else {
+                targets[rng.gen_range(0..targets.len())] - base
+            };
+            let (u, v) = (base + k, base + t);
+            targets.push(v);
+            targets.push(u);
+            edges.push((u, v));
+            edges.push((v, u));
+        }
+    }
+    edges
+}
+
+/// Samples an index in `0..size` biased quadratically toward zero.
+fn biased_low<R: Rng>(size: u64, rng: &mut R) -> u64 {
+    let x: f64 = rng.gen();
+    ((x * x * size as f64) as u64).min(size - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{components::connected_components, stats::bfs_levels, CsrGraph};
+
+    #[test]
+    fn generates_connected_chain() {
+        let cfg = WebCrawlConfig {
+            num_communities: 10,
+            community_size: 50,
+            intra_degree: 8,
+            bridges: 2,
+            seed: 42,
+        };
+        let mut el = webcrawl(&cfg);
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components, 1, "chain must be connected");
+    }
+
+    #[test]
+    fn diameter_scales_with_communities() {
+        let mk = |c| {
+            let cfg = WebCrawlConfig {
+                num_communities: c,
+                community_size: 40,
+                intra_degree: 8,
+                bridges: 1,
+                seed: 7,
+            };
+            let mut el = webcrawl(&cfg);
+            el.canonicalize_undirected();
+            let g = CsrGraph::from_edge_list(&el);
+            let levels = bfs_levels(&g, 0);
+            levels.iter().filter_map(|l| *l).max().unwrap()
+        };
+        let d5 = mk(5);
+        let d20 = mk(20);
+        assert!(
+            d20 >= d5 + 10,
+            "diameter should grow with chain length: {} vs {}",
+            d5,
+            d20
+        );
+    }
+
+    #[test]
+    fn uk_union_like_has_many_bfs_levels() {
+        let cfg = WebCrawlConfig::uk_union_like(64, 3);
+        let mut el = webcrawl(&cfg);
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        let levels = bfs_levels(&g, 0);
+        let depth = levels.iter().filter_map(|l| *l).max().unwrap();
+        assert!(
+            depth >= 70,
+            "expected a high-diameter instance, got depth {}",
+            depth
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = WebCrawlConfig::uk_union_like(32, 9);
+        assert_eq!(webcrawl(&cfg).edges, webcrawl(&cfg).edges);
+    }
+
+    #[test]
+    fn intra_community_degrees_are_skewed() {
+        let cfg = WebCrawlConfig {
+            num_communities: 1,
+            community_size: 2000,
+            intra_degree: 12,
+            bridges: 1,
+            seed: 5,
+        };
+        let mut el = webcrawl(&cfg);
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((g.max_degree() as f64) > 4.0 * mean);
+    }
+}

@@ -1,0 +1,364 @@
+//! Vertex and matrix ownership maps for 1D and 2D partitioning.
+//!
+//! §3.1: 1D partitioning "lets each processor own n/p vertices and all the
+//! outgoing edges from those vertices".
+//!
+//! §3.2: 2D checkerboard partitioning places processors on a `pr × pc` grid;
+//! `P(i, j)` stores the `(n/pr) × (n/pc)` submatrix `A_ij`. For vectors, the
+//! paper's "2D vector distribution" gives each processor row
+//! `t = ⌊n/pr⌋` elements (last row takes the remainder) and, within the row,
+//! each processor `l = ⌊t/pc⌋` elements (last column takes the remainder).
+
+use crate::VertexId;
+use std::ops::Range;
+
+/// Block distribution of `0..n` over `p` parts: every part except the last
+/// gets `⌊n/p⌋` elements and the last gets the remainder — exactly the
+/// paper's convention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Block1D {
+    n: u64,
+    p: usize,
+    block: u64,
+}
+
+impl Block1D {
+    /// Creates the distribution. `p` must be nonzero.
+    pub fn new(n: u64, p: usize) -> Self {
+        assert!(p > 0, "cannot partition over zero parts");
+        // ⌊n/p⌋, clamped to 1 so `owner` stays well-defined when n < p
+        // (then parts ≥ n simply own nothing).
+        let block = (n / p as u64).max(1);
+        Self { n, p, block }
+    }
+
+    /// Domain size `n`.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of parts `p`.
+    pub fn parts(&self) -> usize {
+        self.p
+    }
+
+    /// Which part owns element `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        debug_assert!(v < self.n);
+        ((v / self.block) as usize).min(self.p - 1)
+    }
+
+    /// The contiguous range owned by part `r`.
+    pub fn range(&self, r: usize) -> Range<u64> {
+        assert!(r < self.p);
+        let start = (r as u64 * self.block).min(self.n);
+        let end = if r + 1 == self.p {
+            self.n
+        } else {
+            ((r as u64 + 1) * self.block).min(self.n)
+        };
+        start..end
+    }
+
+    /// Number of elements owned by part `r`.
+    pub fn count(&self, r: usize) -> usize {
+        let range = self.range(r);
+        (range.end - range.start) as usize
+    }
+
+    /// Largest count over all parts (sizing communication buffers).
+    pub fn max_count(&self) -> usize {
+        (0..self.p).map(|r| self.count(r)).max().unwrap_or(0)
+    }
+
+    /// Maps a global element to `(owner, local index)`.
+    #[inline]
+    pub fn to_local(&self, v: VertexId) -> (usize, usize) {
+        let r = self.owner(v);
+        (r, (v - self.range(r).start) as usize)
+    }
+
+    /// Maps `(owner, local index)` back to the global element.
+    #[inline]
+    pub fn to_global(&self, r: usize, local: usize) -> VertexId {
+        self.range(r).start + local as u64
+    }
+}
+
+/// 1D ownership map for the vertex-partitioned algorithm — a [`Block1D`]
+/// over vertices with `p` ranks.
+pub type OwnerMap1D = Block1D;
+
+/// Logical `pr × pc` processor grid. Ranks are numbered row-major:
+/// `rank = i * pc + j` for processor `P(i, j)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid2D {
+    pr: usize,
+    pc: usize,
+}
+
+impl Grid2D {
+    /// A grid with `pr` rows and `pc` columns.
+    pub fn new(pr: usize, pc: usize) -> Self {
+        assert!(pr > 0 && pc > 0);
+        Self { pr, pc }
+    }
+
+    /// The most nearly square factorization of `p` (pr ≤ pc); the paper
+    /// "used the closest square processor grid" (§6).
+    pub fn closest_square(p: usize) -> Self {
+        assert!(p > 0);
+        let mut pr = (p as f64).sqrt() as usize;
+        while pr > 1 && !p.is_multiple_of(pr) {
+            pr -= 1;
+        }
+        Self::new(pr.max(1), p / pr.max(1))
+    }
+
+    /// Rows `pr`.
+    pub fn rows(&self) -> usize {
+        self.pr
+    }
+
+    /// Columns `pc`.
+    pub fn cols(&self) -> usize {
+        self.pc
+    }
+
+    /// Total processor count `p = pr * pc`.
+    pub fn size(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Rank of `P(i, j)`.
+    #[inline]
+    pub fn rank_of(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.pr && j < self.pc);
+        i * self.pc + j
+    }
+
+    /// Grid coordinates `(i, j)` of `rank`.
+    #[inline]
+    pub fn coords_of(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.size());
+        (rank / self.pc, rank % self.pc)
+    }
+
+    /// True when the grid is square (needed by the diagonal vector
+    /// distribution and the pairwise-exchange transpose).
+    pub fn is_square(&self) -> bool {
+        self.pr == self.pc
+    }
+}
+
+/// Full 2D ownership map: matrix blocks plus the paper's "2D vector
+/// distribution" (and the diagonal-only alternative it improves upon).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnerMap2D {
+    n: u64,
+    grid: Grid2D,
+    /// Split of `0..n` over processor rows.
+    row_split: Block1D,
+    /// Split of `0..n` over processor columns (matrix column blocks).
+    col_split: Block1D,
+    /// Per processor row: split of that row's vector chunk over pc columns.
+    inner: Vec<Block1D>,
+}
+
+impl OwnerMap2D {
+    /// Builds the map for `n` vertices on `grid`.
+    pub fn new(n: u64, grid: Grid2D) -> Self {
+        let row_split = Block1D::new(n, grid.rows());
+        let col_split = Block1D::new(n, grid.cols());
+        let inner = (0..grid.rows())
+            .map(|i| Block1D::new(row_split.count(i) as u64, grid.cols()))
+            .collect();
+        Self {
+            n,
+            grid,
+            row_split,
+            col_split,
+            inner,
+        }
+    }
+
+    /// Domain size `n`.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// The processor grid.
+    pub fn grid(&self) -> Grid2D {
+        self.grid
+    }
+
+    /// Global matrix-row range stored by processor row `i` (dimension of the
+    /// output/frontier subvector `f_i` collectively held by row `i`).
+    pub fn matrix_row_range(&self, i: usize) -> Range<u64> {
+        self.row_split.range(i)
+    }
+
+    /// Global matrix-column range stored by processor column `j`.
+    pub fn matrix_col_range(&self, j: usize) -> Range<u64> {
+        self.col_split.range(j)
+    }
+
+    /// Processor row whose matrix-row range contains `v`.
+    pub fn row_owner(&self, v: VertexId) -> usize {
+        self.row_split.owner(v)
+    }
+
+    /// Processor column whose matrix-column range contains `v`.
+    pub fn col_owner(&self, v: VertexId) -> usize {
+        self.col_split.owner(v)
+    }
+
+    /// Vector owner of global element `v` under the 2D vector distribution.
+    pub fn vector_owner(&self, v: VertexId) -> (usize, usize) {
+        let (i, local_in_row) = self.row_split.to_local(v);
+        let j = self.inner[i].owner(local_in_row as u64);
+        (i, j)
+    }
+
+    /// Vector range owned by `P(i, j)` (as global vertex ids).
+    pub fn vector_range(&self, i: usize, j: usize) -> Range<u64> {
+        let row_start = self.row_split.range(i).start;
+        let r = self.inner[i].range(j);
+        (row_start + r.start)..(row_start + r.end)
+    }
+
+    /// Number of vector elements owned by `P(i, j)`.
+    pub fn vector_count(&self, i: usize, j: usize) -> usize {
+        let r = self.vector_range(i, j);
+        (r.end - r.start) as usize
+    }
+
+    /// Diagonal-only ("1D") vector distribution used as the inferior
+    /// alternative in §4.3 / Fig. 4: the whole of processor row i's chunk is
+    /// owned by the diagonal processor `P(i, i)`. Requires a square grid.
+    pub fn diagonal_owner(&self, v: VertexId) -> (usize, usize) {
+        assert!(
+            self.grid.is_square(),
+            "diagonal distribution needs pr == pc"
+        );
+        let i = self.row_split.owner(v);
+        (i, i)
+    }
+
+    /// Vector range owned by `P(i, j)` under the diagonal distribution
+    /// (empty unless `i == j`).
+    pub fn diagonal_range(&self, i: usize, j: usize) -> Range<u64> {
+        assert!(
+            self.grid.is_square(),
+            "diagonal distribution needs pr == pc"
+        );
+        if i == j {
+            self.row_split.range(i)
+        } else {
+            let s = self.row_split.range(i).start;
+            s..s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block1d_covers_domain_without_overlap() {
+        for (n, p) in [(10u64, 3usize), (7, 7), (5, 8), (100, 1), (0, 4), (64, 4)] {
+            let b = Block1D::new(n, p);
+            let mut covered = 0u64;
+            for r in 0..p {
+                let range = b.range(r);
+                for v in range.clone() {
+                    assert_eq!(b.owner(v), r, "n={n} p={p} v={v}");
+                }
+                covered += range.end - range.start;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn block1d_last_part_takes_remainder() {
+        let b = Block1D::new(10, 3);
+        assert_eq!(b.count(0), 3);
+        assert_eq!(b.count(1), 3);
+        assert_eq!(b.count(2), 4);
+    }
+
+    #[test]
+    fn block1d_local_global_round_trip() {
+        let b = Block1D::new(23, 5);
+        for v in 0..23 {
+            let (r, l) = b.to_local(v);
+            assert_eq!(b.to_global(r, l), v);
+        }
+    }
+
+    #[test]
+    fn grid_rank_coords_round_trip() {
+        let g = Grid2D::new(3, 4);
+        for rank in 0..12 {
+            let (i, j) = g.coords_of(rank);
+            assert_eq!(g.rank_of(i, j), rank);
+        }
+    }
+
+    #[test]
+    fn closest_square_finds_balanced_factors() {
+        assert_eq!(Grid2D::closest_square(16), Grid2D::new(4, 4));
+        assert_eq!(Grid2D::closest_square(12), Grid2D::new(3, 4));
+        assert_eq!(Grid2D::closest_square(7), Grid2D::new(1, 7));
+        assert_eq!(Grid2D::closest_square(1), Grid2D::new(1, 1));
+        assert_eq!(Grid2D::closest_square(2025), Grid2D::new(45, 45));
+    }
+
+    #[test]
+    fn owner2d_vector_ranges_tile_domain() {
+        let m = OwnerMap2D::new(37, Grid2D::new(3, 2));
+        let mut covered = [false; 37];
+        for i in 0..3 {
+            for j in 0..2 {
+                for v in m.vector_range(i, j) {
+                    assert!(!covered[v as usize], "overlap at {v}");
+                    covered[v as usize] = true;
+                    assert_eq!(m.vector_owner(v), (i, j));
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn owner2d_row_chunks_match_matrix_rows() {
+        let m = OwnerMap2D::new(100, Grid2D::new(4, 4));
+        for i in 0..4 {
+            let row = m.matrix_row_range(i);
+            let union: u64 = (0..4).map(|j| m.vector_count(i, j) as u64).sum();
+            assert_eq!(union, row.end - row.start);
+        }
+    }
+
+    #[test]
+    fn diagonal_distribution_puts_everything_on_diagonal() {
+        let m = OwnerMap2D::new(64, Grid2D::new(4, 4));
+        for v in 0..64 {
+            let (i, j) = m.diagonal_owner(v);
+            assert_eq!(i, j);
+        }
+        assert_eq!(m.diagonal_range(1, 1), m.matrix_row_range(1));
+        let empty = m.diagonal_range(1, 2);
+        assert_eq!(empty.start, empty.end);
+    }
+
+    #[test]
+    #[should_panic(expected = "pr == pc")]
+    fn diagonal_needs_square_grid() {
+        let m = OwnerMap2D::new(64, Grid2D::new(2, 4));
+        m.diagonal_owner(0);
+    }
+}

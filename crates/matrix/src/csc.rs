@@ -1,0 +1,126 @@
+//! Plain compressed sparse columns (boolean pattern matrix).
+//!
+//! CSC keeps a column-pointer array of length `ncols + 1`, which §4.1 shows
+//! is "too wasteful for storing sub-matrices after 2D partitioning"
+//! (aggregate `O(n√p + m)` over all processors). It remains the right
+//! structure for modest `p`, and serves as the oracle implementation that
+//! [`crate::Dcsc`] is property-tested against.
+
+use crate::Index;
+
+/// A boolean sparse matrix in CSC layout. Row indices within each column are
+/// sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csc {
+    nrows: u64,
+    ncols: u64,
+    colptr: Vec<usize>,
+    rowids: Vec<Index>,
+}
+
+impl Csc {
+    /// Builds from `(row, col)` nonzero coordinates. Duplicates are merged.
+    pub fn from_triples(nrows: u64, ncols: u64, triples: &[(Index, Index)]) -> Self {
+        let mut sorted: Vec<(Index, Index)> = triples.iter().map(|&(r, c)| (c, r)).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let ncols_u = usize::try_from(ncols).expect("ncols exceeds usize");
+        let mut colptr = vec![0usize; ncols_u + 1];
+        for &(c, _) in &sorted {
+            debug_assert!(c < ncols);
+            colptr[c as usize + 1] += 1;
+        }
+        for i in 0..ncols_u {
+            colptr[i + 1] += colptr[i];
+        }
+        let rowids = sorted
+            .into_iter()
+            .map(|(_, r)| {
+                debug_assert!(r < nrows);
+                r
+            })
+            .collect();
+        Self {
+            nrows,
+            ncols,
+            colptr,
+            rowids,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> u64 {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> u64 {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.rowids.len()
+    }
+
+    /// Sorted row indices of column `c` (empty slice if none).
+    pub fn column(&self, c: Index) -> &[Index] {
+        let c = c as usize;
+        &self.rowids[self.colptr[c]..self.colptr[c + 1]]
+    }
+
+    /// Iterates over all `(row, col)` nonzeros in column-major order.
+    pub fn triples(&self) -> impl Iterator<Item = (Index, Index)> + '_ {
+        (0..self.ncols).flat_map(move |c| self.column(c).iter().map(move |&r| (r, c)))
+    }
+
+    /// Bytes of index data held (pointer array + row ids); quantifies the
+    /// `O(n)` pointer overhead DCSC avoids.
+    pub fn index_bytes(&self) -> usize {
+        self.colptr.len() * size_of::<usize>() + self.rowids.len() * size_of::<Index>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csc {
+        // 4x5, nonzeros: (0,1) (2,1) (3,3) (1,3) (0,4)
+        Csc::from_triples(4, 5, &[(3, 3), (0, 1), (2, 1), (1, 3), (0, 4), (0, 1)])
+    }
+
+    #[test]
+    fn columns_are_sorted_and_deduped() {
+        let m = sample();
+        assert_eq!(m.column(0), &[] as &[Index]);
+        assert_eq!(m.column(1), &[0, 2]);
+        assert_eq!(m.column(3), &[1, 3]);
+        assert_eq!(m.column(4), &[0]);
+        assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn triples_round_trip() {
+        let m = sample();
+        let t: Vec<_> = m.triples().collect();
+        let m2 = Csc::from_triples(4, 5, &t);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Csc::from_triples(3, 3, &[]);
+        assert_eq!(m.nnz(), 0);
+        for c in 0..3 {
+            assert!(m.column(c).is_empty());
+        }
+    }
+
+    #[test]
+    fn index_bytes_scales_with_ncols() {
+        let wide = Csc::from_triples(2, 1000, &[(0, 0)]);
+        let narrow = Csc::from_triples(2, 2, &[(0, 0)]);
+        assert!(wide.index_bytes() > narrow.index_bytes() + 900 * size_of::<usize>());
+    }
+}

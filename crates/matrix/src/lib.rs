@@ -1,0 +1,39 @@
+//! # dmbfs-matrix — sparse matrix substrate for 2D BFS
+//!
+//! §3.2 of Buluç & Madduri (SC'11) casts each BFS iteration as a sparse
+//! matrix–sparse vector multiplication (SpMSV) over a (select, max)
+//! semiring: `x_{k+1} ← Aᵀ ⊗ x_k ⊙ ∪x_i`. This crate provides the pieces:
+//!
+//! * [`SparseVector`] — a sorted sparse vector, the frontier representation
+//!   ("a sorted sparse vector in the 2D implementation", §4.1).
+//! * [`Dcsc`] — doubly compressed sparse columns (Buluç & Gilbert, IPDPS'08)
+//!   for the hypersparse submatrices that arise after 2D partitioning, where
+//!   plain CSR/CSC would waste `O(n√p)` on pointer arrays (§4.1).
+//! * [`Csc`] — plain compressed sparse columns, used as the reference
+//!   implementation DCSC is tested against and for small dense-ish blocks.
+//! * [`semiring`] — the algebra: [`semiring::SelectMax`] for BFS parents and
+//!   [`semiring::MinPlus`] / [`semiring::BoolOr`] for tests and extensions.
+//! * [`mod@spmsv`] — the two merge kernels of §4.2: the sparse accumulator (SPA)
+//!   and the priority-queue (heap) multiway merge, plus the concurrency-based
+//!   polyalgorithm the paper settles on, and a row-split parallel driver for
+//!   the hybrid algorithm's intra-node threading.
+
+#![warn(missing_docs)]
+
+pub mod csc;
+pub mod dcsc;
+pub mod semiring;
+pub mod sparse_vector;
+pub mod spmsv;
+pub mod spmv;
+pub mod symmetric;
+
+pub use csc::Csc;
+pub use dcsc::Dcsc;
+pub use semiring::{BoolOr, MinPlus, SelectMax, Semiring};
+pub use sparse_vector::SparseVector;
+pub use spmsv::{spmsv, spmsv_heap, spmsv_spa, MergeKernel, RowSplitDcsc, SpaWorkspace};
+pub use symmetric::SymmetricDcsc;
+
+/// Row/column index type (matches `dmbfs_graph::VertexId`).
+pub type Index = u64;

@@ -1,0 +1,202 @@
+//! Sorted sparse vectors — the frontier representation of the 2D algorithm.
+//!
+//! §4.1: "A compact representation of the frontier vector is also important.
+//! It should be represented in a sparse format, where only the indices of
+//! the non-zeros are stored. We use [...] a sorted sparse vector in the 2D
+//! implementation. Any extra data that are piggybacked to the frontier
+//! vectors adversely affect the performance, since the communication volume
+//! of the BFS benchmark is directly proportional to the size of this
+//! vector."
+
+use crate::Index;
+
+/// A sparse vector of dimension `dim` holding `(index, value)` entries
+/// sorted by strictly increasing index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparseVector<T> {
+    dim: u64,
+    entries: Vec<(Index, T)>,
+}
+
+impl<T: Copy> SparseVector<T> {
+    /// The empty vector of dimension `dim`.
+    pub fn empty(dim: u64) -> Self {
+        Self {
+            dim,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds from entries that are already sorted by strictly increasing
+    /// index (checked in debug builds).
+    pub fn from_sorted(dim: u64, entries: Vec<(Index, T)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be sorted by strictly increasing index"
+        );
+        debug_assert!(entries.last().is_none_or(|&(i, _)| i < dim));
+        Self { dim, entries }
+    }
+
+    /// Builds from unsorted entries; duplicate indices are merged with
+    /// `combine` (first argument is the earlier-kept value).
+    pub fn from_unsorted(
+        dim: u64,
+        mut entries: Vec<(Index, T)>,
+        combine: impl Fn(T, T) -> T,
+    ) -> Self {
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        entries.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 = combine(a.1, b.1);
+                true
+            } else {
+                false
+            }
+        });
+        Self::from_sorted(dim, entries)
+    }
+
+    /// Dimension of the vector.
+    pub fn dim(&self) -> u64 {
+        self.dim
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sorted entry slice.
+    pub fn entries(&self) -> &[(Index, T)] {
+        &self.entries
+    }
+
+    /// Consumes the vector, returning its entries.
+    pub fn into_entries(self) -> Vec<(Index, T)> {
+        self.entries
+    }
+
+    /// Value at `index`, if stored. Binary search.
+    pub fn get(&self, index: Index) -> Option<T> {
+        self.entries
+            .binary_search_by_key(&index, |&(i, _)| i)
+            .ok()
+            .map(|pos| self.entries[pos].1)
+    }
+
+    /// Iterates over `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, T)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Keeps only entries whose `(index, value)` satisfies the predicate —
+    /// the element-wise mask `t ⊙ π̄` of Algorithm 3 line 9.
+    pub fn retain(&mut self, mut pred: impl FnMut(Index, T) -> bool) {
+        self.entries.retain(|&(i, v)| pred(i, v));
+    }
+
+    /// Shifts all indices down by `offset` and re-dimensions to `new_dim`:
+    /// converts global vertex ids to processor-local vector indices.
+    pub fn rebase(&self, offset: u64, new_dim: u64) -> SparseVector<T> {
+        let entries = self
+            .entries
+            .iter()
+            .map(|&(i, v)| {
+                debug_assert!(i >= offset && i - offset < new_dim);
+                (i - offset, v)
+            })
+            .collect();
+        SparseVector {
+            dim: new_dim,
+            entries,
+        }
+    }
+
+    /// Merges `k` sorted sparse vectors of identical dimension into one,
+    /// combining duplicate indices with `combine`. Used to assemble the
+    /// allgathered frontier `f_i` from per-processor pieces (Algorithm 3
+    /// line 6) — pieces arrive index-disjoint there, but the merge is
+    /// general.
+    pub fn merge_sorted(parts: &[SparseVector<T>], combine: impl Fn(T, T) -> T) -> SparseVector<T> {
+        assert!(!parts.is_empty(), "nothing to merge");
+        let dim = parts[0].dim;
+        assert!(parts.iter().all(|p| p.dim == dim), "dimension mismatch");
+        let total: usize = parts.iter().map(|p| p.nnz()).sum();
+        let mut all: Vec<(Index, T)> = Vec::with_capacity(total);
+        for p in parts {
+            all.extend_from_slice(&p.entries);
+        }
+        SparseVector::from_unsorted(dim, all, combine)
+    }
+
+    /// Checks the sortedness/dimension invariant (property tests).
+    pub fn check_invariants(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].0 < w[1].0)
+            && self.entries.last().is_none_or(|&(i, _)| i < self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsorted_sorts_and_merges() {
+        let v = SparseVector::from_unsorted(10, vec![(5, 2), (1, 7), (5, 9)], u32::max);
+        assert_eq!(v.entries(), &[(1, 7), (5, 9)]);
+        assert!(v.check_invariants());
+    }
+
+    #[test]
+    fn get_finds_present_and_absent() {
+        let v = SparseVector::from_sorted(10, vec![(2, 20), (4, 40)]);
+        assert_eq!(v.get(2), Some(20));
+        assert_eq!(v.get(3), None);
+    }
+
+    #[test]
+    fn retain_applies_mask() {
+        let mut v = SparseVector::from_sorted(10, vec![(1, 1), (2, 2), (3, 3)]);
+        v.retain(|i, _| i != 2);
+        assert_eq!(v.entries(), &[(1, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn rebase_shifts_indices() {
+        let v = SparseVector::from_sorted(100, vec![(50, 5), (60, 6)]);
+        let local = v.rebase(50, 25);
+        assert_eq!(local.entries(), &[(0, 5), (10, 6)]);
+        assert_eq!(local.dim(), 25);
+    }
+
+    #[test]
+    fn merge_combines_duplicates() {
+        let a = SparseVector::from_sorted(10, vec![(1, 1u32), (5, 5)]);
+        let b = SparseVector::from_sorted(10, vec![(1, 9), (7, 7)]);
+        let m = SparseVector::merge_sorted(&[a, b], u32::max);
+        assert_eq!(m.entries(), &[(1, 9), (5, 5), (7, 7)]);
+    }
+
+    #[test]
+    fn empty_vector_behaves() {
+        let v: SparseVector<u32> = SparseVector::empty(4);
+        assert!(v.is_empty());
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.get(0), None);
+        assert!(v.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn merge_rejects_mixed_dims() {
+        let a: SparseVector<u32> = SparseVector::empty(4);
+        let b: SparseVector<u32> = SparseVector::empty(5);
+        SparseVector::merge_sorted(&[a, b], u32::max);
+    }
+}

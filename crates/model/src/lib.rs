@@ -1,0 +1,36 @@
+//! # dmbfs-model — the paper's α–β memory/network cost model
+//!
+//! §5 of Buluç & Madduri (SC'11) proposes "a simple linear model to capture
+//! the cost of regular and irregular memory references to various levels of
+//! the memory hierarchy, as well as to succinctly express inter-processor
+//! MPI communication costs":
+//!
+//! * `α_L,x` — latency of a random access into a working set of `x` words,
+//! * `β_L` — inverse local memory bandwidth (time per word streamed),
+//! * `α_N` — network message latency,
+//! * `β_N,pattern(p)` — inverse sustained per-node bandwidth for a given
+//!   collective pattern at `p` participants (topology dependent: "if nodes
+//!   are connected in a 3D torus [...] bisection bandwidth scales as
+//!   p^{2/3}", giving the all-to-all term an extra `p^{1/3}` factor).
+//!
+//! This crate implements that model three ways:
+//!
+//! 1. [`MachineProfile`] — parameter sets for the evaluation machines
+//!    (Franklin XT4, Hopper XE6, Carver iDataPlex) built from the hardware
+//!    numbers in §6, plus a local profile for calibration runs.
+//! 2. [`replay`] — replays the exact [`dmbfs_comm::CommEvent`] streams
+//!    recorded by functional runs through the network model, yielding the
+//!    modeled communication time of a real execution on a chosen machine.
+//! 3. [`predict`] — closed-form per-algorithm predictions (§5.1 for 1D,
+//!    §5.2 for 2D) used to regenerate the paper's figures at core counts
+//!    (512–40 000) that cannot be executed functionally here.
+
+#![warn(missing_docs)]
+
+pub mod predict;
+pub mod profile;
+pub mod replay;
+
+pub use predict::{Algorithm, GraphShape, Prediction, ScalePredictor};
+pub use profile::MachineProfile;
+pub use replay::{replay_comm_time, replay_rank_time};

@@ -1,0 +1,302 @@
+//! Machine profiles: the α and β constants of §5 for the machines of §6.
+//!
+//! "Using synthetic benchmarks, the values of α and β defined above can be
+//! calculated offline for a particular parallel system and software
+//! configuration." (§5) — the constants below come from the hardware data
+//! the paper gives in §6 (link bandwidths, MPI latencies, DIMM speeds,
+//! cache sizes) plus standard published latencies for the processor
+//! generations involved. Absolute predictions are *approximate by design*;
+//! the experiments compare algorithm variants under one profile, where only
+//! the relative terms matter.
+
+use serde::{Deserialize, Serialize};
+
+/// The α–β parameter set of one machine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineProfile {
+    /// Human-readable machine name.
+    pub name: String,
+    /// Physical cores per node.
+    pub cores_per_node: usize,
+    /// Threads per process used by the "hybrid" variants on this machine
+    /// (§6: 4-way on Franklin, 6-way on Hopper to match NUMA domains).
+    pub hybrid_threads: usize,
+    /// `α_N`: MPI point-to-point latency, seconds.
+    pub alpha_net: f64,
+    /// Inverse per-node injection bandwidth, seconds per byte.
+    pub inv_bw_node: f64,
+    /// All-to-all topology penalty exponent `e`: the sustained per-node
+    /// inverse bandwidth for `MPI_Alltoallv` over `p` nodes is
+    /// `inv_bw_node * p^e`. For a 3D torus, bisection ∝ p^(2/3) gives
+    /// e = 1/3 (§5.1); e = 1 would model a ring ("essentially meaning no
+    /// parallel speedup"); e ≈ 0 models a full-bisection fat tree.
+    pub a2a_exponent: f64,
+    /// Allgather topology penalty exponent (ring/doubling allgathers are
+    /// bandwidth-bound, so this is small).
+    pub ag_exponent: f64,
+    /// NIC contention factor κ: with `ppn` processes per node the effective
+    /// inverse bandwidth is multiplied by `1 + κ·(ppn − 1)`, modeling the
+    /// "saturation of the network interface card when using more cores
+    /// (hence more outstanding communication requests) per node" (§6) that
+    /// makes flat MPI lose to hybrid at scale.
+    pub nic_contention: f64,
+    /// `β_L`: inverse streamed memory bandwidth per core's fair share,
+    /// seconds per byte.
+    pub inv_mem_bw: f64,
+    /// `α_L,x` staircase: `(working-set bytes, latency seconds)` pairs in
+    /// increasing size; a random access into a working set of `x` bytes
+    /// costs the latency of the first level with size ≥ `x` (last entry =
+    /// DRAM).
+    pub cache_levels: Vec<(u64, f64)>,
+    /// Per-core traversal throughput scale factor applied to computation
+    /// estimates (integer pipeline quality; Hopper's Magny-Cours cores are
+    /// "clearly faster in integer calculations", §6).
+    pub compute_scale: f64,
+}
+
+impl MachineProfile {
+    /// Franklin: Cray XT4, 9 660 nodes, one quad-core 2.3 GHz Opteron
+    /// "Budapest" per node, SeaStar2 3D torus (6.4 GB/s HT injection,
+    /// 7.6 GB/s links), MPI latency 4.5–8.5 µs, DDR2-800 (12.8 GB/s),
+    /// 64 KB L1 / 512 KB L2 / 2 MB shared L3.
+    pub fn franklin() -> Self {
+        Self {
+            name: "Franklin (Cray XT4)".into(),
+            cores_per_node: 4,
+            hybrid_threads: 4,
+            alpha_net: 6.5e-6,
+            inv_bw_node: 1.0 / 6.4e9,
+            a2a_exponent: 1.0 / 3.0,
+            ag_exponent: 0.12,
+            nic_contention: 0.25,
+            inv_mem_bw: 4.0 / 12.8e9, // per-core share of the node DIMMs
+            cache_levels: vec![
+                (64 << 10, 1.3e-9),
+                (512 << 10, 5.0e-9),
+                (2 << 20, 19.0e-9),
+                (u64::MAX, 105.0e-9),
+            ],
+            compute_scale: 1.0,
+        }
+    }
+
+    /// Hopper: Cray XE6, 6 392 nodes, two twelve-core 2.1 GHz Magny-Cours
+    /// per node (four 6-core NUMA domains), Gemini interconnect (9.8 GB/s
+    /// per chip shared by two nodes), effective bisection bandwidth 1–20 %
+    /// *lower* than Franklin's despite 4× the cores (§6) — captured by a
+    /// larger all-to-all exponent.
+    pub fn hopper() -> Self {
+        Self {
+            name: "Hopper (Cray XE6)".into(),
+            cores_per_node: 24,
+            hybrid_threads: 6,
+            alpha_net: 1.8e-6,
+            inv_bw_node: 1.0 / 4.9e9, // Gemini chip shared by two nodes
+            a2a_exponent: 0.42,
+            ag_exponent: 0.12,
+            nic_contention: 0.22,
+            inv_mem_bw: 24.0 / 51.2e9, // DDR3, 4 channels x 2 sockets
+            cache_levels: vec![
+                (64 << 10, 1.2e-9),
+                (512 << 10, 4.0e-9),
+                (5 << 20, 16.0e-9),
+                (u64::MAX, 85.0e-9),
+            ],
+            compute_scale: 0.72, // faster integer cores (§6)
+        }
+    }
+
+    /// Carver: IBM iDataPlex, 400 nodes, two quad-core 2.67 GHz Nehalem-EP
+    /// per node, 4X QDR InfiniBand fat tree (≈ 3.2 GB/s usable per node,
+    /// near-full bisection).
+    pub fn carver() -> Self {
+        Self {
+            name: "Carver (IBM iDataPlex)".into(),
+            cores_per_node: 8,
+            hybrid_threads: 4,
+            alpha_net: 2.0e-6,
+            inv_bw_node: 1.0 / 3.2e9,
+            a2a_exponent: 0.08,
+            ag_exponent: 0.05,
+            nic_contention: 0.15,
+            inv_mem_bw: 8.0 / 32.0e9,
+            cache_levels: vec![
+                (32 << 10, 1.2e-9),
+                (256 << 10, 3.5e-9),
+                (8 << 20, 14.0e-9),
+                (u64::MAX, 75.0e-9),
+            ],
+            compute_scale: 0.8,
+        }
+    }
+
+    /// A generic local workstation profile for calibrating modeled against
+    /// measured computation on the machine running the benchmarks.
+    pub fn workstation() -> Self {
+        Self {
+            name: "local workstation".into(),
+            cores_per_node: std::thread::available_parallelism().map_or(8, |n| n.get()),
+            hybrid_threads: 4,
+            alpha_net: 1.0e-6,
+            inv_bw_node: 1.0 / 10.0e9,
+            a2a_exponent: 0.0,
+            ag_exponent: 0.0,
+            nic_contention: 0.0,
+            inv_mem_bw: 1.0 / 20.0e9,
+            cache_levels: vec![
+                (32 << 10, 1.0e-9),
+                (1 << 20, 3.0e-9),
+                (32 << 20, 12.0e-9),
+                (u64::MAX, 70.0e-9),
+            ],
+            compute_scale: 0.6,
+        }
+    }
+
+    /// `α_L,x` of §5: latency of one random access into a working set of
+    /// `bytes` bytes.
+    ///
+    /// Interpolates log-linearly between the configured cache levels: a
+    /// working set straddling two levels misses the smaller one with a
+    /// probability that grows smoothly with its size, so the effective
+    /// latency transitions gradually rather than as a staircase (matching
+    /// measured latency-vs-working-set curves and keeping predicted
+    /// scaling series free of artificial cliffs).
+    pub fn random_access_latency(&self, bytes: u64) -> f64 {
+        let levels = &self.cache_levels;
+        let first = levels
+            .first()
+            .expect("profile has at least one cache level");
+        if bytes <= first.0 {
+            return first.1;
+        }
+        for w in levels.windows(2) {
+            let (lo_size, lo_lat) = w[0];
+            let (hi_size, hi_lat) = w[1];
+            if bytes <= hi_size {
+                // Interpolate on log(size) between the two levels; a level
+                // with size u64::MAX (DRAM) uses 64× the lower level's
+                // size as its saturation point.
+                let hi_size_eff = if hi_size == u64::MAX {
+                    lo_size.saturating_mul(64)
+                } else {
+                    hi_size
+                };
+                if bytes >= hi_size_eff {
+                    return hi_lat;
+                }
+                let t = ((bytes as f64).ln() - (lo_size as f64).ln())
+                    / ((hi_size_eff as f64).ln() - (lo_size as f64).ln());
+                return lo_lat + t * (hi_lat - lo_lat);
+            }
+        }
+        levels.last().map(|&(_, l)| l).unwrap()
+    }
+
+    /// Effective *per-process* inverse bandwidth (s/byte) for an all-to-all
+    /// over `participants` processes with `ppn` processes per node:
+    /// `β_N,a2a(p)` of §5.1. A process gets a `1/ppn` share of its node's
+    /// injection bandwidth, degraded by the topology penalty (torus
+    /// bisection) and the superlinear NIC-contention factor.
+    pub fn inv_bw_alltoall(&self, participants: usize, ppn: usize) -> f64 {
+        let ppn = ppn.max(1);
+        let nodes = (participants as f64 / ppn as f64).max(1.0);
+        self.inv_bw_node * ppn as f64 * nodes.powf(self.a2a_exponent) * self.contention(ppn)
+    }
+
+    /// Effective per-process inverse bandwidth for an allgather (`β_N,ag`).
+    pub fn inv_bw_allgather(&self, participants: usize, ppn: usize) -> f64 {
+        let ppn = ppn.max(1);
+        let nodes = (participants as f64 / ppn as f64).max(1.0);
+        self.inv_bw_node * ppn as f64 * nodes.powf(self.ag_exponent) * self.contention(ppn)
+    }
+
+    /// Effective per-process inverse bandwidth for point-to-point traffic.
+    pub fn inv_bw_p2p(&self, ppn: usize) -> f64 {
+        let ppn = ppn.max(1);
+        self.inv_bw_node * ppn as f64 * self.contention(ppn)
+    }
+
+    /// NIC contention multiplier for `ppn` processes per node: grows with
+    /// √ppn (outstanding-request pressure saturates sublinearly — doubling
+    /// the processes does not double the per-message overhead once the NIC
+    /// pipeline is full).
+    pub fn contention(&self, ppn: usize) -> f64 {
+        1.0 + self.nic_contention * (ppn.saturating_sub(1) as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_staircase_is_monotone() {
+        for profile in [
+            MachineProfile::franklin(),
+            MachineProfile::hopper(),
+            MachineProfile::carver(),
+            MachineProfile::workstation(),
+        ] {
+            let mut last = 0.0;
+            for bytes in [1u64 << 10, 1 << 16, 1 << 20, 1 << 24, 1 << 32] {
+                let l = profile.random_access_latency(bytes);
+                assert!(l >= last, "{}: latency not monotone", profile.name);
+                last = l;
+            }
+        }
+    }
+
+    #[test]
+    fn l1_hits_are_cheap_dram_is_not() {
+        let f = MachineProfile::franklin();
+        assert!(f.random_access_latency(1 << 10) < 2e-9);
+        assert!(f.random_access_latency(1 << 33) > 5e-8);
+    }
+
+    #[test]
+    fn alltoall_penalty_grows_with_participants() {
+        let f = MachineProfile::franklin();
+        let small = f.inv_bw_alltoall(64, 4);
+        let large = f.inv_bw_alltoall(4096, 4);
+        assert!(
+            large > small * 2.0,
+            "torus penalty should bite: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn allgather_scales_better_than_alltoall() {
+        let f = MachineProfile::franklin();
+        let a2a = f.inv_bw_alltoall(4096, 4) / f.inv_bw_alltoall(64, 4);
+        let ag = f.inv_bw_allgather(4096, 4) / f.inv_bw_allgather(64, 4);
+        assert!(ag < a2a);
+    }
+
+    #[test]
+    fn contention_penalizes_flat_mpi() {
+        let f = MachineProfile::franklin();
+        // Flat: 4 processes/node. Hybrid: 1 process/node.
+        assert!(f.inv_bw_alltoall(1024, 4) > f.inv_bw_alltoall(1024, 1));
+    }
+
+    #[test]
+    fn hopper_bisection_is_weaker_than_franklin() {
+        // §6: Hopper's effective bisection bandwidth is lower despite more
+        // cores — the all-to-all term must degrade faster.
+        let fr = MachineProfile::franklin();
+        let ho = MachineProfile::hopper();
+        let p = 20_000;
+        let fr_pen = fr.inv_bw_alltoall(p, 1) / fr.inv_bw_node;
+        let ho_pen = ho.inv_bw_alltoall(p, 1) / ho.inv_bw_node;
+        assert!(ho_pen > fr_pen);
+    }
+
+    #[test]
+    fn profiles_serialize() {
+        let f = MachineProfile::franklin();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: MachineProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -1,0 +1,144 @@
+//! Event replay: modeled network time of a *functional* run.
+//!
+//! Functional runs on the in-process runtime record exact per-rank
+//! [`CommEvent`] streams — what was sent, to whom, under which collective,
+//! with how many participants. Replaying those events through a
+//! [`MachineProfile`] yields the communication time the same execution
+//! would have cost on a real interconnect. Because the event streams are
+//! exact (not asymptotic), replay captures effects the closed-form
+//! predictor rounds away: per-level frontier-size variation, empty levels
+//! of high-diameter graphs, and the expand/fold volume asymmetry of
+//! Table 1.
+
+use crate::profile::MachineProfile;
+use dmbfs_comm::{CommEvent, Pattern};
+
+/// Modeled wall time of one collective call on `profile`, with `ppn`
+/// processes per node.
+///
+/// The per-call cost follows §5: a latency term proportional to the
+/// participant count (`p·α_N`, the cost of starting p point-to-point
+/// transfers in a flat collective implementation) plus the payload over the
+/// pattern-specific sustained bandwidth. Reductions/broadcasts use
+/// `log₂(p)` rounds as in tree-based MPI implementations.
+pub fn event_time(profile: &MachineProfile, ev: &CommEvent, ppn: usize) -> f64 {
+    let p = ev.group_size.max(1) as f64;
+    let bytes = ev.bytes_out.max(ev.bytes_in) as f64;
+    match ev.pattern {
+        Pattern::Alltoallv => {
+            p * profile.alpha_net + bytes * profile.inv_bw_alltoall(ev.group_size, ppn)
+        }
+        Pattern::Allgatherv => {
+            p * profile.alpha_net + bytes * profile.inv_bw_allgather(ev.group_size, ppn)
+        }
+        Pattern::Allreduce | Pattern::Broadcast | Pattern::Gather => {
+            p.log2().max(1.0) * profile.alpha_net + bytes * profile.inv_bw_p2p(ppn)
+        }
+        Pattern::PointToPoint => profile.alpha_net + bytes * profile.inv_bw_p2p(ppn),
+        Pattern::Barrier => p.log2().max(1.0) * profile.alpha_net,
+    }
+}
+
+/// Modeled communication time of one rank: the sum over its event stream.
+pub fn replay_rank_time(profile: &MachineProfile, events: &[CommEvent], ppn: usize) -> f64 {
+    events.iter().map(|e| event_time(profile, e, ppn)).sum()
+}
+
+/// Modeled communication time of a whole run: the maximum over ranks
+/// (collectives are bulk-synchronous, so the slowest rank is the critical
+/// path).
+pub fn replay_comm_time(
+    profile: &MachineProfile,
+    per_rank_events: &[Vec<CommEvent>],
+    ppn: usize,
+) -> f64 {
+    per_rank_events
+        .iter()
+        .map(|ev| replay_rank_time(profile, ev, ppn))
+        .fold(0.0, f64::max)
+}
+
+/// Splits a rank's modeled time by pattern — the decomposition Table 1
+/// reports ("Allgatherv takes place during the expand phase and Alltoallv
+/// takes place during the fold phase").
+pub fn replay_by_pattern(
+    profile: &MachineProfile,
+    events: &[CommEvent],
+    ppn: usize,
+) -> Vec<(Pattern, f64)> {
+    let mut acc: Vec<(Pattern, f64)> = Vec::new();
+    for ev in events {
+        let t = event_time(profile, ev, ppn);
+        match acc.iter_mut().find(|(p, _)| *p == ev.pattern) {
+            Some((_, total)) => *total += t,
+            None => acc.push((ev.pattern, t)),
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ev(pattern: Pattern, group: usize, bytes: u64) -> CommEvent {
+        CommEvent {
+            pattern,
+            group_size: group,
+            bytes_out: bytes,
+            bytes_in: bytes,
+            wall: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn bigger_payloads_cost_more() {
+        let f = MachineProfile::franklin();
+        let small = event_time(&f, &ev(Pattern::Alltoallv, 64, 1 << 10), 4);
+        let large = event_time(&f, &ev(Pattern::Alltoallv, 64, 1 << 24), 4);
+        assert!(large > small * 50.0);
+    }
+
+    #[test]
+    fn more_participants_cost_more_latency() {
+        let f = MachineProfile::franklin();
+        let few = event_time(&f, &ev(Pattern::Alltoallv, 16, 0), 4);
+        let many = event_time(&f, &ev(Pattern::Alltoallv, 4096, 0), 4);
+        assert!((many / few - 256.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn barrier_is_latency_only() {
+        let f = MachineProfile::franklin();
+        let t = event_time(&f, &ev(Pattern::Barrier, 1024, 0), 4);
+        assert!(t < 1024.0 * f.alpha_net);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn critical_path_is_max_over_ranks() {
+        let f = MachineProfile::franklin();
+        let fast = vec![ev(Pattern::Alltoallv, 4, 100)];
+        let slow = vec![ev(Pattern::Alltoallv, 4, 1 << 26)];
+        let total = replay_comm_time(&f, &[fast.clone(), slow.clone()], 4);
+        assert_eq!(total, replay_rank_time(&f, &slow, 4));
+        assert!(total > replay_rank_time(&f, &fast, 4));
+    }
+
+    #[test]
+    fn pattern_split_sums_to_total() {
+        let f = MachineProfile::franklin();
+        let events = vec![
+            ev(Pattern::Alltoallv, 64, 1 << 20),
+            ev(Pattern::Allgatherv, 8, 1 << 22),
+            ev(Pattern::Allreduce, 64, 8),
+            ev(Pattern::Alltoallv, 64, 1 << 18),
+        ];
+        let split = replay_by_pattern(&f, &events, 4);
+        let total: f64 = split.iter().map(|(_, t)| t).sum();
+        let direct = replay_rank_time(&f, &events, 4);
+        assert!((total - direct).abs() < 1e-12);
+        assert_eq!(split.len(), 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! A complete Graph 500-style benchmark run, end to end:
+//! generate → prepare → traverse from 16 sources → validate → report TEPS.
+//!
+//! ```text
+//! cargo run --release --example graph500_benchmark -- [scale] [ranks]
+//! ```
+//!
+//! Defaults: scale 14, 16 ranks (4×4 grid for the 2D runs). This is the
+//! protocol of §6 of Buluç & Madduri (SC'11): "compute the average time
+//! using at least 16 randomly-chosen sources vertices for each benchmark
+//! graph, and normalize the time by the cumulative number of edges visited
+//! to get the TEPS rate."
+
+use dmbfs::bfs::teps::benchmark_bfs;
+use dmbfs::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(14);
+    let ranks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+
+    println!("== Graph 500-style BFS benchmark ==");
+    println!("kernel 0: graph construction (untimed)");
+    let mut edges = rmat(&RmatConfig::graph500(scale, 2023));
+    edges.canonicalize_undirected();
+    let perm = RandomPermutation::new(edges.num_vertices, 99);
+    let edges = perm.apply_edge_list(&edges);
+    let graph = CsrGraph::from_edge_list(&edges);
+    println!(
+        "  scale {scale}: n = {}, stored adjacencies = {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    println!("kernel 1: BFS from 16 sources, all four variants, {ranks} simulated cores");
+    let grid = Grid2D::closest_square(ranks);
+    type Runner<'a> = Box<dyn Fn(u64) -> BfsOutput + 'a>;
+    let variants: [(&str, Runner); 4] = [
+        (
+            "1D Flat MPI",
+            Box::new(|s| bfs1d(&graph, s, &Bfs1dConfig::flat(ranks))),
+        ),
+        (
+            "1D Hybrid",
+            Box::new(|s| bfs1d(&graph, s, &Bfs1dConfig::hybrid(ranks / 2, 2))),
+        ),
+        (
+            "2D Flat MPI",
+            Box::new(|s| bfs2d(&graph, s, &Bfs2dConfig::flat(grid))),
+        ),
+        (
+            "2D Hybrid",
+            Box::new(|s| {
+                bfs2d(
+                    &graph,
+                    s,
+                    &Bfs2dConfig::hybrid(Grid2D::closest_square(ranks / 2), 2),
+                )
+            }),
+        ),
+    ];
+
+    for (name, runner) in &variants {
+        let report = benchmark_bfs(&graph, 16, 5, |s| {
+            let out = runner(s);
+            // Validation is part of the Graph 500 protocol: an invalid
+            // traversal disqualifies the submission.
+            validate_bfs(&graph, s, &out.parents, out.levels()).expect("validation");
+            (out, None)
+        });
+        println!(
+            "  {:12}  {:>8.2} MTEPS  harmonic mean {:>8.2} MTEPS  mean time {:>7.2} ms",
+            name,
+            report.mteps(),
+            report.harmonic_mean_teps / 1e6,
+            report.mean_seconds * 1e3,
+        );
+    }
+    println!("all traversals validated (tree structure, level consistency, completeness)");
+}

@@ -1,0 +1,67 @@
+//! Quickstart: generate a Graph 500-style instance, run every BFS variant,
+//! validate all of them, and report TEPS.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dmbfs::prelude::*;
+
+fn main() {
+    // 1. Build a Graph 500-style instance: R-MAT at scale 14 (16K vertices,
+    //    ~256K directed input edges), symmetrized, deduplicated, and with
+    //    randomly shuffled vertex ids for load balance (§4.4 of the paper).
+    let scale = 14;
+    let mut edges = rmat(&RmatConfig::graph500(scale, 42));
+    edges.canonicalize_undirected();
+    let perm = RandomPermutation::new(edges.num_vertices, 1);
+    let edges = perm.apply_edge_list(&edges);
+    let graph = CsrGraph::from_edge_list(&edges);
+    println!(
+        "instance: n = {}, stored adjacencies = {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. Pick a source from the giant component, as Graph 500 requires.
+    let source = sample_sources(&graph, 1, 7)[0];
+    println!("source: {source}");
+
+    // 3. Serial reference (Algorithm 1).
+    let reference = serial_bfs(&graph, source);
+    println!(
+        "serial: reached {} vertices, depth {}",
+        reference.num_reached(),
+        reference.depth()
+    );
+
+    // 4. Run every parallel variant and check it agrees with the reference.
+    let shared = shared_bfs(&graph, source);
+    assert_eq!(shared.levels(), reference.levels());
+    println!("shared-memory multithreaded BFS: levels agree");
+
+    let one_d = bfs1d(&graph, source, &Bfs1dConfig::flat(8));
+    assert_eq!(one_d.levels(), reference.levels());
+    println!("1D distributed BFS (8 ranks): levels agree");
+
+    let two_d = bfs2d(&graph, source, &Bfs2dConfig::flat(Grid2D::new(3, 3)));
+    assert_eq!(two_d.levels(), reference.levels());
+    println!("2D distributed BFS (3x3 grid): levels agree");
+
+    let hybrid = bfs2d(&graph, source, &Bfs2dConfig::hybrid(Grid2D::new(2, 2), 2));
+    assert_eq!(hybrid.levels(), reference.levels());
+    println!("2D hybrid BFS (2x2 grid x 2 threads): levels agree");
+
+    // 5. Graph 500-style validation of the spanning tree itself.
+    validate_bfs(&graph, source, &two_d.parents, two_d.levels()).expect("validation");
+    println!("Graph 500 validation: passed");
+
+    // 6. Benchmark protocol: TEPS over multiple sources.
+    let report = benchmark_bfs(&graph, 4, 3, |s| (serial_bfs(&graph, s), None));
+    println!(
+        "serial TEPS over {} sources: {:.1} MTEPS (mean search time {:.2} ms)",
+        report.runs.len(),
+        report.mteps(),
+        report.mean_seconds * 1e3
+    );
+}

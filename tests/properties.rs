@@ -1,0 +1,120 @@
+//! Workspace-level property-based tests (proptest): randomized instances,
+//! partitions, and sources; the distributed algorithms must always agree
+//! with the serial oracle and pass validation.
+
+use dmbfs::graph::gen::{erdos_renyi, rmat, RmatConfig};
+use dmbfs::prelude::*;
+use proptest::prelude::*;
+
+/// Builds an arbitrary prepared graph from a strategy seed.
+fn arbitrary_graph(scale: u32, seed: u64, relabel: bool) -> CsrGraph {
+    let mut el = rmat(&RmatConfig::graph500(scale, seed));
+    el.canonicalize_undirected();
+    let el = if relabel {
+        RandomPermutation::new(el.num_vertices, seed ^ 0xA5).apply_edge_list(&el)
+    } else {
+        el
+    };
+    CsrGraph::from_edge_list(&el)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bfs1d_always_matches_serial(
+        seed in 0u64..1000,
+        scale in 6u32..9,
+        p in 1usize..9,
+        relabel in any::<bool>(),
+    ) {
+        let g = arbitrary_graph(scale, seed, relabel);
+        let source = sample_sources(&g, 1, seed)[0];
+        let expected = serial_bfs(&g, source);
+        let out = bfs1d(&g, source, &Bfs1dConfig::flat(p));
+        prop_assert_eq!(out.levels(), expected.levels());
+        validate_bfs(&g, source, &out.parents, out.levels()).unwrap();
+    }
+
+    #[test]
+    fn bfs2d_always_matches_serial(
+        seed in 0u64..1000,
+        scale in 6u32..9,
+        pr in 1usize..4,
+        pc in 1usize..4,
+    ) {
+        let g = arbitrary_graph(scale, seed, true);
+        let source = sample_sources(&g, 1, seed)[0];
+        let expected = serial_bfs(&g, source);
+        let out = bfs2d(&g, source, &Bfs2dConfig::flat(Grid2D::new(pr, pc)));
+        prop_assert_eq!(out.levels(), expected.levels());
+        validate_bfs(&g, source, &out.parents, out.levels()).unwrap();
+    }
+
+    #[test]
+    fn hybrid_variants_always_match_serial(
+        seed in 0u64..500,
+        threads in 2usize..4,
+    ) {
+        let g = arbitrary_graph(7, seed, true);
+        let source = sample_sources(&g, 1, seed)[0];
+        let expected = serial_bfs(&g, source);
+        let d1 = bfs1d(&g, source, &Bfs1dConfig::hybrid(3, threads));
+        prop_assert_eq!(d1.levels(), expected.levels());
+        let d2 = bfs2d(&g, source, &Bfs2dConfig::hybrid(Grid2D::new(2, 2), threads));
+        prop_assert_eq!(d2.levels(), expected.levels());
+    }
+
+    #[test]
+    fn erdos_renyi_traversals_validate(
+        seed in 0u64..1000,
+        n in 20u64..200,
+        density in 1u64..8,
+    ) {
+        let mut el = erdos_renyi(n, n * density, seed);
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        let source = sample_sources(&g, 1, seed)[0];
+        let out = bfs1d(&g, source, &Bfs1dConfig::flat(3));
+        validate_bfs(&g, source, &out.parents, out.levels()).unwrap();
+        let expected = serial_bfs(&g, source);
+        prop_assert_eq!(out.levels(), expected.levels());
+    }
+
+    #[test]
+    fn reached_set_is_exactly_the_source_component(
+        seed in 0u64..1000,
+    ) {
+        use dmbfs::graph::components::connected_components;
+        let g = arbitrary_graph(7, seed, false);
+        let source = sample_sources(&g, 1, seed)[0];
+        let out = shared_bfs(&g, source);
+        let cc = connected_components(&g);
+        let comp = cc.labels[source as usize];
+        for v in 0..g.num_vertices() as usize {
+            let reached = out.levels()[v] >= 0;
+            prop_assert_eq!(reached, cc.labels[v] == comp, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn permutation_preserves_bfs_structure(
+        seed in 0u64..1000,
+    ) {
+        // Relabeling must permute levels, not change them.
+        let mut el = rmat(&RmatConfig::graph500(7, seed));
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        let perm = RandomPermutation::new(el.num_vertices, seed);
+        let gp = CsrGraph::from_edge_list(&perm.apply_edge_list(&el));
+        let source = sample_sources(&g, 1, seed)[0];
+        let a = serial_bfs(&g, source);
+        let b = serial_bfs(&gp, perm.apply(source));
+        for v in 0..g.num_vertices() {
+            prop_assert_eq!(
+                a.levels()[v as usize],
+                b.levels()[perm.apply(v) as usize]
+            );
+        }
+    }
+}
