@@ -1,0 +1,597 @@
+//! Wire encodings for frontier exchanges — the communication-reduction
+//! layer of §7.1's "compression of the frontier" direction.
+//!
+//! Both distributed algorithms move frontiers as `u64` payloads: the 1D
+//! exchange and the 2D fold send `(target, parent)` pairs, the 2D expand
+//! and transpose send plain vertex sets. Per destination those targets are
+//! a subset of one contiguous owner range, which makes three encodings
+//! natural:
+//!
+//! * **raw** — the `u64`s as little-endian bytes; the identity encoding.
+//! * **varint-delta** — targets sorted ascending, gaps varint-encoded
+//!   against the destination's range base. A sparse frontier with `k`
+//!   vertices in a range of `R` costs about `k·len(varint(R/k))` bytes
+//!   instead of `8k`.
+//! * **bitmap** — one bit per vertex of the destination range (`R/8`
+//!   bytes), best once the frontier is dense (`k ≳ R/8` for sets).
+//!
+//! The **adaptive** policy computes the exact cost of each encoding per
+//! destination per level and picks the cheapest — which tracks the
+//! hump-shaped frontier-size curve of R-MAT BFS levels: varint-delta on
+//! the sparse early/late levels, bitmap near the peak. The crossover math
+//! is worked out in DESIGN.md.
+//!
+//! Encodings are exact: decode(encode(x)) == x for every codec, so the
+//! BFS parent trees are bit-identical whichever codec runs (tested in
+//! `tests/properties.rs`).
+//!
+//! [`Sieve`] implements the sender-side filter: a per-rank bitmap of
+//! every (global vertex, destination) already sent, so re-discovered
+//! vertices — which the owner would discard anyway — never reach the
+//! wire.
+
+use dmbfs_comm::WireBuf;
+use dmbfs_graph::VertexId;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::str::FromStr;
+
+/// Which wire encoding a frontier exchange uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Codec {
+    /// No codec layer at all: the legacy typed collectives move `u64`
+    /// payloads directly (wire bytes == logical bytes).
+    Off,
+    /// Little-endian `u64`s behind the codec framing; the identity
+    /// encoding, useful to isolate framing overhead.
+    Raw,
+    /// Sorted targets, varint-encoded deltas.
+    VarintDelta,
+    /// One bit per vertex of the destination range.
+    Bitmap,
+    /// Per-destination, per-level choice of the cheapest of the above.
+    #[default]
+    Adaptive,
+}
+
+impl Codec {
+    /// All codec choices, for ablation sweeps.
+    pub const ALL: [Codec; 5] = [
+        Codec::Off,
+        Codec::Raw,
+        Codec::VarintDelta,
+        Codec::Bitmap,
+        Codec::Adaptive,
+    ];
+
+    /// Stable lowercase name (CLI flag values, JSON output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Codec::Off => "off",
+            Codec::Raw => "raw",
+            Codec::VarintDelta => "varint",
+            Codec::Bitmap => "bitmap",
+            Codec::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl FromStr for Codec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Codec::Off),
+            "raw" => Ok(Codec::Raw),
+            "varint" => Ok(Codec::VarintDelta),
+            "bitmap" => Ok(Codec::Bitmap),
+            "adaptive" => Ok(Codec::Adaptive),
+            other => Err(format!(
+                "unknown codec `{other}` (expected off|raw|varint|bitmap|adaptive)"
+            )),
+        }
+    }
+}
+
+/// Wire tag identifying the concrete encoding inside a [`WireBuf`].
+const TAG_RAW: u8 = 0;
+const TAG_VARINT: u8 = 1;
+const TAG_BITMAP: u8 = 2;
+
+/// Appends `v` as a LEB128 varint (7 bits per byte, MSB = continuation).
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint at `*pos`, advancing it.
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = bytes[*pos];
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Encoded length of `v` as a varint.
+fn varint_len(v: u64) -> u64 {
+    (64 - u64::from((v | 1).leading_zeros())).div_ceil(7)
+}
+
+/// Estimated wire bytes of each concrete encoding for `k` sorted-unique
+/// targets within a destination range of `range_len` vertices, with
+/// `parent_bytes` of varint-encoded parent payload riding along (0 for
+/// plain sets). Header bytes (tag + count + base + range) are shared and
+/// omitted: they don't affect which encoding wins.
+fn estimate(k: u64, range_len: u64, parent_bytes: u64) -> [(u8, u64); 3] {
+    let raw = 8 * k + parent_bytes;
+    // Average-gap estimate: k deltas of roughly range_len/k each.
+    let avg_gap = range_len.checked_div(k).unwrap_or(0);
+    let varint = k * varint_len(avg_gap) + parent_bytes;
+    let bitmap = range_len.div_ceil(8) + parent_bytes;
+    [(TAG_RAW, raw), (TAG_VARINT, varint), (TAG_BITMAP, bitmap)]
+}
+
+/// Picks the concrete wire tag for `codec` given the frontier shape.
+fn pick_tag(codec: Codec, k: u64, range_len: u64, parent_bytes: u64) -> u8 {
+    if k == 0 {
+        // All encodings are equivalent for an empty payload; raw avoids
+        // materializing an all-zero bitmap under a forced Bitmap codec.
+        return TAG_RAW;
+    }
+    match codec {
+        Codec::Raw => TAG_RAW,
+        Codec::VarintDelta => TAG_VARINT,
+        Codec::Bitmap => TAG_BITMAP,
+        Codec::Adaptive => {
+            estimate(k, range_len, parent_bytes)
+                .into_iter()
+                .min_by_key(|&(_, cost)| cost)
+                .expect("three candidates")
+                .0
+        }
+        Codec::Off => unreachable!("Codec::Off never reaches the encoder"),
+    }
+}
+
+/// Writes the shared header: tag, element count, range base, range length.
+fn push_header(out: &mut Vec<u8>, tag: u8, count: u64, range: &Range<u64>) {
+    out.push(tag);
+    push_varint(out, count);
+    push_varint(out, range.start);
+    push_varint(out, range.end - range.start);
+}
+
+/// Encodes sorted-unique `(target, parent)` pairs destined for an owner
+/// whose vertices span `range`. Targets must be strictly increasing and
+/// inside `range`; parents are arbitrary vertex ids.
+///
+/// Returns the encoded bytes wrapped with the logical size (16 bytes per
+/// pair — what the typed `alltoallv` of `(u64, u64)` would have sent).
+pub fn encode_pairs(pairs: &[(VertexId, VertexId)], range: Range<u64>, codec: Codec) -> WireBuf {
+    debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "pairs sorted");
+    let logical = 16 * pairs.len() as u64;
+    let k = pairs.len() as u64;
+    let range_len = range.end - range.start;
+    let parent_bytes: u64 = pairs.iter().map(|&(_, p)| varint_len(p)).sum();
+    let tag = pick_tag(codec, k, range_len, parent_bytes);
+    let mut out = Vec::new();
+    push_header(&mut out, tag, k, &range);
+    match tag {
+        TAG_RAW => {
+            for &(t, _) in pairs {
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+        }
+        TAG_VARINT => {
+            let mut prev = range.start;
+            for &(t, _) in pairs {
+                debug_assert!(range.contains(&t));
+                push_varint(&mut out, t - prev);
+                prev = t;
+            }
+        }
+        TAG_BITMAP => {
+            let mut bits = vec![0u8; range_len.div_ceil(8) as usize];
+            for &(t, _) in pairs {
+                debug_assert!(range.contains(&t));
+                let off = (t - range.start) as usize;
+                bits[off / 8] |= 1 << (off % 8);
+            }
+            out.extend_from_slice(&bits);
+        }
+        _ => unreachable!(),
+    }
+    // Parents ride along as varints in target order for every encoding
+    // (the bitmap enumerates set bits ascending, matching the sort).
+    for &(_, p) in pairs {
+        push_varint(&mut out, p);
+    }
+    WireBuf::new(out, logical)
+}
+
+/// Decodes a [`encode_pairs`] payload back to sorted `(target, parent)`
+/// pairs.
+pub fn decode_pairs(buf: &WireBuf) -> Vec<(VertexId, VertexId)> {
+    let bytes = &buf.bytes;
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    let mut pos = 0usize;
+    let tag = bytes[pos];
+    pos += 1;
+    let count = read_varint(bytes, &mut pos) as usize;
+    let base = read_varint(bytes, &mut pos);
+    let range_len = read_varint(bytes, &mut pos);
+    let targets = decode_targets(bytes, &mut pos, tag, count, base, range_len);
+    targets
+        .into_iter()
+        .map(|t| (t, read_varint(bytes, &mut pos)))
+        .collect()
+}
+
+/// Encodes a sorted-unique vertex set spanning `range` (the 2D expand /
+/// transpose payloads). Logical size is 8 bytes per vertex.
+pub fn encode_set(vertices: &[VertexId], range: Range<u64>, codec: Codec) -> WireBuf {
+    debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "set sorted");
+    let logical = 8 * vertices.len() as u64;
+    let k = vertices.len() as u64;
+    let range_len = range.end - range.start;
+    let tag = pick_tag(codec, k, range_len, 0);
+    let mut out = Vec::new();
+    push_header(&mut out, tag, k, &range);
+    match tag {
+        TAG_RAW => {
+            for &v in vertices {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        TAG_VARINT => {
+            let mut prev = range.start;
+            for &v in vertices {
+                debug_assert!(range.contains(&v));
+                push_varint(&mut out, v - prev);
+                prev = v;
+            }
+        }
+        TAG_BITMAP => {
+            let mut bits = vec![0u8; range_len.div_ceil(8) as usize];
+            for &v in vertices {
+                debug_assert!(range.contains(&v));
+                let off = (v - range.start) as usize;
+                bits[off / 8] |= 1 << (off % 8);
+            }
+            out.extend_from_slice(&bits);
+        }
+        _ => unreachable!(),
+    }
+    WireBuf::new(out, logical)
+}
+
+/// Decodes an [`encode_set`] payload back to the sorted vertex set.
+pub fn decode_set(buf: &WireBuf) -> Vec<VertexId> {
+    let bytes = &buf.bytes;
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    let mut pos = 0usize;
+    let tag = bytes[pos];
+    pos += 1;
+    let count = read_varint(bytes, &mut pos) as usize;
+    let base = read_varint(bytes, &mut pos);
+    let range_len = read_varint(bytes, &mut pos);
+    decode_targets(bytes, &mut pos, tag, count, base, range_len)
+}
+
+/// Shared target decoder for the three concrete encodings.
+fn decode_targets(
+    bytes: &[u8],
+    pos: &mut usize,
+    tag: u8,
+    count: usize,
+    base: u64,
+    range_len: u64,
+) -> Vec<VertexId> {
+    let mut targets = Vec::with_capacity(count);
+    match tag {
+        TAG_RAW => {
+            for _ in 0..count {
+                let mut le = [0u8; 8];
+                le.copy_from_slice(&bytes[*pos..*pos + 8]);
+                *pos += 8;
+                targets.push(u64::from_le_bytes(le));
+            }
+        }
+        TAG_VARINT => {
+            let mut prev = base;
+            for _ in 0..count {
+                prev += read_varint(bytes, pos);
+                targets.push(prev);
+            }
+        }
+        TAG_BITMAP => {
+            let nbytes = range_len.div_ceil(8) as usize;
+            let bits = &bytes[*pos..*pos + nbytes];
+            *pos += nbytes;
+            for (i, &byte) in bits.iter().enumerate() {
+                let mut b = byte;
+                while b != 0 {
+                    let bit = b.trailing_zeros() as u64;
+                    targets.push(base + 8 * i as u64 + bit);
+                    b &= b - 1;
+                }
+            }
+            debug_assert_eq!(targets.len(), count);
+        }
+        other => panic!("corrupt frontier payload: unknown wire tag {other}"),
+    }
+    targets
+}
+
+/// Sender-side duplicate filter: one bit per (vertex, destination) this
+/// rank has already emitted. A BFS vertex is discovered exactly once, so
+/// anything the bit already covers is a cross-level duplicate the owner
+/// would discard — sieving drops it before it costs wire bytes.
+#[derive(Clone, Debug)]
+pub struct Sieve {
+    bits: Vec<u64>,
+    /// Number of duplicates dropped so far.
+    pub hits: u64,
+}
+
+impl Sieve {
+    /// A sieve covering `n` slots, all clear.
+    pub fn new(n: usize) -> Self {
+        Self {
+            bits: vec![0u64; n.div_ceil(64)],
+            hits: 0,
+        }
+    }
+
+    /// Marks slot `i`; returns `true` if it was already set (a duplicate,
+    /// counted in [`Sieve::hits`]).
+    pub fn test_and_set(&mut self, i: usize) -> bool {
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        let seen = self.bits[word] & bit != 0;
+        if seen {
+            self.hits += 1;
+        } else {
+            self.bits[word] |= bit;
+        }
+        seen
+    }
+}
+
+/// Per-level codec telemetry for one rank (or merged across ranks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelCodecStats {
+    /// BFS level this row describes.
+    pub level: usize,
+    /// Logical frontier-exchange bytes at this level.
+    pub logical_bytes: u64,
+    /// Encoded bytes that actually crossed the wire.
+    pub wire_bytes: u64,
+    /// Duplicates dropped by the sender-side sieve.
+    pub sieve_hits: u64,
+    /// Destinations encoded raw.
+    pub chose_raw: u64,
+    /// Destinations encoded varint-delta.
+    pub chose_varint: u64,
+    /// Destinations encoded bitmap.
+    pub chose_bitmap: u64,
+}
+
+impl LevelCodecStats {
+    /// Accounts one encoded buffer at this level. Empty buffers count
+    /// toward byte totals (their header still travels) but not toward the
+    /// encoding-choice tallies.
+    pub fn note(&mut self, buf: &WireBuf) {
+        self.logical_bytes += buf.logical_bytes;
+        self.wire_bytes += buf.wire_bytes();
+        if buf.logical_bytes == 0 {
+            return;
+        }
+        if let Some(&tag) = buf.bytes.first() {
+            match tag {
+                TAG_RAW => self.chose_raw += 1,
+                TAG_VARINT => self.chose_varint += 1,
+                TAG_BITMAP => self.chose_bitmap += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Element-wise sum, keeping `self.level`.
+    pub fn merge(&mut self, other: &LevelCodecStats) {
+        self.logical_bytes += other.logical_bytes;
+        self.wire_bytes += other.wire_bytes;
+        self.sieve_hits += other.sieve_hits;
+        self.chose_raw += other.chose_raw;
+        self.chose_varint += other.chose_varint;
+        self.chose_bitmap += other.chose_bitmap;
+    }
+}
+
+/// Merges per-rank level-stat vectors (ragged lengths allowed) into one
+/// per-level vector.
+pub fn merge_level_stats(per_rank: &[Vec<LevelCodecStats>]) -> Vec<LevelCodecStats> {
+    let depth = per_rank.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out: Vec<LevelCodecStats> = (0..depth)
+        .map(|level| LevelCodecStats {
+            level,
+            ..Default::default()
+        })
+        .collect();
+    for rank in per_rank {
+        for (level, stats) in rank.iter().enumerate() {
+            out[level].merge(stats);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(spec: &[(u64, u64)]) -> Vec<(VertexId, VertexId)> {
+        spec.to_vec()
+    }
+
+    #[test]
+    fn pairs_roundtrip_every_codec() {
+        let p = pairs(&[(100, 7), (101, 3), (150, 999), (255, 0)]);
+        for codec in [
+            Codec::Raw,
+            Codec::VarintDelta,
+            Codec::Bitmap,
+            Codec::Adaptive,
+        ] {
+            let buf = encode_pairs(&p, 100..256, codec);
+            assert_eq!(decode_pairs(&buf), p, "codec {codec:?}");
+        }
+    }
+
+    #[test]
+    fn set_roundtrip_every_codec() {
+        let s = vec![8u64, 9, 64, 65, 127];
+        for codec in [
+            Codec::Raw,
+            Codec::VarintDelta,
+            Codec::Bitmap,
+            Codec::Adaptive,
+        ] {
+            let buf = encode_set(&s, 8..128, codec);
+            assert_eq!(decode_set(&buf), s, "codec {codec:?}");
+        }
+    }
+
+    #[test]
+    fn empty_payloads_roundtrip() {
+        for codec in [
+            Codec::Raw,
+            Codec::VarintDelta,
+            Codec::Bitmap,
+            Codec::Adaptive,
+        ] {
+            let buf = encode_pairs(&[], 0..1024, codec);
+            assert_eq!(buf.logical_bytes, 0);
+            assert!(decode_pairs(&buf).is_empty());
+            let buf = encode_set(&[], 0..1024, codec);
+            assert!(decode_set(&buf).is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_beats_raw_on_sparse_and_bitmap_wins_dense() {
+        // Sparse: 8 vertices in a 1M range.
+        let sparse: Vec<u64> = (0..8u64).map(|i| i * 100_000).collect();
+        let v = encode_set(&sparse, 0..1_000_000, Codec::VarintDelta);
+        let r = encode_set(&sparse, 0..1_000_000, Codec::Raw);
+        let b = encode_set(&sparse, 0..1_000_000, Codec::Bitmap);
+        assert!(v.wire_bytes() < r.wire_bytes());
+        assert!(v.wire_bytes() < b.wire_bytes());
+        let a = encode_set(&sparse, 0..1_000_000, Codec::Adaptive);
+        assert_eq!(a.bytes[0], TAG_VARINT);
+
+        // Dense: every vertex of a 4096 range.
+        let dense: Vec<u64> = (0..4096u64).collect();
+        let b = encode_set(&dense, 0..4096, Codec::Bitmap);
+        let v = encode_set(&dense, 0..4096, Codec::VarintDelta);
+        let r = encode_set(&dense, 0..4096, Codec::Raw);
+        assert!(b.wire_bytes() < v.wire_bytes());
+        assert!(b.wire_bytes() < r.wire_bytes());
+        let a = encode_set(&dense, 0..4096, Codec::Adaptive);
+        assert_eq!(a.bytes[0], TAG_BITMAP);
+    }
+
+    #[test]
+    fn adaptive_never_wildly_exceeds_best() {
+        // The adaptive pick uses an average-gap estimate, so it may miss
+        // the true optimum on adversarial gap distributions, but it must
+        // stay within the estimate error (bounded by the raw encoding).
+        let skewed: Vec<u64> = (0..64u64).chain(std::iter::once(999_999)).collect();
+        let a = encode_set(&skewed, 0..1_000_000, Codec::Adaptive);
+        let r = encode_set(&skewed, 0..1_000_000, Codec::Raw);
+        assert!(a.wire_bytes() <= r.wire_bytes());
+    }
+
+    #[test]
+    fn logical_bytes_match_typed_collective_sizes() {
+        let p = pairs(&[(5, 1), (9, 2)]);
+        assert_eq!(encode_pairs(&p, 0..16, Codec::Raw).logical_bytes, 32);
+        assert_eq!(encode_set(&[3, 4], 0..16, Codec::Raw).logical_bytes, 16);
+    }
+
+    #[test]
+    fn sieve_counts_duplicates() {
+        let mut s = Sieve::new(100);
+        assert!(!s.test_and_set(42));
+        assert!(s.test_and_set(42));
+        assert!(!s.test_and_set(99));
+        assert!(s.test_and_set(42));
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn codec_names_parse_back() {
+        for codec in Codec::ALL {
+            assert_eq!(codec.name().parse::<Codec>().unwrap(), codec);
+        }
+        assert!("zstd".parse::<Codec>().is_err());
+    }
+
+    #[test]
+    fn level_stats_note_and_merge() {
+        let mut a = LevelCodecStats {
+            level: 2,
+            ..Default::default()
+        };
+        a.note(&encode_set(&[1, 2, 3], 0..1024, Codec::VarintDelta));
+        assert_eq!(a.logical_bytes, 24);
+        assert_eq!(a.chose_varint, 1);
+        let b = LevelCodecStats {
+            level: 2,
+            logical_bytes: 100,
+            wire_bytes: 10,
+            sieve_hits: 5,
+            chose_raw: 1,
+            chose_varint: 0,
+            chose_bitmap: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.logical_bytes, 124);
+        assert_eq!(a.sieve_hits, 5);
+        assert_eq!(a.chose_bitmap, 2);
+
+        let merged = merge_level_stats(&[vec![a], vec![b, b]]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].level, 0);
+        assert_eq!(merged[0].logical_bytes, 224);
+        assert_eq!(merged[1].logical_bytes, 100);
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            assert_eq!(buf.len() as u64, varint_len(v), "v = {v}");
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+    }
+}

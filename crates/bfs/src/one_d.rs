@@ -10,8 +10,11 @@
 //! cumulative size O(m) and the All-to-all communication step."
 
 use crate::distribute::{extract_1d, Local1d};
+use crate::frontier_codec::{
+    decode_pairs, encode_pairs, merge_level_stats, Codec, LevelCodecStats, Sieve,
+};
 use crate::{BfsOutput, UNREACHED};
-use dmbfs_comm::{Comm, CommStats, World};
+use dmbfs_comm::{Comm, CommStats, WireBuf, World};
 use dmbfs_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -25,6 +28,12 @@ pub struct Bfs1dConfig {
     /// Threads per rank: 1 = "Flat MPI", >1 = "Hybrid" (§6 uses 4 on
     /// Franklin, 6 on Hopper).
     pub threads_per_rank: usize,
+    /// Wire encoding of the frontier exchange (see
+    /// [`crate::frontier_codec`]).
+    pub codec: Codec,
+    /// Sender-side filtering of already-sent vertices. Only meaningful
+    /// with a codec; ignored under [`Codec::Off`].
+    pub sieve: bool,
 }
 
 impl Bfs1dConfig {
@@ -33,6 +42,8 @@ impl Bfs1dConfig {
         Self {
             ranks,
             threads_per_rank: 1,
+            codec: Codec::Adaptive,
+            sieve: true,
         }
     }
 
@@ -40,9 +51,21 @@ impl Bfs1dConfig {
     pub fn hybrid(ranks: usize, threads_per_rank: usize) -> Self {
         assert!(threads_per_rank >= 1);
         Self {
-            ranks,
             threads_per_rank,
+            ..Self::flat(ranks)
         }
+    }
+
+    /// Replaces the frontier codec.
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Enables or disables the sender-side sieve.
+    pub fn with_sieve(mut self, sieve: bool) -> Self {
+        self.sieve = sieve;
+        self
     }
 
     /// True when this is the hybrid variant.
@@ -63,6 +86,9 @@ pub struct Dist1dRun {
     pub seconds: f64,
     /// Number of BFS levels executed.
     pub num_levels: u32,
+    /// Per-level codec telemetry, merged across ranks (empty under
+    /// [`Codec::Off`]).
+    pub codec_levels: Vec<LevelCodecStats>,
 }
 
 /// Runs the 1D algorithm and returns the assembled result only.
@@ -96,15 +122,19 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
         stats: CommStats,
         seconds: f64,
         num_levels: u32,
+        codec_levels: Vec<LevelCodecStats>,
     }
 
+    let codec = cfg.codec;
+    let sieve = cfg.sieve;
     let results: Vec<RankResult> = World::run(ranks, |comm| {
         let local = extract_1d(g, ranks, comm.rank());
         let pool = make_pool(threads);
 
         comm.barrier();
         let t0 = Instant::now();
-        let (levels, parents, num_levels) = rank_bfs(comm, &local, source, pool.as_ref());
+        let (levels, parents, num_levels, codec_levels) =
+            rank_bfs(comm, &local, source, pool.as_ref(), codec, sieve);
         comm.barrier();
         let seconds = t0.elapsed().as_secs_f64();
 
@@ -115,11 +145,13 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
             stats: comm.take_stats(),
             seconds,
             num_levels,
+            codec_levels,
         }
     });
 
     let mut output = BfsOutput::unreached(source, g.num_vertices() as usize);
     let mut per_rank_stats = Vec::with_capacity(ranks);
+    let mut per_rank_codec = Vec::with_capacity(ranks);
     let mut seconds = 0.0f64;
     let mut num_levels = 0;
     for r in results {
@@ -127,6 +159,7 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
         output.levels[s..s + r.levels.len()].copy_from_slice(&r.levels);
         output.parents[s..s + r.parents.len()].copy_from_slice(&r.parents);
         per_rank_stats.push(r.stats);
+        per_rank_codec.push(r.codec_levels);
         seconds = seconds.max(r.seconds);
         num_levels = num_levels.max(r.num_levels);
     }
@@ -135,6 +168,7 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
         per_rank_stats,
         seconds,
         num_levels,
+        codec_levels: merge_level_stats(&per_rank_codec),
     }
 }
 
@@ -156,7 +190,9 @@ fn rank_bfs(
     local: &Local1d,
     source: VertexId,
     pool: Option<&rayon::ThreadPool>,
-) -> (Vec<i64>, Vec<i64>, u32) {
+    codec: Codec,
+    sieve: bool,
+) -> (Vec<i64>, Vec<i64>, u32, Vec<LevelCodecStats>) {
     let p = comm.size();
     let nloc = local.count();
     let levels: Vec<AtomicI64> = (0..nloc).map(|_| AtomicI64::new(UNREACHED)).collect();
@@ -171,6 +207,12 @@ fn rank_bfs(
         frontier.push(source);
     }
 
+    // One bit per global vertex: a vertex's owner is fixed, so this also
+    // keys (vertex, destination) pairs. Only allocated when sieving.
+    let mut visited_sieve =
+        (sieve && codec != Codec::Off).then(|| Sieve::new(local.block.domain() as usize));
+    let mut codec_levels: Vec<LevelCodecStats> = Vec::new();
+
     let mut level: i64 = 1;
     loop {
         // Lines 13–19: enumerate adjacencies into per-destination buffers.
@@ -178,8 +220,17 @@ fn rank_bfs(
             Some(pool) => pool.install(|| pack_parallel(local, &frontier, p)),
             None => pack_serial(local, &frontier, p),
         };
-        // Line 21: the all-to-all exchange of (target, parent) pairs.
-        let recv = comm.alltoallv(send);
+        // Line 21: the all-to-all exchange of (target, parent) pairs —
+        // either the plain typed collective or the codec pipeline
+        // (dedup → sieve → encode → exchange → decode).
+        let recv = if codec == Codec::Off {
+            comm.alltoallv(send)
+        } else {
+            let (bufs, stats) =
+                encode_exchange(comm, local, send, codec, visited_sieve.as_mut(), level);
+            codec_levels.push(stats);
+            bufs
+        };
         // Lines 23–28: owners claim newly visited vertices.
         let next = match pool {
             Some(pool) => pool.install(|| unpack_parallel(local, &recv, &levels, &parents, level)),
@@ -198,7 +249,52 @@ fn rank_bfs(
         levels.into_iter().map(AtomicI64::into_inner).collect(),
         parents.into_iter().map(AtomicI64::into_inner).collect(),
         level as u32,
+        codec_levels,
     )
+}
+
+/// The codec pipeline around the all-to-all: per destination, sort the
+/// pairs and collapse duplicate targets to their maximum parent (the
+/// canonical tie-break, see [`unpack_serial`]), drop already-sent vertices
+/// through the sieve, encode, exchange as wire bytes, decode.
+fn encode_exchange(
+    comm: &Comm,
+    local: &Local1d,
+    send: Vec<Vec<(u64, u64)>>,
+    codec: Codec,
+    mut sieve: Option<&mut Sieve>,
+    level: i64,
+) -> (Vec<Vec<(u64, u64)>>, LevelCodecStats) {
+    let mut stats = LevelCodecStats {
+        level: level as usize,
+        ..Default::default()
+    };
+    let mut bufs: Vec<WireBuf> = Vec::with_capacity(send.len());
+    for (j, mut pairs) in send.into_iter().enumerate() {
+        pairs.sort_unstable();
+        // Sorted by (target, parent): sliding the later parent into the
+        // retained element leaves each target once, with its max parent.
+        pairs.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 = a.1;
+                true
+            } else {
+                false
+            }
+        });
+        if let Some(s) = sieve.as_deref_mut() {
+            let before = s.hits;
+            pairs.retain(|&(t, _)| !s.test_and_set(t as usize));
+            stats.sieve_hits += s.hits - before;
+        }
+        let buf = encode_pairs(&pairs, local.block.range(j), codec);
+        if j != comm.rank() {
+            stats.note(&buf);
+        }
+        bufs.push(buf);
+    }
+    let recv = comm.alltoallv_wire(bufs).iter().map(decode_pairs).collect();
+    (recv, stats)
 }
 
 /// Serial buffer packing (flat variant).
@@ -239,6 +335,12 @@ fn pack_parallel(local: &Local1d, frontier: &[VertexId], p: usize) -> Vec<Vec<(u
 }
 
 /// Serial unpack: distance check and claim (lines 23–26).
+///
+/// The tie-break between same-level claims is canonical: the numerically
+/// largest parent wins. That makes the final parent of a vertex the max
+/// over *all* same-level arrivals, independent of arrival order, of
+/// per-sender dedup, and of sender-side sieving — which is what keeps the
+/// parent trees bit-identical across every codec × sieve configuration.
 fn unpack_serial(
     local: &Local1d,
     recv: &[Vec<(u64, u64)>],
@@ -250,10 +352,13 @@ fn unpack_serial(
     for buf in recv {
         for &(v, parent) in buf {
             let i = local.to_local(v);
-            if levels[i].load(Ordering::Relaxed) == UNREACHED {
+            let seen = levels[i].load(Ordering::Relaxed);
+            if seen == UNREACHED {
                 levels[i].store(level, Ordering::Relaxed);
                 parents[i].store(parent as i64, Ordering::Relaxed);
                 next.push(v);
+            } else if seen == level {
+                parents[i].fetch_max(parent as i64, Ordering::Relaxed);
             }
         }
     }
@@ -261,7 +366,9 @@ fn unpack_serial(
 }
 
 /// Thread-parallel unpack with thread-local next stacks; CAS-claimed so a
-/// vertex enters the next frontier exactly once.
+/// vertex enters the next frontier exactly once. Applies the same
+/// max-parent tie-break as [`unpack_serial`]: `fetch_max` is safe right
+/// after a claim because any parent id is ≥ 0 > [`UNREACHED`].
 fn unpack_parallel(
     local: &Local1d,
     recv: &[Vec<(u64, u64)>],
@@ -273,13 +380,16 @@ fn unpack_parallel(
         .flat_map_iter(|buf| buf.iter().copied())
         .fold(Vec::new, |mut next: Vec<VertexId>, (v, parent)| {
             let i = local.to_local(v);
-            if levels[i].load(Ordering::Relaxed) == UNREACHED
+            let seen = levels[i].load(Ordering::Relaxed);
+            if seen == UNREACHED
                 && levels[i]
                     .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
                     .is_ok()
             {
-                parents[i].store(parent as i64, Ordering::Relaxed);
+                parents[i].fetch_max(parent as i64, Ordering::Relaxed);
                 next.push(v);
+            } else if levels[i].load(Ordering::Relaxed) == level {
+                parents[i].fetch_max(parent as i64, Ordering::Relaxed);
             }
             next
         })

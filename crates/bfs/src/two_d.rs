@@ -28,9 +28,13 @@
 //! §4.3 / Fig. 4 demonstrates.
 
 use crate::distribute::{extract_2d, Local2d};
+use crate::frontier_codec::{
+    decode_pairs, decode_set, encode_pairs, encode_set, merge_level_stats, Codec, LevelCodecStats,
+    Sieve,
+};
 use crate::{BfsOutput, UNREACHED};
 use dmbfs_comm::algorithms::{allgather_doubling, allgather_ring};
-use dmbfs_comm::{Comm, CommStats, World};
+use dmbfs_comm::{Comm, CommStats, WireBuf, World};
 use dmbfs_graph::{CsrGraph, Grid2D, VertexId};
 use dmbfs_matrix::{spmsv, Dcsc, MergeKernel, RowSplitDcsc, SelectMax, SpaWorkspace, SparseVector};
 use std::ops::Range;
@@ -81,6 +85,13 @@ pub struct Bfs2dConfig {
     pub kernel: MergeKernel,
     /// Expand-phase collective algorithm (§7 ablation).
     pub expand: ExpandAlgorithm,
+    /// Wire encoding of the transpose/expand/fold payloads (see
+    /// [`crate::frontier_codec`]). The Ring/Doubling expand schedules and
+    /// the rectangular-grid transpose keep their typed collectives.
+    pub codec: Codec,
+    /// Sender-side filtering of fold rows already emitted at an earlier
+    /// level. Ignored under [`Codec::Off`].
+    pub sieve: bool,
 }
 
 impl Bfs2dConfig {
@@ -92,6 +103,8 @@ impl Bfs2dConfig {
             distribution: VectorDistribution::TwoD,
             kernel: MergeKernel::Auto,
             expand: ExpandAlgorithm::Board,
+            codec: Codec::Adaptive,
+            sieve: true,
         }
     }
 
@@ -102,6 +115,18 @@ impl Bfs2dConfig {
             threads_per_rank,
             ..Self::flat(grid)
         }
+    }
+
+    /// Replaces the frontier codec.
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Enables or disables the sender-side fold sieve.
+    pub fn with_sieve(mut self, sieve: bool) -> Self {
+        self.sieve = sieve;
+        self
     }
 
     /// True when this is the hybrid variant.
@@ -143,6 +168,9 @@ pub struct Dist2dRun {
     pub seconds: f64,
     /// BFS levels executed.
     pub num_levels: u32,
+    /// Per-level codec telemetry, merged across ranks (empty under
+    /// [`Codec::Off`]).
+    pub codec_levels: Vec<LevelCodecStats>,
 }
 
 /// Runs the 2D algorithm, returning the assembled result only.
@@ -182,6 +210,7 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
         work: RankWork,
         seconds: f64,
         num_levels: u32,
+        codec_levels: Vec<LevelCodecStats>,
     }
 
     let results: Vec<RankResult> = World::run(p, |comm| {
@@ -205,7 +234,7 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
         comm.barrier();
         let _setup_events = comm.take_stats(); // exclude setup from accounting
         let t0 = Instant::now();
-        let (levels, parents, num_levels, work) =
+        let (levels, parents, num_levels, work, codec_levels) =
             state.run(comm, &row_comm, &col_comm, source, pool.as_ref());
         comm.barrier();
         let seconds = t0.elapsed().as_secs_f64();
@@ -223,12 +252,14 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
             work,
             seconds,
             num_levels,
+            codec_levels,
         }
     });
 
     let mut output = BfsOutput::unreached(source, g.num_vertices() as usize);
     let mut per_rank_stats = Vec::with_capacity(p);
     let mut per_rank_work = Vec::with_capacity(p);
+    let mut per_rank_codec = Vec::with_capacity(p);
     let mut seconds = 0.0f64;
     let mut num_levels = 0;
     for r in results {
@@ -237,6 +268,7 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
         output.parents[s..s + r.parents.len()].copy_from_slice(&r.parents);
         per_rank_stats.push(r.stats);
         per_rank_work.push(r.work);
+        per_rank_codec.push(r.codec_levels);
         seconds = seconds.max(r.seconds);
         num_levels = num_levels.max(r.num_levels);
     }
@@ -246,6 +278,7 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
         per_rank_work,
         seconds,
         num_levels,
+        codec_levels: merge_level_stats(&per_rank_codec),
     }
 }
 
@@ -315,7 +348,7 @@ impl RankState {
         col_comm: &Comm,
         source: VertexId,
         pool: Option<&rayon::ThreadPool>,
-    ) -> (Vec<i64>, Vec<i64>, u32, RankWork) {
+    ) -> (Vec<i64>, Vec<i64>, u32, RankWork, Vec<LevelCodecStats>) {
         let grid = self.cfg.grid;
         let (i, j) = self.coords;
         let nloc = (self.vrange.end - self.vrange.start) as usize;
@@ -323,6 +356,13 @@ impl RankState {
         let mut parents = vec![UNREACHED; nloc];
         let mut work = RankWork::default();
         let mut ws: SpaWorkspace<u64> = SpaWorkspace::new(self.block.nrows());
+        let codec = self.cfg.codec;
+        // One bit per local matrix row: a row folded once was claimed by
+        // its vector owner at that level, so later re-emissions are
+        // duplicates the owner's mask would discard anyway.
+        let mut fold_sieve = (self.cfg.sieve && codec != Codec::Off)
+            .then(|| Sieve::new(self.block.nrows() as usize));
+        let mut codec_levels: Vec<LevelCodecStats> = Vec::new();
 
         // Line 2: f(s) ← s at the vector owner of the source.
         let mut frontier: Vec<VertexId> = Vec::new();
@@ -335,10 +375,37 @@ impl RankState {
 
         let mut level: i64 = 1;
         loop {
-            // Line 5: TransposeVector.
-            let transposed = self.transpose(comm, &frontier);
+            let mut lvl = LevelCodecStats {
+                level: level as usize,
+                ..Default::default()
+            };
+            // Line 5: TransposeVector (wire-encoded on square grids).
+            let mut transposed = if codec != Codec::Off && grid.is_square() {
+                debug_assert!(frontier.iter().all(|&g| self.block.map.col_owner(g) == i));
+                let partner = grid.rank_of(j, i);
+                let buf = encode_set(&frontier, self.vrange.clone(), codec);
+                if partner != comm.rank() {
+                    lvl.note(&buf);
+                }
+                decode_set(&comm.sendrecv_wire(partner, buf))
+            } else {
+                self.transpose(comm, &frontier)
+            };
+            // The rectangular transpose concatenates pieces from several
+            // senders; sort so every downstream path sees canonical order.
+            transposed.sort_unstable();
+            transposed.dedup();
             // Line 6: expand along the processor column.
             let gathered = match self.cfg.expand {
+                ExpandAlgorithm::Board if codec != Codec::Off => {
+                    let buf = encode_set(&transposed, self.block.col_range.clone(), codec);
+                    lvl.note(&buf);
+                    col_comm
+                        .allgatherv_wire(buf)
+                        .iter()
+                        .map(decode_set)
+                        .collect()
+                }
                 ExpandAlgorithm::Board => col_comm.allgatherv(transposed),
                 ExpandAlgorithm::Ring => allgather_ring(col_comm, transposed),
                 ExpandAlgorithm::Doubling if col_comm.size().is_power_of_two() => {
@@ -360,12 +427,39 @@ impl RankState {
             // Line 8: fold along the processor row to the vector owners.
             let mut fold_bufs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); grid.cols()];
             for (r, parent) in t.iter() {
+                if let Some(s) = fold_sieve.as_mut() {
+                    if s.test_and_set(r as usize) {
+                        lvl.sieve_hits += 1;
+                        continue;
+                    }
+                }
                 let g = self.block.row_range.start + r;
                 let (oi, oj) = self.vector_owner(g);
                 debug_assert_eq!(oi, i, "fold target must stay in the processor row");
                 fold_bufs[oj].push((g, parent));
             }
-            let folded = row_comm.alltoallv(fold_bufs);
+            let folded: Vec<Vec<(u64, u64)>> = if codec == Codec::Off {
+                row_comm.alltoallv(fold_bufs)
+            } else {
+                let bufs: Vec<WireBuf> = fold_bufs
+                    .iter()
+                    .enumerate()
+                    .map(|(oj, pairs)| encode_pairs(pairs, self.owner_vrange(i, oj), codec))
+                    .collect();
+                for (oj, b) in bufs.iter().enumerate() {
+                    if oj != row_comm.rank() {
+                        lvl.note(b);
+                    }
+                }
+                row_comm
+                    .alltoallv_wire(bufs)
+                    .iter()
+                    .map(decode_pairs)
+                    .collect()
+            };
+            if codec != Codec::Off {
+                codec_levels.push(lvl);
+            }
             // Lines 9–11: mask by π̄, update π, form the next frontier.
             let mut next: Vec<VertexId> = Vec::new();
             let mut merged: Vec<(u64, u64)> = folded.into_iter().flatten().collect();
@@ -398,7 +492,16 @@ impl RankState {
             level += 1;
         }
 
-        (levels, parents, level as u32, work)
+        (levels, parents, level as u32, work, codec_levels)
+    }
+
+    /// Vector range owned by `P(i, oj)` under the configured distribution —
+    /// the codec range of a fold buffer headed there.
+    fn owner_vrange(&self, i: usize, oj: usize) -> Range<u64> {
+        match self.cfg.distribution {
+            VectorDistribution::TwoD => self.block.map.vector_range(i, oj),
+            VectorDistribution::Diagonal => self.block.map.diagonal_range(i, oj),
+        }
     }
 
     /// Line 5: sends each owned frontier entry toward the processor column

@@ -17,6 +17,7 @@
 
 use dmbfs_bfs::apps::{distributed_components, distributed_diameter};
 use dmbfs_bfs::centrality::approx_betweenness;
+use dmbfs_bfs::frontier_codec::Codec;
 use dmbfs_bfs::multi_source::exact_component_diameter;
 use dmbfs_bfs::one_d::{bfs1d_run, Bfs1dConfig};
 use dmbfs_bfs::pagerank::{distributed_pagerank, PageRankConfig};
@@ -138,7 +139,9 @@ USAGE:
   dmbfs stats FILE
   dmbfs bfs FILE [--algorithm serial|shared|direction|1d|2d] [--ranks P]
                  [--threads T] [--source V] [--validate true]
+                 [--codec off|raw|varint|bitmap|adaptive] [--sieve true|false]
   dmbfs teps FILE [--algorithm ...] [--ranks P] [--sources N]
+                  [--codec ...] [--sieve ...]
   dmbfs components FILE [--ranks P]
   dmbfs sssp FILE [--ranks P] [--max-weight W] [--source V]
   dmbfs diameter FILE [--exact true] [--ranks P]
@@ -234,12 +237,35 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Exchange-layer options shared by the distributed algorithms.
+#[derive(Clone, Copy, Debug)]
+struct WireOpts {
+    codec: Codec,
+    sieve: bool,
+}
+
+impl WireOpts {
+    fn from_args(args: &Args) -> Result<Self, CliError> {
+        let codec = args
+            .opt_str("codec", "adaptive")
+            .parse::<Codec>()
+            .map_err(err)?;
+        let sieve = match args.opt_str("sieve", "true").as_str() {
+            "true" => true,
+            "false" => false,
+            other => return Err(err(format!("--sieve expects true|false, got '{other}'"))),
+        };
+        Ok(Self { codec, sieve })
+    }
+}
+
 fn run_algorithm(
     g: &CsrGraph,
     algorithm: &str,
     ranks: usize,
     threads: usize,
     source: u64,
+    wire: WireOpts,
 ) -> Result<dmbfs_bfs::BfsOutput, CliError> {
     Ok(match algorithm {
         "serial" => serial_bfs(g, source),
@@ -250,7 +276,9 @@ fn run_algorithm(
                 Bfs1dConfig::hybrid(ranks, threads)
             } else {
                 Bfs1dConfig::flat(ranks)
-            };
+            }
+            .with_codec(wire.codec)
+            .with_sieve(wire.sieve);
             bfs1d_run(g, source, &cfg).output
         }
         "2d" => {
@@ -259,7 +287,9 @@ fn run_algorithm(
                 Bfs2dConfig::hybrid(grid, threads)
             } else {
                 Bfs2dConfig::flat(grid)
-            };
+            }
+            .with_codec(wire.codec)
+            .with_sieve(wire.sieve);
             bfs2d_run(g, source, &cfg).output
         }
         other => return Err(err(format!("unknown algorithm '{other}'"))),
@@ -284,8 +314,9 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
             g.num_vertices()
         )));
     }
+    let wire = WireOpts::from_args(args)?;
     let t0 = Instant::now();
-    let out = run_algorithm(&g, &algorithm, ranks, threads, source)?;
+    let out = run_algorithm(&g, &algorithm, ranks, threads, source, wire)?;
     let secs = t0.elapsed().as_secs_f64();
     if args.opt_str("validate", "true") == "true" {
         validate_bfs(&g, source, &out.parents, out.levels())
@@ -310,9 +341,10 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
     let ranks = args.opt_u64("ranks", 4)? as usize;
     let threads = args.opt_u64("threads", 1)? as usize;
     let num_sources = args.opt_u64("sources", 16)? as usize;
+    let wire = WireOpts::from_args(args)?;
     let report = dmbfs_bfs::teps::benchmark_bfs(&g, num_sources, 5, |s| {
         (
-            run_algorithm(&g, &algorithm, ranks, threads, s).expect("algorithm runs"),
+            run_algorithm(&g, &algorithm, ranks, threads, s, wire).expect("algorithm runs"),
             None,
         )
     });
@@ -688,6 +720,40 @@ mod tests {
         ]))
         .unwrap();
         assert!(msg.contains("betweenness"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bfs_codec_and_sieve_flags() {
+        let dir = tmpdir();
+        let file = dir.join("codec.bin");
+        let file_s = file.to_str().unwrap();
+        run(&args(&[
+            "generate", "--model", "rmat", "--scale", "8", "--out", file_s,
+        ]))
+        .unwrap();
+        for codec in ["off", "raw", "varint", "bitmap", "adaptive"] {
+            for alg in ["1d", "2d"] {
+                let msg = run(&args(&[
+                    "bfs",
+                    file_s,
+                    "--algorithm",
+                    alg,
+                    "--ranks",
+                    "4",
+                    "--codec",
+                    codec,
+                    "--sieve",
+                    "false",
+                ]))
+                .unwrap();
+                assert!(msg.contains("validated"), "{alg} {codec}: {msg}");
+            }
+        }
+        let bad = run(&args(&["bfs", file_s, "--codec", "zstd"]));
+        assert!(bad.is_err());
+        let bad = run(&args(&["bfs", file_s, "--sieve", "maybe"]));
+        assert!(bad.is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -8,6 +8,32 @@ use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// An encoded payload travelling through a wire-aware collective: the
+/// encoded bytes plus the logical (pre-encoding) size they stand for, so
+/// accounting can report both sides of the compression ratio.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireBuf {
+    /// The encoded bytes as produced by a frontier codec.
+    pub bytes: Vec<u8>,
+    /// Size in bytes of the logical payload the encoding represents.
+    pub logical_bytes: u64,
+}
+
+impl WireBuf {
+    /// Wraps already-encoded bytes with their logical size.
+    pub fn new(bytes: Vec<u8>, logical_bytes: u64) -> Self {
+        Self {
+            bytes,
+            logical_bytes,
+        }
+    }
+
+    /// Encoded (on-the-wire) length in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+}
+
 /// Shared state of one communicator: an exchange board with one slot per
 /// rank plus a poisonable barrier.
 pub(crate) struct Shared {
@@ -77,11 +103,35 @@ impl Comm {
     }
 
     fn record(&self, pattern: Pattern, bytes_out: u64, bytes_in: u64, start: Instant) {
+        // Plain collectives put their logical payload on the wire verbatim.
         self.stats.borrow_mut().events.push(CommEvent {
             pattern,
             group_size: self.size(),
             bytes_out,
             bytes_in,
+            wire_out: bytes_out,
+            wire_in: bytes_in,
+            wall: start.elapsed(),
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_wire(
+        &self,
+        pattern: Pattern,
+        bytes_out: u64,
+        bytes_in: u64,
+        wire_out: u64,
+        wire_in: u64,
+        start: Instant,
+    ) {
+        self.stats.borrow_mut().events.push(CommEvent {
+            pattern,
+            group_size: self.size(),
+            bytes_out,
+            bytes_in,
+            wire_out,
+            wire_in,
             wall: start.elapsed(),
         });
     }
@@ -431,6 +481,113 @@ impl Comm {
         };
         self.shared.barrier.wait();
         self.record(Pattern::PointToPoint, bytes_out, bytes_in, start);
+        received
+    }
+
+    /// Wire-aware variable all-to-all: like [`Comm::alltoallv`], but each
+    /// per-destination buffer is an encoded [`WireBuf`]. The recorded
+    /// [`CommEvent`] carries the logical bytes in `bytes_out`/`bytes_in`
+    /// and the encoded sizes in `wire_out`/`wire_in`, which is what the
+    /// α–β replay charges bandwidth for.
+    pub fn alltoallv_wire(&self, bufs: Vec<WireBuf>) -> Vec<WireBuf> {
+        assert_eq!(bufs.len(), self.size(), "need one buffer per rank");
+        let start = Instant::now();
+        let (mut bytes_out, mut wire_out) = (0u64, 0u64);
+        for (j, b) in bufs.iter().enumerate() {
+            if j != self.rank {
+                bytes_out += b.logical_bytes;
+                wire_out += b.wire_bytes();
+            }
+        }
+        self.deposit(bufs);
+        self.shared.barrier.wait();
+        let mut recv: Vec<WireBuf> = Vec::with_capacity(self.size());
+        let (mut bytes_in, mut wire_in) = (0u64, 0u64);
+        for j in 0..self.size() {
+            let theirs = self.read::<Vec<WireBuf>>(j);
+            let mine = theirs[self.rank].clone();
+            if j != self.rank {
+                bytes_in += mine.logical_bytes;
+                wire_in += mine.wire_bytes();
+            }
+            recv.push(mine);
+        }
+        self.shared.barrier.wait();
+        self.record_wire(
+            Pattern::Alltoallv,
+            bytes_out,
+            bytes_in,
+            wire_out,
+            wire_in,
+            start,
+        );
+        recv
+    }
+
+    /// Wire-aware variable all-gather: like [`Comm::allgatherv`] with an
+    /// encoded payload. See [`Comm::alltoallv_wire`] for the accounting.
+    pub fn allgatherv_wire(&self, mine: WireBuf) -> Vec<WireBuf> {
+        let start = Instant::now();
+        let peers = self.size() as u64 - 1;
+        let bytes_out = mine.logical_bytes * peers;
+        let wire_out = mine.wire_bytes() * peers;
+        self.deposit(mine);
+        self.shared.barrier.wait();
+        let mut all: Vec<WireBuf> = Vec::with_capacity(self.size());
+        let (mut bytes_in, mut wire_in) = (0u64, 0u64);
+        for j in 0..self.size() {
+            let theirs = self.read::<WireBuf>(j);
+            if j != self.rank {
+                bytes_in += theirs.logical_bytes;
+                wire_in += theirs.wire_bytes();
+            }
+            all.push((*theirs).clone());
+        }
+        self.shared.barrier.wait();
+        self.record_wire(
+            Pattern::Allgatherv,
+            bytes_out,
+            bytes_in,
+            wire_out,
+            wire_in,
+            start,
+        );
+        all
+    }
+
+    /// Wire-aware pairwise exchange: like [`Comm::sendrecv`] with an
+    /// encoded payload. See [`Comm::alltoallv_wire`] for the accounting.
+    pub fn sendrecv_wire(&self, partner: usize, data: WireBuf) -> WireBuf {
+        assert!(partner < self.size());
+        let start = Instant::now();
+        let (bytes_out, wire_out) = if partner == self.rank {
+            (0, 0)
+        } else {
+            (data.logical_bytes, data.wire_bytes())
+        };
+        self.deposit((partner, data));
+        self.shared.barrier.wait();
+        let theirs = self.read::<(usize, WireBuf)>(partner);
+        assert_eq!(
+            theirs.0, self.rank,
+            "sendrecv partner mismatch: rank {} expected partner {} to point back",
+            self.rank, partner
+        );
+        let received = theirs.1.clone();
+        let (bytes_in, wire_in) = if partner == self.rank {
+            (0, 0)
+        } else {
+            (received.logical_bytes, received.wire_bytes())
+        };
+        self.shared.barrier.wait();
+        self.record_wire(
+            Pattern::PointToPoint,
+            bytes_out,
+            bytes_in,
+            wire_out,
+            wire_in,
+            start,
+        );
         received
     }
 

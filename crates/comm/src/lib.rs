@@ -37,6 +37,6 @@ mod comm;
 mod stats;
 mod world;
 
-pub use comm::Comm;
+pub use comm::{Comm, WireBuf};
 pub use stats::{CommEvent, CommStats, Pattern};
 pub use world::World;

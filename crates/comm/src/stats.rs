@@ -58,10 +58,17 @@ pub struct CommEvent {
     /// Number of ranks in the participating communicator — the paper's
     /// key observation is that 2D limits this to `pr` or `pc` ≈ √p.
     pub group_size: usize,
-    /// Payload bytes this rank contributed.
+    /// Logical payload bytes this rank contributed — the size of the
+    /// application-level data before any wire encoding.
     pub bytes_out: u64,
-    /// Payload bytes this rank received.
+    /// Logical payload bytes this rank received.
     pub bytes_in: u64,
+    /// Bytes this rank actually put on the wire. Equal to `bytes_out` for
+    /// plain collectives; smaller when the payload went through a frontier
+    /// codec (compressed exchange).
+    pub wire_out: u64,
+    /// Bytes this rank actually received off the wire.
+    pub wire_in: u64,
     /// Wall time spent inside the call, including barrier waits.
     pub wall: Duration,
 }
@@ -112,6 +119,32 @@ impl CommStats {
             .sum()
     }
 
+    /// Total wire bytes sent by this rank.
+    pub fn wire_out(&self) -> u64 {
+        self.events.iter().map(|e| e.wire_out).sum()
+    }
+
+    /// Total wire bytes received by this rank.
+    pub fn wire_in(&self) -> u64 {
+        self.events.iter().map(|e| e.wire_in).sum()
+    }
+
+    /// Wire bytes sent under `pattern`.
+    pub fn wire_out_for(&self, pattern: Pattern) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.pattern == pattern)
+            .map(|e| e.wire_out)
+            .sum()
+    }
+
+    /// Ratio of wire bytes to logical bytes sent (1.0 when nothing was
+    /// compressed; `None` when no logical bytes were sent at all).
+    pub fn compression_ratio(&self) -> Option<f64> {
+        let logical = self.bytes_out();
+        (logical > 0).then(|| self.wire_out() as f64 / logical as f64)
+    }
+
     /// Merges another rank's stats into this one (event order interleaved
     /// arbitrarily; aggregates remain exact).
     pub fn merge(&mut self, other: &CommStats) {
@@ -129,6 +162,8 @@ mod tests {
             group_size: 4,
             bytes_out: out,
             bytes_in: inn,
+            wire_out: out,
+            wire_in: inn,
             wall: Duration::from_micros(micros),
         }
     }
@@ -166,5 +201,22 @@ mod tests {
     fn pattern_names_are_stable() {
         assert_eq!(Pattern::Alltoallv.name(), "alltoallv");
         assert_eq!(Pattern::PointToPoint.name(), "p2p");
+    }
+
+    #[test]
+    fn wire_bytes_track_separately_from_logical() {
+        let mut compressed = ev(Pattern::Alltoallv, 1000, 800, 5);
+        compressed.wire_out = 250;
+        compressed.wire_in = 200;
+        let stats = CommStats {
+            events: vec![compressed, ev(Pattern::Allreduce, 8, 24, 1)],
+        };
+        assert_eq!(stats.bytes_out(), 1008);
+        assert_eq!(stats.wire_out(), 258);
+        assert_eq!(stats.wire_in(), 224);
+        assert_eq!(stats.wire_out_for(Pattern::Alltoallv), 250);
+        let ratio = stats.compression_ratio().unwrap();
+        assert!((ratio - 258.0 / 1008.0).abs() < 1e-12);
+        assert_eq!(CommStats::default().compression_ratio(), None);
     }
 }

@@ -149,15 +149,27 @@ pub struct ScalePredictor {
     /// [`ScalePredictor::calibrate_compute`] from a measured single-core
     /// traversal rate so modeled and functional runs share units.
     pub compute_calibration: f64,
+    /// Multiplier applied to the payload (bandwidth) byte terms: the
+    /// wire-to-logical ratio of the configured frontier codec, measured by
+    /// a functional run's `CommStats` (1.0 = uncompressed). Latency terms
+    /// are unaffected — compression saves β, not α.
+    pub wire_fraction: f64,
 }
 
 impl ScalePredictor {
-    /// A predictor with calibration 1.0.
+    /// A predictor with calibration 1.0 and no compression.
     pub fn new(profile: MachineProfile) -> Self {
         Self {
             profile,
             compute_calibration: 1.0,
+            wire_fraction: 1.0,
         }
+    }
+
+    /// Sets the modeled wire-to-logical byte ratio (clamped to (0, 1]).
+    pub fn with_wire_fraction(mut self, fraction: f64) -> Self {
+        self.wire_fraction = fraction.clamp(f64::MIN_POSITIVE, 1.0);
+        self
     }
 
     /// Adjusts computation terms so a serial traversal of `shape` would
@@ -249,7 +261,7 @@ impl ScalePredictor {
             let pc = (procs as f64 / pr).max(1.0);
             // Expand: aggregate O(n) over the run, each process receives a
             // 1/pc share, replicated along its processor column.
-            let expand_bytes = WORD * n / pc;
+            let expand_bytes = self.wire_fraction * WORD * n / pc;
             let comm_expand =
                 d * pr * prof.alpha_net + expand_bytes * prof.inv_bw_allgather(pr as usize, ppn);
             // Fold: up to O(m) aggregate, reduced by in-node aggregation of
@@ -257,7 +269,7 @@ impl ScalePredictor {
             // words of (row, parent) pairs, 1/p share per process.
             let avg_deg = (m / n).max(1.0);
             let fold_words = (n * (1.0 + avg_deg.ln())).min(m);
-            let fold_bytes = 2.0 * WORD * fold_words / procs as f64;
+            let fold_bytes = self.wire_fraction * 2.0 * WORD * fold_words / procs as f64;
             let comm_fold =
                 d * pc * prof.alpha_net + fold_bytes * prof.inv_bw_alltoall(pc as usize, ppn);
             // Transpose + allreduce each level.
@@ -272,7 +284,7 @@ impl ScalePredictor {
             // 1D: one all-to-all per level over all processes; every stored
             // adjacency crosses the network once (no aggregation benefit in
             // Algorithm 2's edge-aggregation exchange).
-            let a2a_bytes = WORD * m / procs as f64;
+            let a2a_bytes = self.wire_fraction * WORD * m / procs as f64;
             let comm_fold =
                 d * procs as f64 * prof.alpha_net + a2a_bytes * prof.inv_bw_alltoall(procs, ppn);
             let comm_latency = d * (procs as f64).log2().max(1.0) * prof.alpha_net;
@@ -395,6 +407,23 @@ mod tests {
         assert!((modeled_serial - 123.0).abs() / 123.0 < 1e-9);
         let after = pred.predict(Algorithm::OneDFlat, &shape, 64).comp;
         assert_ne!(before, after);
+    }
+
+    #[test]
+    fn wire_fraction_scales_bandwidth_not_latency() {
+        let shape = GraphShape::rmat(30, 16);
+        let p = 2048;
+        let plain = franklin().predict(Algorithm::TwoDFlat, &shape, p);
+        let compressed = ScalePredictor::new(MachineProfile::franklin())
+            .with_wire_fraction(0.25)
+            .predict(Algorithm::TwoDFlat, &shape, p);
+        assert!(compressed.comm_expand < plain.comm_expand);
+        assert!(compressed.comm_fold < plain.comm_fold);
+        assert_eq!(compressed.comm_latency, plain.comm_latency);
+        assert_eq!(compressed.comp, plain.comp);
+        // Out-of-range fractions clamp into (0, 1].
+        let clamped = ScalePredictor::new(MachineProfile::franklin()).with_wire_fraction(7.0);
+        assert_eq!(clamped.wire_fraction, 1.0);
     }
 
     #[test]

@@ -23,7 +23,11 @@ use dmbfs_comm::{CommEvent, Pattern};
 /// `log₂(p)` rounds as in tree-based MPI implementations.
 pub fn event_time(profile: &MachineProfile, ev: &CommEvent, ppn: usize) -> f64 {
     let p = ev.group_size.max(1) as f64;
-    let bytes = ev.bytes_out.max(ev.bytes_in) as f64;
+    // Bandwidth is charged for what actually crosses the network: the wire
+    // bytes. For plain collectives wire == logical; with a frontier codec
+    // the wire side is smaller and the modeled β term shrinks with it (the
+    // latency term is unaffected — compression saves bandwidth, not α).
+    let bytes = ev.wire_out.max(ev.wire_in) as f64;
     match ev.pattern {
         Pattern::Alltoallv => {
             p * profile.alpha_net + bytes * profile.inv_bw_alltoall(ev.group_size, ppn)
@@ -88,6 +92,8 @@ mod tests {
             group_size: group,
             bytes_out: bytes,
             bytes_in: bytes,
+            wire_out: bytes,
+            wire_in: bytes,
             wall: Duration::ZERO,
         }
     }
@@ -124,6 +130,25 @@ mod tests {
         let total = replay_comm_time(&f, &[fast.clone(), slow.clone()], 4);
         assert_eq!(total, replay_rank_time(&f, &slow, 4));
         assert!(total > replay_rank_time(&f, &fast, 4));
+    }
+
+    #[test]
+    fn compressed_events_cost_less_bandwidth_but_same_latency() {
+        let f = MachineProfile::franklin();
+        let plain = ev(Pattern::Alltoallv, 64, 1 << 24);
+        let mut compressed = plain;
+        compressed.wire_out = 1 << 21;
+        compressed.wire_in = 1 << 21;
+        let t_plain = event_time(&f, &plain, 4);
+        let t_compressed = event_time(&f, &compressed, 4);
+        assert!(t_compressed < t_plain);
+        // With zero wire bytes only the latency term remains, and latency
+        // does not depend on the logical payload.
+        let mut latency_only = plain;
+        latency_only.wire_out = 0;
+        latency_only.wire_in = 0;
+        let empty = ev(Pattern::Alltoallv, 64, 0);
+        assert_eq!(event_time(&f, &latency_only, 4), event_time(&f, &empty, 4));
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Offline stand-in for `rand_xoshiro`: a faithful implementation of the
+//! xoshiro256++ generator (Blackman & Vigna, public-domain reference
+//! algorithm) over the trait surface of the sibling `rand` stub.
+
+use rand::{RngCore, SeedableRng};
+
+/// The xoshiro256++ generator: 256 bits of state, period 2^256 − 1.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+#[inline]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = rotl(self.s[3], 45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // The all-zero state is the one fixed point; displace it.
+        if s == [0, 0, 0, 0] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        Self { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vector() {
+        // First outputs of xoshiro256++ from state {1, 2, 3, 4}, computed
+        // from the published reference C implementation.
+        let mut rng = Xoshiro256PlusPlus { s: [1, 2, 3, 4] };
+        let expected: [u64; 4] = [41943041, 58720359, 3588806011781223, 3591011842654386];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_displaced() {
+        let mut rng = Xoshiro256PlusPlus::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(42);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(42);
+        let mut c = Xoshiro256PlusPlus::seed_from_u64(43);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for `rayon`. The API surface the workspace uses is
+//! reproduced, but every "parallel" iterator executes sequentially on the
+//! calling thread; `ThreadPool::install` simply runs its closure. The
+//! simulated-rank parallelism in `dmbfs-comm` uses `std::thread` directly
+//! and is unaffected. See `third_party/README.md`.
+
+use std::fmt;
+
+/// Sequential adapter standing in for rayon's parallel iterators.
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    /// Transforms each element.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Keeps elements matching the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    /// Map-and-filter in one pass.
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    /// Maps each element to a serial iterator and flattens.
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, U, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    /// Splitting-granularity hint; a no-op when execution is sequential.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Zips with another "parallel" iterator.
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> Par<std::iter::Zip<I, J::Iter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Per-"thread" fold. Sequentially there is one fold state, so this
+    /// yields a single accumulated value (as one-element iterator), which
+    /// [`Par::reduce`] then collapses — matching rayon's fold/reduce
+    /// contract for associative operators.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Reduces all elements with `op`, starting from `identity()`.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Runs `f` on every element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collects into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the elements.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Number of elements.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Minimum element.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Maximum element.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+}
+
+impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> Par<I> {
+    /// Copies out of reference items.
+    pub fn copied(self) -> Par<std::iter::Copied<I>> {
+        Par(self.0.copied())
+    }
+}
+
+impl<'a, T: 'a + Clone, I: Iterator<Item = &'a T>> Par<I> {
+    /// Clones out of reference items.
+    pub fn cloned(self) -> Par<std::iter::Cloned<I>> {
+        Par(self.0.cloned())
+    }
+}
+
+/// Conversion into a "parallel" iterator (sequential here).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying serial iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Converts into the iterator adapter.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter` on `&collection`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: 'a;
+    /// Underlying serial iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Borrowing "parallel" iterator.
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// In-place "parallel" slice operations.
+pub trait ParallelSliceMut<T: Send> {
+    /// Unstable sort (sequential `sort_unstable` here).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by this stub.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a pool size (recorded, not used: execution is sequential).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool; infallible in this stub.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                1
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A scoped execution context. `install` runs the closure on the calling
+/// thread; the nominal size is preserved for introspection.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` "inside" the pool.
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        f()
+    }
+
+    /// The nominal pool size requested at construction.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, Par, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_filter_collect() {
+        let v: Vec<u32> = (0..10u32)
+            .into_par_iter()
+            .map(|x| x * 2)
+            .filter(|x| x % 4 == 0)
+            .collect();
+        assert_eq!(v, vec![0, 4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u64, 2, 3];
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn fold_then_reduce() {
+        let total = (1..=100u64)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn pool_installs_on_caller() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn par_sort() {
+        let mut v = vec![3u32, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let v: Vec<u32> = (0..3u32)
+            .into_par_iter()
+            .flat_map_iter(|x| vec![x, x])
+            .collect();
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,439 @@
+//! Offline stand-in for `serde`. Instead of upstream's visitor-based
+//! serializer/deserializer pair, both traits convert through a single
+//! JSON-shaped [`Content`] tree, which the sibling `serde_json` stub then
+//! renders or parses. The `derive` feature re-exports hand-rolled proc
+//! macros from `serde_derive`. See `third_party/README.md`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data tree both traits convert through. Re-exported
+/// by the `serde_json` stub as `Value`.
+#[derive(Clone, Debug, Default)]
+pub enum Content {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Numeric view, when this is any number variant.
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Content::I64(v) => Some(*v as f64),
+            Content::U64(v) => Some(*v as f64),
+            Content::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Object-field lookup.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Content {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Content::Null, Content::Null) => true,
+            (Content::Bool(a), Content::Bool(b)) => a == b,
+            (Content::Str(a), Content::Str(b)) => a == b,
+            (Content::Seq(a), Content::Seq(b)) => a == b,
+            (Content::Map(a), Content::Map(b)) => a == b,
+            // Numbers compare across representations, as in serde_json.
+            _ => match (self.as_number(), other.as_number()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        const NULL: Content = Content::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(items) => &items[idx],
+            _ => panic!("cannot index non-array Content with usize"),
+        }
+    }
+}
+
+impl PartialEq<i64> for Content {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_number() == Some(*other as f64)
+    }
+}
+
+impl PartialEq<f64> for Content {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_number() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Content::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Content::Bool(b) if b == other)
+    }
+}
+
+/// Conversion or structure error raised during (de)serialization.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with an arbitrary message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Content`] tree.
+pub trait Serialize {
+    /// Renders `self` as content.
+    fn to_content(&self) -> Content;
+}
+
+/// Reconstruction from the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, with numeric coercion where lossless.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+/// Derive-support helper: typed lookup of a struct field. A missing key is
+/// handed to the field type as `Null` so `Option` fields default to `None`.
+pub fn from_field<T: Deserialize>(c: &Content, name: &str) -> Result<T, Error> {
+    match c {
+        Content::Map(_) => T::from_content(c.get(name).unwrap_or(&Content::Null))
+            .map_err(|e| Error(format!("field `{name}`: {e}"))),
+        other => Err(Error(format!(
+            "expected object with field `{name}`, found {other:?}"
+        ))),
+    }
+}
+
+/// Derive-support helper: the string of a `Content::Str`.
+pub fn content_str(c: &Content) -> Result<&str, Error> {
+    match c {
+        Content::Str(s) => Ok(s),
+        other => Err(Error(format!("expected string, found {other:?}"))),
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| Error(format!("{v} out of range")))?,
+                    Content::F64(v) if v.fract() == 0.0 => *v as i64,
+                    other => return Err(Error(format!("expected integer, found {other:?}"))),
+                };
+                <$t>::try_from(v).map_err(|_| Error(format!("{v} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                match i64::try_from(v) {
+                    Ok(i) => Content::I64(i),
+                    Err(_) => Content::U64(v),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v: u64 = match c {
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| Error(format!("{v} out of range")))?,
+                    Content::U64(v) => *v,
+                    Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => *v as u64,
+                    other => return Err(Error(format!("expected integer, found {other:?}"))),
+                };
+                <$t>::try_from(v).map_err(|_| Error(format!("{v} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                c.as_number()
+                    .map(|v| v as $t)
+                    .ok_or_else(|| Error(format!("expected number, found {c:?}")))
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        content_str(c).map(str::to_string)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(Error(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$i.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::Seq(items) if items.len() == [$($i),+].len() => {
+                        Ok(($($t::from_content(&items[$i])?,)+))
+                    }
+                    other => Err(Error(format!("expected tuple array, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+}
+
+impl Serialize for Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), self.as_secs().to_content()),
+            ("nanos".to_string(), self.subsec_nanos().to_content()),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let secs: u64 = from_field(c, "secs")?;
+        let nanos: u32 = from_field(c, "nanos")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_equality_crosses_variants() {
+        assert_eq!(Content::I64(3), Content::U64(3));
+        assert_eq!(Content::U64(3), 3i64);
+        assert_eq!(Content::F64(0.5), 0.5f64);
+        assert_ne!(Content::Str("3".into()), 3i64);
+    }
+
+    #[test]
+    fn index_missing_key_is_null() {
+        let m = Content::Map(vec![("a".into(), Content::I64(1))]);
+        assert_eq!(m["a"], 1i64);
+        assert!(matches!(m["b"], Content::Null));
+    }
+
+    #[test]
+    fn unsigned_roundtrips_through_i64_form() {
+        let c = 7usize.to_content();
+        assert!(matches!(c, Content::I64(7)));
+        let back: usize = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, 7);
+        let big = u64::MAX.to_content();
+        assert!(matches!(big, Content::U64(u64::MAX)));
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::new(3, 500_000_000);
+        let back = Duration::from_content(&d.to_content()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn option_null_is_none() {
+        let none: Option<u32> = Deserialize::from_content(&Content::Null).unwrap();
+        assert_eq!(none, None);
+        let some: Option<u32> = Deserialize::from_content(&Content::I64(4)).unwrap();
+        assert_eq!(some, Some(4));
+    }
+
+    #[test]
+    fn float_coerces_from_integer_content() {
+        let x: f64 = Deserialize::from_content(&Content::I64(7_600_000_000)).unwrap();
+        assert_eq!(x, 7.6e9);
+    }
+}

@@ -1,0 +1,269 @@
+//! Offline stand-in for `serde_derive`. With no registry access there is no
+//! `syn`/`quote`, so the item is parsed directly from the `TokenStream`:
+//! enough to handle the two shapes this workspace derives on — structs with
+//! named fields and enums with unit variants — plus the `#[serde(skip)]`
+//! field attribute. Output is generated as source text and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// What a derive input turned out to be.
+enum Item {
+    /// `struct Name { fields }` — field name plus its `#[serde(skip)]` flag.
+    Struct {
+        name: String,
+        fields: Vec<(String, bool)>,
+    },
+    /// `enum Name { UnitVariant, ... }`.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` (the stub's `to_content` form).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .filter(|(_, skip)| !skip)
+                .map(|(f, _)| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(::std::vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (the stub's `from_content` form).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|(f, skip)| {
+                    if *skip {
+                        format!("{f}: ::core::default::Default::default(),")
+                    } else {
+                        format!("{f}: ::serde::from_field(c, \"{f}\")?,")
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         ::core::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match ::serde::content_str(c)? {{\n\
+                             {arms}\n\
+                             other => ::core::result::Result::Err(::serde::Error::custom(\n\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+/// Parses the derive input down to the supported shapes, rejecting the rest
+/// with a compile-time panic that names the limitation.
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                skip_vis_scope(&mut it);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut it);
+                reject_generics(&mut it, &name);
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Item::Struct {
+                            name,
+                            fields: parse_fields(g.stream()),
+                        };
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                        return Item::Struct {
+                            name,
+                            fields: Vec::new(),
+                        };
+                    }
+                    _ => panic!("serde stub derive: `{name}` must have named fields"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut it);
+                reject_generics(&mut it, &name);
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let variants = parse_variants(g.stream(), &name);
+                        return Item::Enum { name, variants };
+                    }
+                    _ => panic!("serde stub derive: malformed enum `{name}`"),
+                }
+            }
+            Some(other) => panic!("serde stub derive: unexpected token `{other}`"),
+            None => panic!("serde stub derive: empty input"),
+        }
+    }
+}
+
+/// Consumes `(crate)` etc. after `pub`.
+fn skip_vis_scope(it: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Group(g)) = it.peek() {
+        if g.delimiter() == Delimiter::Parenthesis {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut impl Iterator<Item = TokenTree>) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn reject_generics(it: &mut Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type `{name}` is not supported");
+        }
+    }
+}
+
+/// Walks `name: Type, ...` pairs, noting `#[serde(skip)]` markers. Type
+/// tokens are discarded; angle-bracket depth is tracked so commas inside
+/// `Vec<(u64, f64)>`-style types don't split fields (parens/brackets arrive
+/// as single groups and need no tracking).
+fn parse_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.next() {
+                skip |= attr_is_serde_skip(g.stream());
+            }
+        }
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                skip_vis_scope(&mut it);
+                expect_ident(&mut it)
+            }
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde stub derive: expected field name, found `{other}`"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after `{name}`, found {other:?}"),
+        }
+        let mut depth = 0i64;
+        for tt in it.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        out.push((name, skip));
+    }
+    out
+}
+
+/// True when an attribute body (the tokens inside `#[...]`) is
+/// `serde(... skip ...)`.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Walks enum variants, accepting only the unit form.
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            it.next();
+            it.next(); // attribute body
+        }
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => out.push(id.to_string()),
+            Some(other) => {
+                panic!("serde stub derive: expected variant of `{enum_name}`, found `{other}`")
+            }
+        }
+        match it.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(_) => panic!(
+                "serde stub derive: enum `{enum_name}` has a non-unit variant, \
+                 which this stub does not support"
+            ),
+        }
+    }
+    out
+}
