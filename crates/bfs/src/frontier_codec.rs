@@ -35,6 +35,7 @@ use dmbfs_graph::VertexId;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which wire encoding a frontier exchange uses.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -345,33 +346,54 @@ fn decode_targets(
 /// rank has already emitted. A BFS vertex is discovered exactly once, so
 /// anything the bit already covers is a cross-level duplicate the owner
 /// would discard — sieving drops it before it costs wire bytes.
-#[derive(Clone, Debug)]
+///
+/// The bit array is atomic so the per-destination encode loop can sieve
+/// from pool threads through a shared `&Sieve` (in the 1D exchange each
+/// destination's targets fall in a disjoint owner range, so concurrent
+/// callers never contend on the same *vertex*, only — harmlessly — on
+/// neighbouring bits of a shared word).
+#[derive(Debug)]
 pub struct Sieve {
-    bits: Vec<u64>,
-    /// Number of duplicates dropped so far.
-    pub hits: u64,
+    bits: Vec<AtomicU64>,
+    hits: AtomicU64,
+}
+
+impl Clone for Sieve {
+    fn clone(&self) -> Self {
+        Self {
+            bits: self
+                .bits
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Sieve {
     /// A sieve covering `n` slots, all clear.
     pub fn new(n: usize) -> Self {
         Self {
-            bits: vec![0u64; n.div_ceil(64)],
-            hits: 0,
+            bits: (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            hits: AtomicU64::new(0),
         }
     }
 
     /// Marks slot `i`; returns `true` if it was already set (a duplicate,
     /// counted in [`Sieve::hits`]).
-    pub fn test_and_set(&mut self, i: usize) -> bool {
+    pub fn test_and_set(&self, i: usize) -> bool {
         let (word, bit) = (i / 64, 1u64 << (i % 64));
-        let seen = self.bits[word] & bit != 0;
+        let seen = self.bits[word].fetch_or(bit, Ordering::Relaxed) & bit != 0;
         if seen {
-            self.hits += 1;
-        } else {
-            self.bits[word] |= bit;
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
         seen
+    }
+
+    /// Number of duplicates dropped so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 }
 
@@ -538,12 +560,35 @@ mod tests {
 
     #[test]
     fn sieve_counts_duplicates() {
-        let mut s = Sieve::new(100);
+        let s = Sieve::new(100);
         assert!(!s.test_and_set(42));
         assert!(s.test_and_set(42));
         assert!(!s.test_and_set(99));
         assert!(s.test_and_set(42));
-        assert_eq!(s.hits, 2);
+        assert_eq!(s.hits(), 2);
+    }
+
+    #[test]
+    fn sieve_is_exact_under_concurrency() {
+        // 4 threads hammer the same 256 slots twice each: every slot is
+        // claimed exactly once, and every other attempt counts as a hit.
+        let s = Sieve::new(256);
+        let claimed = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..256 {
+                        for _ in 0..2 {
+                            if !s.test_and_set(i) {
+                                claimed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(claimed.load(Ordering::Relaxed), 256);
+        assert_eq!(s.hits(), 4 * 2 * 256 - 256);
     }
 
     #[test]

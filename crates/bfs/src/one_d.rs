@@ -14,7 +14,7 @@ use crate::frontier_codec::{
     decode_pairs, encode_pairs, merge_level_stats, Codec, LevelCodecStats, Sieve,
 };
 use crate::{BfsOutput, UNREACHED};
-use dmbfs_comm::{Comm, CommStats, WireBuf, World};
+use dmbfs_comm::{Comm, CommStats, LevelTiming, WireBuf, World};
 use dmbfs_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -209,12 +209,14 @@ fn rank_bfs(
 
     // One bit per global vertex: a vertex's owner is fixed, so this also
     // keys (vertex, destination) pairs. Only allocated when sieving.
-    let mut visited_sieve =
+    let visited_sieve =
         (sieve && codec != Codec::Off).then(|| Sieve::new(local.block.domain() as usize));
     let mut codec_levels: Vec<LevelCodecStats> = Vec::new();
 
     let mut level: i64 = 1;
     loop {
+        let level_start = Instant::now();
+        let comm_before = comm.comm_wall();
         // Lines 13–19: enumerate adjacencies into per-destination buffers.
         let send = match pool {
             Some(pool) => pool.install(|| pack_parallel(local, &frontier, p)),
@@ -226,8 +228,15 @@ fn rank_bfs(
         let recv = if codec == Codec::Off {
             comm.alltoallv(send)
         } else {
-            let (bufs, stats) =
-                encode_exchange(comm, local, send, codec, visited_sieve.as_mut(), level);
+            let (bufs, stats) = encode_exchange(
+                comm,
+                local,
+                send,
+                codec,
+                visited_sieve.as_ref(),
+                level,
+                pool,
+            );
             codec_levels.push(stats);
             bufs
         };
@@ -238,6 +247,14 @@ fn rank_bfs(
         };
         // Global termination test.
         let global_next = comm.allreduce(next.len() as u64, |a, b| a + b);
+        // Attribute the level's wall time: everything outside collectives
+        // is local compute (pack, codec work, unpack).
+        let comm_spent = comm.comm_wall() - comm_before;
+        comm.push_level_timing(LevelTiming {
+            level: (level - 1) as u32,
+            compute: level_start.elapsed().saturating_sub(comm_spent),
+            comm: comm_spent,
+        });
         if global_next == 0 {
             break;
         }
@@ -257,20 +274,22 @@ fn rank_bfs(
 /// pairs and collapse duplicate targets to their maximum parent (the
 /// canonical tie-break, see [`unpack_serial`]), drop already-sent vertices
 /// through the sieve, encode, exchange as wire bytes, decode.
+///
+/// Under a hybrid pool the per-destination encode work (sort, dedup,
+/// sieve, encode) and the receive-side decode both fan out across pool
+/// threads: destinations are independent, and the sieve's atomic bitmap
+/// covers disjoint owner ranges per destination. The collective itself
+/// stays on the rank's main thread (the [`Comm`] threading invariant).
 fn encode_exchange(
     comm: &Comm,
     local: &Local1d,
     send: Vec<Vec<(u64, u64)>>,
     codec: Codec,
-    mut sieve: Option<&mut Sieve>,
+    sieve: Option<&Sieve>,
     level: i64,
+    pool: Option<&rayon::ThreadPool>,
 ) -> (Vec<Vec<(u64, u64)>>, LevelCodecStats) {
-    let mut stats = LevelCodecStats {
-        level: level as usize,
-        ..Default::default()
-    };
-    let mut bufs: Vec<WireBuf> = Vec::with_capacity(send.len());
-    for (j, mut pairs) in send.into_iter().enumerate() {
+    let encode_one = |j: usize, mut pairs: Vec<(u64, u64)>| -> (WireBuf, u64) {
         pairs.sort_unstable();
         // Sorted by (target, parent): sliding the later parent into the
         // retained element leaves each target once, with its max parent.
@@ -282,18 +301,44 @@ fn encode_exchange(
                 false
             }
         });
-        if let Some(s) = sieve.as_deref_mut() {
-            let before = s.hits;
+        let mut dropped = 0u64;
+        if let Some(s) = sieve {
+            let before = pairs.len();
             pairs.retain(|&(t, _)| !s.test_and_set(t as usize));
-            stats.sieve_hits += s.hits - before;
+            dropped = (before - pairs.len()) as u64;
         }
-        let buf = encode_pairs(&pairs, local.block.range(j), codec);
+        (encode_pairs(&pairs, local.block.range(j), codec), dropped)
+    };
+    let encoded: Vec<(WireBuf, u64)> = match pool {
+        Some(pool) => pool.install(|| {
+            send.into_par_iter()
+                .enumerate()
+                .map(|(j, pairs)| encode_one(j, pairs))
+                .collect()
+        }),
+        None => send
+            .into_iter()
+            .enumerate()
+            .map(|(j, pairs)| encode_one(j, pairs))
+            .collect(),
+    };
+    let mut stats = LevelCodecStats {
+        level: level as usize,
+        ..Default::default()
+    };
+    let mut bufs: Vec<WireBuf> = Vec::with_capacity(encoded.len());
+    for (j, (buf, dropped)) in encoded.into_iter().enumerate() {
+        stats.sieve_hits += dropped;
         if j != comm.rank() {
             stats.note(&buf);
         }
         bufs.push(buf);
     }
-    let recv = comm.alltoallv_wire(bufs).iter().map(decode_pairs).collect();
+    let wire = comm.alltoallv_wire(bufs);
+    let recv = match pool {
+        Some(pool) => pool.install(|| wire.par_iter().map(decode_pairs).collect()),
+        None => wire.iter().map(decode_pairs).collect(),
+    };
     (recv, stats)
 }
 

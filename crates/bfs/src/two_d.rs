@@ -34,9 +34,10 @@ use crate::frontier_codec::{
 };
 use crate::{BfsOutput, UNREACHED};
 use dmbfs_comm::algorithms::{allgather_doubling, allgather_ring};
-use dmbfs_comm::{Comm, CommStats, WireBuf, World};
+use dmbfs_comm::{Comm, CommStats, LevelTiming, WireBuf, World};
 use dmbfs_graph::{CsrGraph, Grid2D, VertexId};
 use dmbfs_matrix::{spmsv, Dcsc, MergeKernel, RowSplitDcsc, SelectMax, SpaWorkspace, SparseVector};
+use rayon::prelude::*;
 use std::ops::Range;
 use std::time::Instant;
 
@@ -360,7 +361,7 @@ impl RankState {
         // One bit per local matrix row: a row folded once was claimed by
         // its vector owner at that level, so later re-emissions are
         // duplicates the owner's mask would discard anyway.
-        let mut fold_sieve = (self.cfg.sieve && codec != Codec::Off)
+        let fold_sieve = (self.cfg.sieve && codec != Codec::Off)
             .then(|| Sieve::new(self.block.nrows() as usize));
         let mut codec_levels: Vec<LevelCodecStats> = Vec::new();
 
@@ -375,6 +376,11 @@ impl RankState {
 
         let mut level: i64 = 1;
         loop {
+            let level_start = Instant::now();
+            // A 2D level communicates on three communicators: world
+            // (transpose, allreduce), column (expand), row (fold). Sum
+            // their wall-time deltas to attribute the level's time.
+            let comm_before = comm.comm_wall() + row_comm.comm_wall() + col_comm.comm_wall();
             let mut lvl = LevelCodecStats {
                 level: level as usize,
                 ..Default::default()
@@ -427,7 +433,7 @@ impl RankState {
             // Line 8: fold along the processor row to the vector owners.
             let mut fold_bufs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); grid.cols()];
             for (r, parent) in t.iter() {
-                if let Some(s) = fold_sieve.as_mut() {
+                if let Some(s) = fold_sieve.as_ref() {
                     if s.test_and_set(r as usize) {
                         lvl.sieve_hits += 1;
                         continue;
@@ -441,21 +447,28 @@ impl RankState {
             let folded: Vec<Vec<(u64, u64)>> = if codec == Codec::Off {
                 row_comm.alltoallv(fold_bufs)
             } else {
-                let bufs: Vec<WireBuf> = fold_bufs
-                    .iter()
-                    .enumerate()
-                    .map(|(oj, pairs)| encode_pairs(pairs, self.owner_vrange(i, oj), codec))
-                    .collect();
+                // Per-destination encodes are independent; fan them out on
+                // the rank pool. The collective itself stays on this (the
+                // rank's main) thread — see the Comm threading invariant.
+                let encode_one = |(oj, pairs): (usize, &Vec<(u64, u64)>)| -> WireBuf {
+                    encode_pairs(pairs, self.owner_vrange(i, oj), codec)
+                };
+                let bufs: Vec<WireBuf> = match pool {
+                    Some(pool) => {
+                        pool.install(|| fold_bufs.par_iter().enumerate().map(encode_one).collect())
+                    }
+                    None => fold_bufs.iter().enumerate().map(encode_one).collect(),
+                };
                 for (oj, b) in bufs.iter().enumerate() {
                     if oj != row_comm.rank() {
                         lvl.note(b);
                     }
                 }
-                row_comm
-                    .alltoallv_wire(bufs)
-                    .iter()
-                    .map(decode_pairs)
-                    .collect()
+                let wire = row_comm.alltoallv_wire(bufs);
+                match pool {
+                    Some(pool) => pool.install(|| wire.par_iter().map(decode_pairs).collect()),
+                    None => wire.iter().map(decode_pairs).collect(),
+                }
             };
             if codec != Codec::Off {
                 codec_levels.push(lvl);
@@ -464,7 +477,10 @@ impl RankState {
             let mut next: Vec<VertexId> = Vec::new();
             let mut merged: Vec<(u64, u64)> = folded.into_iter().flatten().collect();
             work.fold_received += merged.len() as u64;
-            merged.sort_unstable();
+            match pool {
+                Some(pool) => pool.install(|| merged.par_sort_unstable()),
+                None => merged.sort_unstable(),
+            }
             // Keep the max parent per vertex: after the sort, the last
             // entry of each group (SelectMax's add).
             let mut k = 0;
@@ -485,6 +501,13 @@ impl RankState {
             }
             // Termination: is the global frontier empty?
             let total = comm.allreduce(next.len() as u64, |a, b| a + b);
+            let comm_spent = (comm.comm_wall() + row_comm.comm_wall() + col_comm.comm_wall())
+                .saturating_sub(comm_before);
+            comm.push_level_timing(LevelTiming {
+                level: (level - 1) as u32,
+                compute: level_start.elapsed().saturating_sub(comm_spent),
+                comm: comm_spent,
+            });
             if total == 0 {
                 break;
             }

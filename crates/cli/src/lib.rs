@@ -140,7 +140,7 @@ USAGE:
   dmbfs bfs FILE [--algorithm serial|shared|direction|1d|2d] [--ranks P]
                  [--threads T] [--source V] [--validate true]
                  [--codec off|raw|varint|bitmap|adaptive] [--sieve true|false]
-  dmbfs teps FILE [--algorithm ...] [--ranks P] [--sources N]
+  dmbfs teps FILE [--algorithm ...] [--ranks P] [--threads T] [--sources N]
                   [--codec ...] [--sieve ...]
   dmbfs components FILE [--ranks P]
   dmbfs sssp FILE [--ranks P] [--max-weight W] [--source V]
@@ -259,6 +259,32 @@ impl WireOpts {
     }
 }
 
+/// One-line description of the effective process/thread layout — the
+/// flat-vs-hybrid distinction of §6 ("Flat MPI" vs "Hybrid"). The 2D
+/// algorithm reports the realized grid, which may round `--ranks` down
+/// to the closest-square decomposition.
+fn mode_line(algorithm: &str, ranks: usize, threads: usize) -> String {
+    match algorithm {
+        "serial" | "shared" | "direction" => {
+            format!("mode {algorithm}: single process (--ranks/--threads not used)")
+        }
+        "2d" => {
+            let grid = Grid2D::closest_square(ranks);
+            let kind = if threads > 1 { "hybrid" } else { "flat" };
+            format!(
+                "mode {kind}: {} ranks ({}x{} grid) x {threads} thread(s)/rank",
+                grid.size(),
+                grid.rows(),
+                grid.cols(),
+            )
+        }
+        _ => {
+            let kind = if threads > 1 { "hybrid" } else { "flat" };
+            format!("mode {kind}: {ranks} ranks x {threads} thread(s)/rank")
+        }
+    }
+}
+
 fn run_algorithm(
     g: &CsrGraph,
     algorithm: &str,
@@ -314,6 +340,9 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
             g.num_vertices()
         )));
     }
+    if threads == 0 {
+        return Err(err("--threads expects a positive thread count"));
+    }
     let wire = WireOpts::from_args(args)?;
     let t0 = Instant::now();
     let out = run_algorithm(&g, &algorithm, ranks, threads, source, wire)?;
@@ -324,8 +353,9 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
     }
     let edges = teps_edges(&g, &out);
     Ok(format!(
-        "algorithm {algorithm} source {source}: reached {} of {} vertices, depth {}, \
+        "{}\nalgorithm {algorithm} source {source}: reached {} of {} vertices, depth {}, \
          {} edges, {:.1} ms, {:.2} MTEPS (validated)",
+        mode_line(&algorithm, ranks, threads),
         out.num_reached(),
         g.num_vertices(),
         out.depth(),
@@ -341,6 +371,9 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
     let ranks = args.opt_u64("ranks", 4)? as usize;
     let threads = args.opt_u64("threads", 1)? as usize;
     let num_sources = args.opt_u64("sources", 16)? as usize;
+    if threads == 0 {
+        return Err(err("--threads expects a positive thread count"));
+    }
     let wire = WireOpts::from_args(args)?;
     let report = dmbfs_bfs::teps::benchmark_bfs(&g, num_sources, 5, |s| {
         (
@@ -349,8 +382,9 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
         )
     });
     Ok(format!(
-        "algorithm {algorithm}: {} sources, {:.2} MTEPS aggregate, {:.2} MTEPS harmonic mean, \
+        "{}\nalgorithm {algorithm}: {} sources, {:.2} MTEPS aggregate, {:.2} MTEPS harmonic mean, \
          {:.1} ms mean search time",
+        mode_line(&algorithm, ranks, threads),
         report.runs.len(),
         report.mteps(),
         report.harmonic_mean_teps / 1e6,
@@ -571,6 +605,64 @@ mod tests {
 
         let msg = run(&args(&["components", file_s, "--ranks", "3"])).unwrap();
         assert!(msg.contains("components in"), "{msg}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bfs_reports_effective_flat_and_hybrid_mode() {
+        let dir = tmpdir();
+        let file = dir.join("mode.bin");
+        let file_s = file.to_str().unwrap();
+        run(&args(&[
+            "generate", "--model", "rmat", "--scale", "8", "--seed", "5", "--out", file_s,
+        ]))
+        .unwrap();
+
+        let flat = run(&args(&["bfs", file_s, "--algorithm", "1d", "--ranks", "4"])).unwrap();
+        assert!(
+            flat.contains("mode flat: 4 ranks x 1 thread(s)/rank"),
+            "{flat}"
+        );
+
+        let hybrid = run(&args(&[
+            "bfs",
+            file_s,
+            "--algorithm",
+            "2d",
+            "--ranks",
+            "4",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(
+            hybrid.contains("mode hybrid: 4 ranks (2x2 grid) x 2 thread(s)/rank"),
+            "{hybrid}"
+        );
+
+        let serial = run(&args(&["bfs", file_s, "--algorithm", "serial"])).unwrap();
+        assert!(serial.contains("mode serial: single process"), "{serial}");
+
+        let teps = run(&args(&[
+            "teps",
+            file_s,
+            "--algorithm",
+            "1d",
+            "--ranks",
+            "2",
+            "--threads",
+            "2",
+            "--sources",
+            "2",
+        ]))
+        .unwrap();
+        assert!(
+            teps.contains("mode hybrid: 2 ranks x 2 thread(s)/rank"),
+            "{teps}"
+        );
+
+        assert!(run(&args(&["bfs", file_s, "--threads", "0"])).is_err());
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,12 +1,13 @@
 //! Communicator handles and typed collectives.
 
 use crate::barrier::{Poison, PoisonBarrier};
-use crate::stats::{CommEvent, CommStats, Pattern};
+use crate::stats::{CommEvent, CommStats, LevelTiming, Pattern};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::cell::RefCell;
 use std::sync::Arc;
-use std::time::Instant;
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
 
 /// An encoded payload travelling through a wire-aware collective: the
 /// encoded bytes plus the logical (pre-encoding) size they stand for, so
@@ -60,10 +61,28 @@ impl Shared {
 /// All collectives are **blocking** and must be called by every rank of the
 /// communicator in the same order with compatible arguments, exactly as in
 /// MPI. Payload types need `Clone + Send + Sync + 'static`.
+///
+/// # Threading invariant (hybrid MPI + threads)
+///
+/// When a rank is internally multi-threaded (`threads_per_rank > 1`, the
+/// paper's hybrid mode), **only the rank's main thread — the thread the
+/// rank closure started on — may call collectives**. This mirrors
+/// `MPI_THREAD_FUNNELED`: worker threads compute, the main thread
+/// communicates. Two guards enforce it:
+///
+/// * compile time: `Comm` is `!Sync` (it holds a `RefCell`), so a handle
+///   cannot be shared with pool workers by reference;
+/// * run time: every collective asserts it is running on the thread that
+///   created the handle, catching handles smuggled across threads by
+///   move (`Comm` is `Send`) — the barrier generation counters and the
+///   per-rank exchange-board slots assume one caller per rank, and a
+///   second thread entering a collective would corrupt the rendezvous.
 pub struct Comm {
     shared: Arc<Shared>,
     rank: usize,
     stats: RefCell<CommStats>,
+    /// Thread that created the handle; collectives must run on it.
+    owner: ThreadId,
 }
 
 impl Comm {
@@ -72,7 +91,20 @@ impl Comm {
             shared,
             rank,
             stats: RefCell::new(CommStats::default()),
+            owner: std::thread::current().id(),
         }
+    }
+
+    /// Asserts the threading invariant documented on [`Comm`]: the
+    /// calling thread must be the one that created this handle.
+    fn assert_owner(&self) {
+        assert_eq!(
+            std::thread::current().id(),
+            self.owner,
+            "Comm collectives must be called from the rank's main thread \
+             (the thread that created the handle); pool worker threads \
+             must not communicate — see the threading invariant on Comm"
+        );
     }
 
     /// A standalone single-rank communicator: lets distributed code run
@@ -100,6 +132,19 @@ impl Comm {
     /// Drains and returns the recorded statistics.
     pub fn take_stats(&self) -> CommStats {
         std::mem::take(&mut self.stats.borrow_mut())
+    }
+
+    /// Total wall time recorded inside this handle's collectives so far.
+    /// Level loops sample this before and after a level to split the
+    /// level's elapsed time into compute and communication components.
+    pub fn comm_wall(&self) -> Duration {
+        self.stats.borrow().wall()
+    }
+
+    /// Appends a per-level compute/comm timing record (see
+    /// [`LevelTiming`]); retrieved later via [`Comm::stats`].
+    pub fn push_level_timing(&self, timing: LevelTiming) {
+        self.stats.borrow_mut().level_timings.push(timing);
     }
 
     fn record(&self, pattern: Pattern, bytes_out: u64, bytes_in: u64, start: Instant) {
@@ -136,7 +181,11 @@ impl Comm {
         });
     }
 
+    /// First step of every data-bearing collective — which makes it the
+    /// single choke point (together with [`Comm::barrier`]) where the
+    /// owner-thread invariant is enforced.
     fn deposit<T: Send + Sync + 'static>(&self, value: T) {
+        self.assert_owner();
         *self.shared.slots[self.rank].lock() = Some(Arc::new(value));
     }
 
@@ -152,6 +201,7 @@ impl Comm {
 
     /// Pure synchronization barrier.
     pub fn barrier(&self) {
+        self.assert_owner();
         let start = Instant::now();
         self.shared.barrier.wait();
         self.record(Pattern::Barrier, 0, 0, start);

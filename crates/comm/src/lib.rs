@@ -38,5 +38,5 @@ mod stats;
 mod world;
 
 pub use comm::{Comm, WireBuf};
-pub use stats::{CommEvent, CommStats, Pattern};
+pub use stats::{CommEvent, CommStats, LevelTiming, Pattern};
 pub use world::World;

@@ -50,6 +50,22 @@ impl Pattern {
     }
 }
 
+/// Per-BFS-level phase breakdown for one rank: how much of the level's
+/// wall time went to local compute (expansion, SpMSV, merges, codec
+/// work) versus communication (time inside collectives, including
+/// waiting for slower peers). This is the paper's per-level
+/// "computation vs. communication" attribution, and the quantity the
+/// hybrid scaling study uses to show where intra-rank threading pays.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LevelTiming {
+    /// BFS level (distance from the source).
+    pub level: u32,
+    /// Wall time outside collectives: the local compute phases.
+    pub compute: Duration,
+    /// Wall time inside collectives during this level.
+    pub comm: Duration,
+}
+
 /// One collective call as seen by one rank.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CommEvent {
@@ -78,6 +94,9 @@ pub struct CommEvent {
 pub struct CommStats {
     /// Every collective call, in program order.
     pub events: Vec<CommEvent>,
+    /// Optional per-BFS-level compute/comm breakdown, recorded by the
+    /// algorithm's level loop (one entry per level, in level order).
+    pub level_timings: Vec<LevelTiming>,
 }
 
 impl CommStats {
@@ -145,10 +164,23 @@ impl CommStats {
         (logical > 0).then(|| self.wire_out() as f64 / logical as f64)
     }
 
+    /// Total compute time across all recorded level timings.
+    pub fn compute_total(&self) -> Duration {
+        self.level_timings.iter().map(|t| t.compute).sum()
+    }
+
+    /// Total communication time across all recorded level timings.
+    pub fn comm_total(&self) -> Duration {
+        self.level_timings.iter().map(|t| t.comm).sum()
+    }
+
     /// Merges another rank's stats into this one (event order interleaved
-    /// arbitrarily; aggregates remain exact).
+    /// arbitrarily; aggregates remain exact). Level timings concatenate;
+    /// callers that want a per-level maximum across ranks should keep the
+    /// per-rank stats separate instead.
     pub fn merge(&mut self, other: &CommStats) {
         self.events.extend_from_slice(&other.events);
+        self.level_timings.extend_from_slice(&other.level_timings);
     }
 }
 
@@ -176,6 +208,7 @@ mod tests {
                 ev(Pattern::Allgatherv, 40, 200, 7),
                 ev(Pattern::Alltoallv, 10, 10, 3),
             ],
+            ..Default::default()
         };
         assert_eq!(stats.num_calls(), 3);
         assert_eq!(stats.bytes_out(), 150);
@@ -189,9 +222,11 @@ mod tests {
     fn merge_concatenates() {
         let mut a = CommStats {
             events: vec![ev(Pattern::Barrier, 0, 0, 1)],
+            ..Default::default()
         };
         let b = CommStats {
             events: vec![ev(Pattern::Gather, 8, 0, 2)],
+            ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.num_calls(), 2);
@@ -204,12 +239,34 @@ mod tests {
     }
 
     #[test]
+    fn level_timings_aggregate_and_merge() {
+        let mut a = CommStats::default();
+        a.level_timings.push(LevelTiming {
+            level: 0,
+            compute: Duration::from_micros(30),
+            comm: Duration::from_micros(10),
+        });
+        a.level_timings.push(LevelTiming {
+            level: 1,
+            compute: Duration::from_micros(50),
+            comm: Duration::from_micros(20),
+        });
+        assert_eq!(a.compute_total(), Duration::from_micros(80));
+        assert_eq!(a.comm_total(), Duration::from_micros(30));
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.level_timings.len(), 4);
+        assert_eq!(a.compute_total(), Duration::from_micros(160));
+    }
+
+    #[test]
     fn wire_bytes_track_separately_from_logical() {
         let mut compressed = ev(Pattern::Alltoallv, 1000, 800, 5);
         compressed.wire_out = 250;
         compressed.wire_in = 200;
         let stats = CommStats {
             events: vec![compressed, ev(Pattern::Allreduce, 8, 24, 1)],
+            ..Default::default()
         };
         assert_eq!(stats.bytes_out(), 1008);
         assert_eq!(stats.wire_out(), 258);

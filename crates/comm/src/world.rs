@@ -347,6 +347,43 @@ mod tests {
     }
 
     #[test]
+    fn collectives_panic_off_the_owner_thread() {
+        // The hybrid-mode invariant: a Comm handle smuggled to another
+        // thread (it is Send) must refuse to run collectives there.
+        let comm = Comm::single();
+        let cross_thread_panicked = std::thread::spawn(move || {
+            let barrier = catch_unwind(AssertUnwindSafe(|| comm.barrier())).is_err();
+            let reduce =
+                catch_unwind(AssertUnwindSafe(|| comm.allreduce(1u64, |a, b| a + b))).is_err();
+            barrier && reduce
+        })
+        .join()
+        .unwrap();
+        assert!(cross_thread_panicked);
+    }
+
+    #[test]
+    fn level_timings_round_trip_through_stats() {
+        use crate::stats::LevelTiming;
+        use std::time::Duration;
+        let stats = World::run(2, |comm| {
+            comm.barrier();
+            let comm_wall = comm.comm_wall();
+            comm.push_level_timing(LevelTiming {
+                level: 0,
+                compute: Duration::from_micros(5),
+                comm: comm_wall,
+            });
+            comm.take_stats()
+        });
+        for s in &stats {
+            assert_eq!(s.level_timings.len(), 1);
+            assert_eq!(s.level_timings[0].level, 0);
+            assert_eq!(s.comm_total(), s.wall());
+        }
+    }
+
+    #[test]
     fn large_world_smoke() {
         // 64 ranks exchanging; exercises heavy thread oversubscription.
         let out = World::run(64, |comm| {

@@ -1,174 +1,788 @@
-//! Offline stand-in for `rayon`. The API surface the workspace uses is
-//! reproduced, but every "parallel" iterator executes sequentially on the
-//! calling thread; `ThreadPool::install` simply runs its closure. The
-//! simulated-rank parallelism in `dmbfs-comm` uses `std::thread` directly
-//! and is unaffected. See `third_party/README.md`.
+//! Offline stand-in for `rayon` with a real multi-threaded execution
+//! engine. The public facade matches the subset of rayon the workspace
+//! uses (parallel iterators, `ThreadPool`/`install`, `join`, `scope`,
+//! `par_sort_unstable`), but execution is genuinely parallel: a pool of
+//! `std::thread` workers with per-worker deques and work stealing.
+//!
+//! # Execution model
+//!
+//! A parallel iterator is an owned list of base items plus a composed
+//! element operator (map/filter/flat-map stages fused into one
+//! push-based closure). At a terminal operation the items are split
+//! into ordered chunks — `with_min_len` bounds the split granularity —
+//! and each chunk becomes one task in a *batch*. Tasks are scattered
+//! round-robin across the workers' deques; idle workers steal from the
+//! back of other deques. The calling thread participates too: while its
+//! batch is outstanding it executes queued tasks instead of blocking,
+//! which also makes nested parallelism (a task that itself runs a
+//! parallel iterator, or `join` inside `join`) deadlock-free.
+//!
+//! Chunks are reassembled in order, so `collect` preserves item order
+//! and results are independent of the number of threads. Per-chunk
+//! `fold` accumulators follow rayon's fold/reduce contract. Panics
+//! inside tasks are caught, the batch is drained, and the first payload
+//! is re-raised on the caller.
+//!
+//! A pool built with `num_threads(n)` spawns `n - 1` workers; the
+//! caller is the n-th lane. `install` pins the current thread to the
+//! pool via TLS so nested operations reuse it; outside any `install`
+//! the lazily-created global pool (sized by `RAYON_NUM_THREADS` or
+//! `std::thread::available_parallelism`) is used.
 
+use std::any::Any;
+use std::collections::VecDeque;
 use std::fmt;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread;
+use std::time::Duration;
 
-/// Sequential adapter standing in for rayon's parallel iterators.
-pub struct Par<I>(I);
+// ---------------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------------
 
-impl<I: Iterator> Par<I> {
+/// Locks, recovering from poisoning: a panicking task never holds these
+/// mutexes (user code runs outside every critical section), so a
+/// poisoned lock still guards consistent data.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion state shared by all tasks fanned out for one operation.
+struct Batch {
+    /// Tasks enqueued but not yet finished.
+    remaining: Mutex<usize>,
+    /// Signalled when `remaining` reaches zero.
+    done: Condvar,
+    /// First panic payload observed among the batch's tasks.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Batch {
+    fn new(count: usize) -> Arc<Self> {
+        Arc::new(Batch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+}
+
+struct Task {
+    job: Job,
+    batch: Arc<Batch>,
+}
+
+/// Shared pool state: one deque per worker plus wakeup machinery.
+struct Inner {
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Queued-but-unclaimed task count; incremented *before* the push so
+    /// it never underflows on pop.
+    pending: AtomicUsize,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    rr: AtomicUsize,
+    /// Worker-thread count (pool size minus the participating caller).
+    workers: usize,
+}
+
+impl Inner {
+    fn new(workers: usize) -> Self {
+        Inner {
+            queues: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            pending: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            rr: AtomicUsize::new(0),
+            workers,
+        }
+    }
+
+    /// Total parallel lanes: workers plus the calling thread.
+    fn lanes(&self) -> usize {
+        self.workers + 1
+    }
+
+    fn push_tasks(&self, tasks: Vec<Task>) {
+        self.pending.fetch_add(tasks.len(), Ordering::Release);
+        for t in tasks {
+            let q = self.rr.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            lock(&self.queues[q]).push_back(t);
+        }
+        let _g = lock(&self.sleep);
+        self.wake.notify_all();
+    }
+
+    /// Pops from `own`'s front, else steals from the back of any other
+    /// deque — classic owner-LIFO/thief-FIFO splitting of locality.
+    fn pop(&self, own: usize) -> Option<Task> {
+        if let Some(t) = lock(&self.queues[own]).pop_front() {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            return Some(t);
+        }
+        self.steal_any()
+    }
+
+    fn steal_any(&self) -> Option<Task> {
+        for q in &self.queues {
+            if let Some(t) = lock(q).pop_back() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn execute(task: Task) {
+        let result = panic::catch_unwind(AssertUnwindSafe(task.job));
+        if let Err(payload) = result {
+            let mut slot = lock(&task.batch.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut rem = lock(&task.batch.remaining);
+        *rem -= 1;
+        if *rem == 0 {
+            task.batch.done.notify_all();
+        }
+    }
+
+    /// Blocks until `batch` completes, executing queued tasks (of any
+    /// batch) instead of idling. The short timed wait is a safety net
+    /// against missed wakeups; correctness never depends on `notify`.
+    fn help_until(&self, batch: &Batch) {
+        loop {
+            if let Some(task) = self.steal_any() {
+                Self::execute(task);
+                continue;
+            }
+            let guard = lock(&batch.remaining);
+            if *guard == 0 {
+                return;
+            }
+            if self.pending.load(Ordering::Acquire) > 0 {
+                continue; // work appeared; go steal it
+            }
+            let _ = batch.done.wait_timeout(guard, Duration::from_millis(1));
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>, idx: usize) {
+        CURRENT.with(|c| c.borrow_mut().push(Arc::clone(&self)));
+        loop {
+            if let Some(task) = self.pop(idx) {
+                Self::execute(task);
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let guard = lock(&self.sleep);
+            if self.pending.load(Ordering::Acquire) == 0 && !self.shutdown.load(Ordering::Acquire) {
+                let _ = self.wake.wait_timeout(guard, Duration::from_millis(50));
+            }
+        }
+    }
+
+    /// Runs `jobs` to completion: inline when the pool has no workers or
+    /// there is a single job, otherwise fanned out as one batch with the
+    /// caller helping. Re-raises the first task panic after the batch
+    /// drains, so borrowed stack data stays valid for the jobs' whole
+    /// lifetime — which is what makes the lifetime erasure below sound.
+    fn run_batch<'f>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'f>>) {
+        if self.workers == 0 || jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let batch = Batch::new(jobs.len());
+        let tasks = jobs
+            .into_iter()
+            .map(|job| Task {
+                // SAFETY: `help_until` below does not return until every
+                // task in the batch has finished executing, so the jobs
+                // cannot outlive the `'f` data they borrow. Nothing in
+                // this function unwinds between enqueue and that wait.
+                job: unsafe { erase_job(job) },
+                batch: Arc::clone(&batch),
+            })
+            .collect();
+        self.push_tasks(tasks);
+        self.help_until(&batch);
+        let payload = lock(&batch.panic).take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// SAFETY: caller must guarantee the job finishes before `'f` ends.
+unsafe fn erase_job<'f>(job: Box<dyn FnOnce() + Send + 'f>) -> Job {
+    std::mem::transmute(job)
+}
+
+thread_local! {
+    /// Stack of pools this thread is pinned to (`install` nesting).
+    static CURRENT: std::cell::RefCell<Vec<Arc<Inner>>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let n = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("global pool")
+    })
+}
+
+/// The pool the current thread runs parallel work on: the innermost
+/// `install`ed pool (worker threads count as permanently installed),
+/// else the global pool.
+fn current_pool() -> Arc<Inner> {
+    CURRENT
+        .with(|c| c.borrow().last().cloned())
+        .unwrap_or_else(|| Arc::clone(&global_pool().inner))
+}
+
+/// Number of threads in the current thread's pool (installed or global).
+pub fn current_num_threads() -> usize {
+    current_pool().lanes()
+}
+
+// ---------------------------------------------------------------------------
+// join / scope
+// ---------------------------------------------------------------------------
+
+/// Runs both closures, potentially in parallel, returning both results.
+/// `b` is offered to the pool while the caller runs `a`; the caller then
+/// helps execute queued work until `b` completes. Panics from either
+/// side propagate (the `a` side is re-raised only after `b` finishes, so
+/// no task outlives borrowed stack data).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = current_pool();
+    if pool.workers == 0 {
+        return (a(), b());
+    }
+    let mut rb: Option<RB> = None;
+    {
+        let rb_slot = &mut rb;
+        let batch = Batch::new(1);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            *rb_slot = Some(b());
+        });
+        pool.push_tasks(vec![Task {
+            // SAFETY: `help_until` below runs before this frame unwinds
+            // (the `a` panic is stashed, not raised, until then).
+            job: unsafe { erase_job(job) },
+            batch: Arc::clone(&batch),
+        }]);
+        let ra = panic::catch_unwind(AssertUnwindSafe(a));
+        pool.help_until(&batch);
+        if let Some(payload) = lock(&batch.panic).take() {
+            panic::resume_unwind(payload);
+        }
+        match ra {
+            Ok(ra) => (ra, rb.expect("join: task completed without result")),
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// A scope in which tasks borrowing data outside the scope may be
+/// spawned; all of them complete before [`scope`] returns.
+pub struct Scope<'scope> {
+    pool: Arc<Inner>,
+    batch: Arc<Batch>,
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    fn mirror(&self) -> Scope<'scope> {
+        Scope {
+            pool: Arc::clone(&self.pool),
+            batch: Arc::clone(&self.batch),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Spawns `body` into the scope; it may itself spawn further tasks.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        *lock(&self.batch.remaining) += 1;
+        let child = self.mirror();
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || body(&child));
+        let task = Task {
+            // SAFETY: `scope` waits for the batch before returning or
+            // unwinding, so spawned jobs never outlive `'scope`; the
+            // no-worker path below executes the task on the spot.
+            job: unsafe { erase_job(job) },
+            batch: Arc::clone(&self.batch),
+        };
+        if self.pool.workers == 0 {
+            // No workers to hand the task to: run it immediately. Any
+            // panic is stashed on the batch, exactly as a worker would.
+            Inner::execute(task);
+            return;
+        }
+        self.pool.push_tasks(vec![task]);
+    }
+}
+
+/// Creates a scope, runs `f` in it, waits for every spawned task, then
+/// returns `f`'s result. The first panic (from `f` or any task) is
+/// re-raised after all tasks have drained.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let pool = current_pool();
+    let scope = Scope {
+        pool: Arc::clone(&pool),
+        // Start at 1 for `f` itself so the count cannot transiently hit
+        // zero while tasks are still being spawned.
+        batch: Batch::new(1),
+        _marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    {
+        let mut rem = lock(&scope.batch.remaining);
+        *rem -= 1;
+        if *rem == 0 {
+            scope.batch.done.notify_all();
+        }
+    }
+    pool.help_until(&scope.batch);
+    if let Some(payload) = lock(&scope.batch.panic).take() {
+        panic::resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator engine
+// ---------------------------------------------------------------------------
+
+/// One ready-to-run chunk: drives its slice of base items through the
+/// fused operator pipeline, pushing outputs into the provided sink.
+type ChunkRun<'a, T> = Box<dyn FnOnce(&mut dyn FnMut(T)) + Send + 'a>;
+
+/// An owned, splittable source of `T`s. `chunk` consumes the source and
+/// cuts it into at most `target` ordered runs.
+trait Chunkable<'a, T: Send>: Send {
+    fn len(&self) -> usize;
+    fn chunk(self: Box<Self>, target: usize) -> Vec<ChunkRun<'a, T>>;
+}
+
+/// Splits `v` into `n` contiguous pieces of near-equal size, in order.
+fn split_vec<B>(mut v: Vec<B>, n: usize) -> Vec<Vec<B>> {
+    let n = n.clamp(1, v.len().max(1));
+    let len = v.len();
+    let base = len / n;
+    let extra = len % n;
+    let mut parts = Vec::with_capacity(n);
+    // Split from the back so each split_off is O(piece).
+    for i in (0..n).rev() {
+        let size = base + usize::from(i < extra);
+        parts.push(v.split_off(v.len() - size));
+    }
+    parts.reverse();
+    parts
+}
+
+/// A fused element operator: consumes one upstream element, feeding any
+/// number of downstream elements to the sink.
+type ElemOp<'a, B, T> = Arc<dyn Fn(B, &mut dyn FnMut(T)) + Send + Sync + 'a>;
+
+/// Leaf source: owned items plus the fused element operator.
+struct Base<'a, B: Send, T: Send> {
+    items: Vec<B>,
+    op: ElemOp<'a, B, T>,
+}
+
+impl<'a, B: Send + 'a, T: Send + 'a> Chunkable<'a, T> for Base<'a, B, T> {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn chunk(self: Box<Self>, target: usize) -> Vec<ChunkRun<'a, T>> {
+        let Base { items, op } = *self;
+        split_vec(items, target)
+            .into_iter()
+            .map(|part| {
+                let op = Arc::clone(&op);
+                Box::new(move |sink: &mut dyn FnMut(T)| {
+                    for b in part {
+                        op(b, sink);
+                    }
+                }) as ChunkRun<'a, T>
+            })
+            .collect()
+    }
+}
+
+/// Composed stage: wraps an upstream source with a further operator.
+struct Adapt<'a, T: Send, U: Send> {
+    inner: Box<dyn Chunkable<'a, T> + 'a>,
+    op: ElemOp<'a, T, U>,
+}
+
+impl<'a, T: Send + 'a, U: Send + 'a> Chunkable<'a, U> for Adapt<'a, T, U> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn chunk(self: Box<Self>, target: usize) -> Vec<ChunkRun<'a, U>> {
+        let Adapt { inner, op } = *self;
+        inner
+            .chunk(target)
+            .into_iter()
+            .map(|run| {
+                let op = Arc::clone(&op);
+                Box::new(move |sink: &mut dyn FnMut(U)| {
+                    run(&mut |t| op(t, sink));
+                }) as ChunkRun<'a, U>
+            })
+            .collect()
+    }
+}
+
+/// A parallel iterator: an owned item source with a fused operator
+/// pipeline, executed chunk-wise on the current pool at a terminal
+/// operation. Chunk order equals item order, so results are identical
+/// for every thread count.
+pub struct Par<'a, T: Send> {
+    inner: Box<dyn Chunkable<'a, T> + 'a>,
+    min_len: usize,
+}
+
+impl<'a, T: Send + 'a> Par<'a, T> {
+    fn from_vec(items: Vec<T>) -> Self {
+        Par {
+            inner: Box::new(Base {
+                items,
+                op: Arc::new(|t, sink: &mut dyn FnMut(T)| sink(t)),
+            }),
+            min_len: 1,
+        }
+    }
+
+    fn adapt<U: Send + 'a>(
+        self,
+        op: impl Fn(T, &mut dyn FnMut(U)) + Send + Sync + 'a,
+    ) -> Par<'a, U> {
+        Par {
+            inner: Box::new(Adapt {
+                inner: self.inner,
+                op: Arc::new(op),
+            }),
+            min_len: self.min_len,
+        }
+    }
+
     /// Transforms each element.
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
+    pub fn map<U: Send + 'a, F>(self, f: F) -> Par<'a, U>
+    where
+        F: Fn(T) -> U + Send + Sync + 'a,
+    {
+        self.adapt(move |t, sink| sink(f(t)))
     }
 
     /// Keeps elements matching the predicate.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
-        Par(self.0.filter(f))
+    pub fn filter<F>(self, f: F) -> Par<'a, T>
+    where
+        F: Fn(&T) -> bool + Send + Sync + 'a,
+    {
+        self.adapt(move |t, sink| {
+            if f(&t) {
+                sink(t)
+            }
+        })
     }
 
     /// Map-and-filter in one pass.
-    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
-        self,
-        f: F,
-    ) -> Par<std::iter::FilterMap<I, F>> {
-        Par(self.0.filter_map(f))
+    pub fn filter_map<U: Send + 'a, F>(self, f: F) -> Par<'a, U>
+    where
+        F: Fn(T) -> Option<U> + Send + Sync + 'a,
+    {
+        self.adapt(move |t, sink| {
+            if let Some(u) = f(t) {
+                sink(u)
+            }
+        })
     }
 
     /// Maps each element to a serial iterator and flattens.
-    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
-        self,
-        f: F,
-    ) -> Par<std::iter::FlatMap<I, U, F>> {
-        Par(self.0.flat_map(f))
+    pub fn flat_map_iter<U, F>(self, f: F) -> Par<'a, U::Item>
+    where
+        U: IntoIterator,
+        U::Item: Send + 'a,
+        F: Fn(T) -> U + Send + Sync + 'a,
+    {
+        self.adapt(move |t, sink| {
+            for u in f(t) {
+                sink(u)
+            }
+        })
     }
 
-    /// Splitting-granularity hint; a no-op when execution is sequential.
-    pub fn with_min_len(self, _min: usize) -> Self {
+    /// Sets the minimum number of base items a chunk may hold — the
+    /// splitting granularity for all downstream terminal operations.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
         self
     }
 
-    /// Pairs each element with its index.
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
+    /// Pairs each element with its index (in iterator order).
+    pub fn enumerate(self) -> Par<'a, (usize, T)> {
+        let min_len = self.min_len;
+        let items: Vec<T> = self.collect();
+        let mut par = Par::from_vec(items.into_iter().enumerate().collect());
+        par.min_len = min_len;
+        par
     }
 
-    /// Zips with another "parallel" iterator.
-    pub fn zip<J: IntoParallelIterator>(self, other: J) -> Par<std::iter::Zip<I, J::Iter>> {
-        Par(self.0.zip(other.into_par_iter().0))
-    }
-
-    /// Per-"thread" fold. Sequentially there is one fold state, so this
-    /// yields a single accumulated value (as one-element iterator), which
-    /// [`Par::reduce`] then collapses — matching rayon's fold/reduce
-    /// contract for associative operators.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<T>>
+    /// Zips with another parallel iterator, truncating to the shorter.
+    pub fn zip<J>(self, other: J) -> Par<'a, (T, J::Item)>
     where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
+        J: IntoParallelIterator<'a>,
     {
-        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+        let min_len = self.min_len;
+        let left: Vec<T> = self.collect();
+        let right: Vec<J::Item> = other.into_par_iter().collect();
+        let mut par = Par::from_vec(left.into_iter().zip(right).collect());
+        par.min_len = min_len;
+        par
+    }
+
+    /// Decides how many chunks a terminal operation fans out into.
+    fn chunk_target(&self, pool: &Inner) -> usize {
+        let len = self.inner.len();
+        if len == 0 || pool.workers == 0 {
+            return 1;
+        }
+        // Oversubscribe modestly (4 chunks per lane) so stealing can
+        // balance uneven chunks, but never cut below `min_len` items.
+        (len / self.min_len).clamp(1, pool.lanes() * 4)
+    }
+
+    /// Executes the pipeline, returning each chunk's outputs in order.
+    fn drive(self) -> Vec<Vec<T>> {
+        let pool = current_pool();
+        let target = self.chunk_target(&pool);
+        let runs = self.inner.chunk(target);
+        let mut outs: Vec<Vec<T>> = Vec::new();
+        outs.resize_with(runs.len(), Vec::new);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = runs
+            .into_iter()
+            .zip(outs.iter_mut())
+            .map(|(run, out)| {
+                Box::new(move || run(&mut |t| out.push(t))) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_batch(jobs);
+        outs
+    }
+
+    /// Per-chunk eager fold; returns one accumulator per chunk, in chunk
+    /// order. Shared by `fold`, `reduce`, `count`, `min`, `max`.
+    fn exec_fold<A: Send>(
+        self,
+        identity: &(dyn Fn() -> A + Sync),
+        fold_op: &(dyn Fn(A, T) -> A + Sync),
+    ) -> Vec<A> {
+        let pool = current_pool();
+        let target = self.chunk_target(&pool);
+        let runs = self.inner.chunk(target);
+        let mut accs: Vec<Option<A>> = Vec::new();
+        accs.resize_with(runs.len(), || None);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = runs
+            .into_iter()
+            .zip(accs.iter_mut())
+            .map(|(run, slot)| {
+                Box::new(move || {
+                    let mut acc = Some(identity());
+                    run(&mut |t| {
+                        let a = acc.take().expect("fold accumulator");
+                        acc = Some(fold_op(a, t));
+                    });
+                    *slot = acc;
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_batch(jobs);
+        accs.into_iter()
+            .map(|a| a.expect("fold chunk completed"))
+            .collect()
+    }
+
+    /// Per-chunk fold: each chunk folds its elements into a fresh
+    /// `identity()` accumulator; the accumulators form a new parallel
+    /// iterator (rayon's fold/reduce contract for associative ops).
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Par<'a, A>
+    where
+        A: Send + 'a,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        Par::from_vec(self.exec_fold(&identity, &fold_op))
     }
 
     /// Reduces all elements with `op`, starting from `identity()`.
-    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
     where
-        ID: Fn() -> I::Item,
-        F: FnMut(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
     {
-        self.0.fold(identity(), op)
+        let parts = self.exec_fold(&identity, &|a, t| op(a, t));
+        parts.into_iter().fold(identity(), &op)
     }
 
     /// Runs `f` on every element.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        self.exec_fold(&|| (), &|(), t| f(t));
     }
 
-    /// Collects into any `FromIterator` collection.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// Collects into any `FromIterator` collection, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.drive().into_iter().flatten().collect()
     }
 
     /// Sums the elements.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.drive().into_iter().flatten().sum()
     }
 
     /// Number of elements.
     pub fn count(self) -> usize {
-        self.0.count()
+        self.exec_fold(&|| 0usize, &|c, _| c + 1).into_iter().sum()
     }
 
     /// Minimum element.
-    pub fn min(self) -> Option<I::Item>
+    pub fn min(self) -> Option<T>
     where
-        I::Item: Ord,
+        T: Ord,
     {
-        self.0.min()
+        self.exec_fold(&|| None, &|acc: Option<T>, t| match acc {
+            None => Some(t),
+            Some(a) => Some(if t < a { t } else { a }),
+        })
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     /// Maximum element.
-    pub fn max(self) -> Option<I::Item>
+    pub fn max(self) -> Option<T>
     where
-        I::Item: Ord,
+        T: Ord,
     {
-        self.0.max()
+        self.exec_fold(&|| None, &|acc: Option<T>, t| match acc {
+            None => Some(t),
+            Some(a) => Some(if t > a { t } else { a }),
+        })
+        .into_iter()
+        .flatten()
+        .max()
     }
 }
 
-impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> Par<I> {
+impl<'a, T: Copy + Send + Sync + 'a> Par<'a, &'a T> {
     /// Copies out of reference items.
-    pub fn copied(self) -> Par<std::iter::Copied<I>> {
-        Par(self.0.copied())
+    pub fn copied(self) -> Par<'a, T> {
+        self.map(|&t| t)
     }
 }
 
-impl<'a, T: 'a + Clone, I: Iterator<Item = &'a T>> Par<I> {
+impl<'a, T: Clone + Send + Sync + 'a> Par<'a, &'a T> {
     /// Clones out of reference items.
-    pub fn cloned(self) -> Par<std::iter::Cloned<I>> {
-        Par(self.0.cloned())
+    pub fn cloned(self) -> Par<'a, T> {
+        self.map(|t| t.clone())
     }
 }
 
-/// Conversion into a "parallel" iterator (sequential here).
-pub trait IntoParallelIterator {
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator<'a> {
     /// Element type.
-    type Item;
-    /// Underlying serial iterator.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send + 'a;
 
-    /// Converts into the iterator adapter.
-    fn into_par_iter(self) -> Par<Self::Iter>;
+    /// Converts into the parallel iterator.
+    fn into_par_iter(self) -> Par<'a, Self::Item>;
 }
 
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Item = T::Item;
-    type Iter = T::IntoIter;
+impl<'a, C: IntoIterator> IntoParallelIterator<'a> for C
+where
+    C::Item: Send + 'a,
+{
+    type Item = C::Item;
 
-    fn into_par_iter(self) -> Par<T::IntoIter> {
-        Par(self.into_iter())
+    fn into_par_iter(self) -> Par<'a, C::Item> {
+        Par::from_vec(self.into_iter().collect())
     }
 }
 
 /// `par_iter` on `&collection`.
 pub trait IntoParallelRefIterator<'a> {
     /// Element type (a reference).
-    type Item: 'a;
-    /// Underlying serial iterator.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send + 'a;
 
-    /// Borrowing "parallel" iterator.
-    fn par_iter(&'a self) -> Par<Self::Iter>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Par<'a, Self::Item>;
 }
 
 impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
 where
     &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send + 'a,
 {
     type Item = <&'a C as IntoIterator>::Item;
-    type Iter = <&'a C as IntoIterator>::IntoIter;
 
-    fn par_iter(&'a self) -> Par<Self::Iter> {
-        Par(self.into_iter())
+    fn par_iter(&'a self) -> Par<'a, Self::Item> {
+        Par::from_vec(self.into_iter().collect())
     }
 }
 
-/// In-place "parallel" slice operations.
+// ---------------------------------------------------------------------------
+// Parallel slice sort
+// ---------------------------------------------------------------------------
+
+/// In-place parallel slice operations.
 pub trait ParallelSliceMut<T: Send> {
-    /// Unstable sort (sequential `sort_unstable` here).
+    /// Unstable parallel sort.
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
@@ -179,11 +793,30 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     where
         T: Ord,
     {
-        self.sort_unstable();
+        par_quicksort(self);
     }
 }
 
-/// Error from [`ThreadPoolBuilder::build`]; never produced by this stub.
+/// Parallel quicksort: `select_nth_unstable` partitions around the true
+/// median position (duplicate-proof, O(n) guaranteed), then both halves
+/// sort concurrently via `join`. Small slices fall back to the serial
+/// pattern-defeating sort.
+fn par_quicksort<T: Send + Ord>(v: &mut [T]) {
+    const SEQ_CUTOFF: usize = 4096;
+    if v.len() <= SEQ_CUTOFF || current_pool().workers == 0 {
+        v.sort_unstable();
+        return;
+    }
+    let mid = v.len() / 2;
+    let (lo, _pivot, hi) = v.select_nth_unstable(mid);
+    join(|| par_quicksort(lo), || par_quicksort(hi));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+/// Error from [`ThreadPoolBuilder::build`].
 #[derive(Debug)]
 pub struct ThreadPoolBuildError;
 
@@ -207,40 +840,94 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Requests a pool size (recorded, not used: execution is sequential).
+    /// Requests a pool size; `0` selects the machine default.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Builds the pool; infallible in this stub.
+    /// Builds the pool, spawning `n - 1` worker threads (the thread
+    /// calling `install` is the pool's n-th lane).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        let inner = Arc::new(Inner::new(n - 1));
+        let mut handles = Vec::with_capacity(n - 1);
+        for idx in 0..n - 1 {
+            let pool = Arc::clone(&inner);
+            let handle = thread::Builder::new()
+                .name(format!("rayon-worker-{idx}"))
+                .spawn(move || pool.worker_loop(idx))
+                .map_err(|_| ThreadPoolBuildError)?;
+            handles.push(handle);
+        }
         Ok(ThreadPool {
-            num_threads: if self.num_threads == 0 {
-                1
-            } else {
-                self.num_threads
-            },
+            inner,
+            handles,
+            nominal: n,
         })
     }
 }
 
-/// A scoped execution context. `install` runs the closure on the calling
-/// thread; the nominal size is preserved for introspection.
-#[derive(Debug)]
+/// A work-stealing pool of `std::thread` workers. Dropping the pool
+/// shuts the workers down and joins them.
 pub struct ThreadPool {
-    num_threads: usize,
+    inner: Arc<Inner>,
+    handles: Vec<thread::JoinHandle<()>>,
+    nominal: usize,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.nominal)
+            .finish()
+    }
+}
+
+/// Restores the caller's previous pool pinning when `install` exits,
+/// including by panic.
+struct InstallGuard;
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
 }
 
 impl ThreadPool {
-    /// Runs `f` "inside" the pool.
+    /// Runs `f` with this pool as the current thread's pool: every
+    /// parallel operation inside `f` (nested ones included) fans out to
+    /// this pool's workers, with the calling thread participating.
     pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        CURRENT.with(|c| c.borrow_mut().push(Arc::clone(&self.inner)));
+        let _guard = InstallGuard;
         f()
     }
 
-    /// The nominal pool size requested at construction.
+    /// The pool size requested at construction.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.nominal
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _g = lock(&self.inner.sleep);
+            self.inner.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -253,6 +940,7 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_filter_collect() {
@@ -301,5 +989,167 @@ mod tests {
             .flat_map_iter(|x| vec![x, x])
             .collect();
         assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn collect_preserves_order_across_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let v: Vec<u64> = pool.install(|| {
+            (0..100_000u64)
+                .into_par_iter()
+                .with_min_len(64)
+                .map(|x| x * 3)
+                .collect()
+        });
+        assert_eq!(v.len(), 100_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 3 * i as u64));
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        pool.install(|| {
+            (0..64u64).into_par_iter().with_min_len(1).for_each(|_| {
+                // Give other lanes a chance to claim chunks.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        // On a multi-core machine several lanes run; the invariant that
+        // must hold everywhere (including single-core CI) is weaker:
+        // every chunk ran, on at least one thread.
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_and_nests() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let (a, (b, c)) =
+            pool.install(|| join(|| (0..1000u64).sum::<u64>(), || join(|| 1u64, || 2u64)));
+        assert_eq!(a, 499_500);
+        assert_eq!((b, c), (1, 2));
+    }
+
+    #[test]
+    fn join_propagates_panic_from_either_side() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| join(|| 1, || panic!("right side")));
+        }));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| join(|| panic!("left side"), || 1));
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_waits_for_all_spawns() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..32 {
+                    s.spawn(|s| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        // Nested spawn from inside a task.
+                        s.spawn(|_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_propagates_task_panic_after_drain() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let finished = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                scope(|s| {
+                    s.spawn(|_| panic!("task panic"));
+                    for _ in 0..8 {
+                        s.spawn(|_| {
+                            finished.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        }));
+        assert!(r.is_err());
+        // Every sibling task still ran: the batch drains before the
+        // panic is re-raised.
+        assert_eq!(finished.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn fold_under_contention_is_exact() {
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        for _ in 0..10 {
+            let total: u64 = pool.install(|| {
+                (0..50_000u64)
+                    .into_par_iter()
+                    .with_min_len(16)
+                    .fold(|| 0u64, |a, x| a + x)
+                    .reduce(|| 0u64, |a, b| a + b)
+            });
+            assert_eq!(total, 50_000 * 49_999 / 2);
+        }
+    }
+
+    #[test]
+    fn par_sort_large_with_duplicates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut v: Vec<u64> = (0..200_000u64).map(|i| (i * 2_654_435_761) % 977).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        pool.install(|| v.par_sort_unstable());
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn panic_in_parallel_iterator_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..10_000u64)
+                    .into_par_iter()
+                    .with_min_len(8)
+                    .for_each(|x| {
+                        if x == 7_777 {
+                            panic!("boom at {x}");
+                        }
+                    });
+            });
+        }));
+        assert!(r.is_err());
+        // Pool remains usable after a panic.
+        let s: u64 = pool.install(|| (0..100u64).into_par_iter().sum());
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn min_len_bounds_chunk_count() {
+        // With min_len == len there is exactly one chunk, hence one
+        // fold accumulator.
+        let accs: Vec<u64> = (0..1000u64)
+            .into_par_iter()
+            .with_min_len(1000)
+            .fold(|| 0u64, |a, x| a + x)
+            .collect();
+        assert_eq!(accs, vec![1000 * 999 / 2]);
+    }
+
+    #[test]
+    fn enumerate_and_zip() {
+        let v = vec![10u32, 20, 30];
+        let e: Vec<(usize, u32)> = v.par_iter().copied().enumerate().collect();
+        assert_eq!(e, vec![(0, 10), (1, 20), (2, 30)]);
+        let z: Vec<(u32, u32)> = v.par_iter().copied().zip(vec![1u32, 2, 3]).collect();
+        assert_eq!(z, vec![(10, 1), (20, 2), (30, 3)]);
     }
 }
