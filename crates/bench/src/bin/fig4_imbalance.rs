@@ -1,0 +1,102 @@
+//! Figure 4 via traces: per-rank × per-level *measured* wait matrices from
+//! the structured tracing subsystem, for both 2D vector distributions.
+//!
+//! Where `fig4_load_imbalance` derives the heatmap from merge-work counters
+//! (a volume proxy), this experiment records real timestamped spans with
+//! `dmbfs-trace` and lets `dmbfs_model::imbalance` compute the paper's
+//! statistic directly: nanoseconds each rank spends inside blocking
+//! collectives at each BFS level ("the waiting time for this blocking
+//! collective is accounted for the total MPI time"). Expected shape: the
+//! diagonal-only vector distribution concentrates compute on diagonal
+//! ranks, so off-diagonal ranks show large wait shares; the 2D distribution
+//! is near-flat.
+
+use dmbfs_bench::harness::{functional_scale, print_table, rmat_graph, write_result};
+use dmbfs_bfs::two_d::{bfs2d_run, Bfs2dConfig, VectorDistribution};
+use dmbfs_graph::components::sample_sources;
+use dmbfs_graph::Grid2D;
+use dmbfs_model::imbalance::{analyze, ImbalanceReport};
+use serde::Serialize;
+
+const GRID: usize = 4; // 4x4 = 16 ranks (paper used 16x16 = 256)
+
+#[derive(Serialize)]
+struct Fig4Trace {
+    grid: usize,
+    scale: u32,
+    levels: usize,
+    diagonal: ImbalanceReport,
+    twod: ImbalanceReport,
+}
+
+fn summarize(name: &str, rep: &ImbalanceReport) {
+    // One row per rank: total wait across levels, as a share of that rank's
+    // total level time — the flattened Fig. 4 heatmap.
+    let rows: Vec<Vec<String>> = (0..rep.ranks)
+        .map(|r| {
+            let wait: u64 = rep.wait_ns[r].iter().sum();
+            let level: u64 = rep.level_ns[r].iter().sum::<u64>().max(1);
+            vec![
+                format!("({},{})", r / GRID, r % GRID),
+                format!("{:.3}", wait as f64 / 1e6),
+                format!("{:.0}%", 100.0 * wait as f64 / level as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("{name}: per-rank collective wait"),
+        &["rank (i,j)", "wait ms", "wait share"],
+        &rows,
+    );
+    println!(
+        "  imbalance (max/mean level time) = {:.2}; critical path {:.3} ms \
+         ({:.0}% waiting)",
+        rep.imbalance_factor,
+        rep.critical_path_ns as f64 / 1e6,
+        100.0 * rep.critical_wait_fraction(),
+    );
+}
+
+fn main() {
+    println!("=== fig4_imbalance — traced wait matrices, diagonal vs 2D vector distribution ===");
+    let scale = functional_scale();
+    let g = rmat_graph(scale, 16, 21);
+    let source = sample_sources(&g, 1, 3)[0];
+    let grid = Grid2D::new(GRID, GRID);
+
+    let run_with = |dist: VectorDistribution| {
+        let cfg = Bfs2dConfig {
+            distribution: dist,
+            ..Bfs2dConfig::flat(grid)
+        }
+        .with_trace(true);
+        bfs2d_run(&g, source, &cfg)
+    };
+
+    let diag = run_with(VectorDistribution::Diagonal);
+    let twod = run_with(VectorDistribution::TwoD);
+    assert_eq!(diag.output.levels, twod.output.levels, "results must agree");
+
+    let diag_rep = analyze(&diag.per_rank_trace);
+    let twod_rep = analyze(&twod.per_rank_trace);
+    assert_eq!(diag_rep.ranks, GRID * GRID);
+    assert_eq!(twod_rep.ranks, GRID * GRID);
+    assert!(diag_rep.levels > 0, "traced run must yield level spans");
+
+    summarize("diagonal-only (1D) vector distribution", &diag_rep);
+    summarize("2D vector distribution", &twod_rep);
+    println!("\npaper shape: diagonal distribution idles off-diagonal ranks; 2D is near-flat");
+
+    let levels = diag_rep.levels;
+    let path = write_result(
+        "fig4_imbalance",
+        &Fig4Trace {
+            grid: GRID,
+            scale,
+            levels,
+            diagonal: diag_rep,
+            twod: twod_rep,
+        },
+    );
+    println!("results written to {}", path.display());
+}

@@ -16,6 +16,7 @@ use crate::frontier_codec::{
 use crate::{BfsOutput, UNREACHED};
 use dmbfs_comm::{Comm, CommStats, LevelTiming, WireBuf, World};
 use dmbfs_graph::{CsrGraph, VertexId};
+use dmbfs_trace::{RankTrace, SpanKind, TraceSink};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::Instant;
@@ -34,6 +35,9 @@ pub struct Bfs1dConfig {
     /// Sender-side filtering of already-sent vertices. Only meaningful
     /// with a codec; ignored under [`Codec::Off`].
     pub sieve: bool,
+    /// Record per-rank span traces (see `dmbfs-trace`). Strictly an
+    /// observer: the computed parent tree is bit-identical either way.
+    pub trace: bool,
 }
 
 impl Bfs1dConfig {
@@ -44,6 +48,7 @@ impl Bfs1dConfig {
             threads_per_rank: 1,
             codec: Codec::Adaptive,
             sieve: true,
+            trace: false,
         }
     }
 
@@ -68,6 +73,12 @@ impl Bfs1dConfig {
         self
     }
 
+    /// Enables or disables span tracing.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// True when this is the hybrid variant.
     pub fn is_hybrid(&self) -> bool {
         self.threads_per_rank > 1
@@ -89,6 +100,9 @@ pub struct Dist1dRun {
     /// Per-level codec telemetry, merged across ranks (empty under
     /// [`Codec::Off`]).
     pub codec_levels: Vec<LevelCodecStats>,
+    /// Per-rank span traces (index = rank); empty spans unless
+    /// [`Bfs1dConfig::trace`] was set.
+    pub per_rank_trace: Vec<RankTrace>,
 }
 
 /// Runs the 1D algorithm and returns the assembled result only.
@@ -123,18 +137,28 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
         seconds: f64,
         num_levels: u32,
         codec_levels: Vec<LevelCodecStats>,
+        trace: RankTrace,
     }
 
     let codec = cfg.codec;
     let sieve = cfg.sieve;
+    let trace = cfg.trace;
+    // All ranks stamp spans against this one epoch so their timelines share
+    // a zero (`Instant` is `Copy`; each rank closure gets its own copy).
+    let epoch = Instant::now();
     let results: Vec<RankResult> = World::run(ranks, |comm| {
+        if trace {
+            comm.set_tracer(TraceSink::new(comm.rank(), epoch));
+        }
         let local = extract_1d(g, ranks, comm.rank());
         let pool = make_pool(threads);
 
         comm.barrier();
         let t0 = Instant::now();
+        let search_t = comm.trace_start();
         let (levels, parents, num_levels, codec_levels) =
             rank_bfs(comm, &local, source, pool.as_ref(), codec, sieve);
+        comm.trace_span(SpanKind::Search, search_t, source);
         comm.barrier();
         let seconds = t0.elapsed().as_secs_f64();
 
@@ -146,12 +170,17 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
             seconds,
             num_levels,
             codec_levels,
+            trace: comm.take_trace().unwrap_or(RankTrace {
+                rank: comm.rank(),
+                ..RankTrace::default()
+            }),
         }
     });
 
     let mut output = BfsOutput::unreached(source, g.num_vertices() as usize);
     let mut per_rank_stats = Vec::with_capacity(ranks);
     let mut per_rank_codec = Vec::with_capacity(ranks);
+    let mut per_rank_trace = Vec::with_capacity(ranks);
     let mut seconds = 0.0f64;
     let mut num_levels = 0;
     for r in results {
@@ -160,6 +189,7 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
         output.parents[s..s + r.parents.len()].copy_from_slice(&r.parents);
         per_rank_stats.push(r.stats);
         per_rank_codec.push(r.codec_levels);
+        per_rank_trace.push(r.trace);
         seconds = seconds.max(r.seconds);
         num_levels = num_levels.max(r.num_levels);
     }
@@ -169,6 +199,7 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
         seconds,
         num_levels,
         codec_levels: merge_level_stats(&per_rank_codec),
+        per_rank_trace,
     }
 }
 
@@ -215,16 +246,26 @@ fn rank_bfs(
 
     let mut level: i64 = 1;
     loop {
+        comm.trace_enter_level(level - 1);
+        let level_t = comm.trace_start();
         let level_start = Instant::now();
         let comm_before = comm.comm_wall();
         // Lines 13–19: enumerate adjacencies into per-destination buffers.
+        let pack_t = comm.trace_start();
         let send = match pool {
-            Some(pool) => pool.install(|| pack_parallel(local, &frontier, p)),
+            Some(pool) => {
+                let batch_t = comm.trace_start();
+                let send = pool.install(|| pack_parallel(local, &frontier, p));
+                comm.trace_span(SpanKind::TaskBatch, batch_t, frontier.len() as u64);
+                send
+            }
             None => pack_serial(local, &frontier, p),
         };
+        comm.trace_span(SpanKind::Pack, pack_t, frontier.len() as u64);
         // Line 21: the all-to-all exchange of (target, parent) pairs —
         // either the plain typed collective or the codec pipeline
         // (dedup → sieve → encode → exchange → decode).
+        let exchange_t = comm.trace_start();
         let recv = if codec == Codec::Off {
             comm.alltoallv(send)
         } else {
@@ -240,11 +281,20 @@ fn rank_bfs(
             codec_levels.push(stats);
             bufs
         };
+        let received: u64 = recv.iter().map(|b| b.len() as u64).sum();
+        comm.trace_span(SpanKind::Exchange, exchange_t, received);
         // Lines 23–28: owners claim newly visited vertices.
+        let unpack_t = comm.trace_start();
         let next = match pool {
-            Some(pool) => pool.install(|| unpack_parallel(local, &recv, &levels, &parents, level)),
+            Some(pool) => {
+                let batch_t = comm.trace_start();
+                let next = pool.install(|| unpack_parallel(local, &recv, &levels, &parents, level));
+                comm.trace_span(SpanKind::TaskBatch, batch_t, received);
+                next
+            }
             None => unpack_serial(local, &recv, &levels, &parents, level),
         };
+        comm.trace_span(SpanKind::Unpack, unpack_t, next.len() as u64);
         // Global termination test.
         let global_next = comm.allreduce(next.len() as u64, |a, b| a + b);
         // Attribute the level's wall time: everything outside collectives
@@ -255,7 +305,9 @@ fn rank_bfs(
             compute: level_start.elapsed().saturating_sub(comm_spent),
             comm: comm_spent,
         });
+        comm.trace_span(SpanKind::Level, level_t, frontier.len() as u64);
         if global_next == 0 {
+            comm.trace_enter_level(dmbfs_trace::NO_LEVEL);
             break;
         }
         frontier = next;
@@ -309,6 +361,7 @@ fn encode_exchange(
         }
         (encode_pairs(&pairs, local.block.range(j), codec), dropped)
     };
+    let encode_t = comm.trace_start();
     let encoded: Vec<(WireBuf, u64)> = match pool {
         Some(pool) => pool.install(|| {
             send.into_par_iter()
@@ -334,11 +387,15 @@ fn encode_exchange(
         }
         bufs.push(buf);
     }
+    comm.trace_span(SpanKind::Encode, encode_t, stats.sieve_hits);
     let wire = comm.alltoallv_wire(bufs);
-    let recv = match pool {
+    let decode_t = comm.trace_start();
+    let recv: Vec<Vec<(u64, u64)>> = match pool {
         Some(pool) => pool.install(|| wire.par_iter().map(decode_pairs).collect()),
         None => wire.iter().map(decode_pairs).collect(),
     };
+    let decoded: u64 = recv.iter().map(|b| b.len() as u64).sum();
+    comm.trace_span(SpanKind::Decode, decode_t, decoded);
     (recv, stats)
 }
 
@@ -530,6 +587,37 @@ mod tests {
                 .count();
             assert_eq!(a2a as u32, run.num_levels);
         }
+    }
+
+    #[test]
+    fn traced_run_captures_levels_phases_and_collectives() {
+        let g = rmat_graph(8, 2);
+        let run = bfs1d_run(&g, 0, &Bfs1dConfig::flat(4).with_trace(true));
+        assert_eq!(run.per_rank_trace.len(), 4);
+        for (rank, t) in run.per_rank_trace.iter().enumerate() {
+            assert_eq!(t.rank, rank);
+            assert_eq!(t.dropped, 0);
+            let count = |k| t.spans.iter().filter(|s| s.kind == k).count() as u32;
+            assert_eq!(count(SpanKind::Search), 1);
+            assert_eq!(count(SpanKind::Level), run.num_levels);
+            assert_eq!(count(SpanKind::Pack), run.num_levels);
+            assert_eq!(count(SpanKind::Unpack), run.num_levels);
+            assert_eq!(count(SpanKind::Encode), run.num_levels, "adaptive codec");
+            assert!(count(SpanKind::Collective) > run.num_levels);
+            // Each phase span nests inside its level's span.
+            for s in t.spans.iter().filter(|s| s.kind == SpanKind::Pack) {
+                let lvl = t
+                    .spans
+                    .iter()
+                    .find(|l| l.kind == SpanKind::Level && l.level == s.level)
+                    .expect("every pack has an enclosing level");
+                assert!(lvl.start_ns <= s.start_ns && s.end_ns <= lvl.end_ns);
+            }
+        }
+        // Untraced runs return placeholder traces with no spans.
+        let run = bfs1d_run(&g, 0, &Bfs1dConfig::flat(4));
+        assert_eq!(run.per_rank_trace.len(), 4);
+        assert!(run.per_rank_trace.iter().all(|t| t.spans.is_empty()));
     }
 
     #[test]

@@ -95,14 +95,38 @@ pub fn benchmark_bfs(
     seed: u64,
     mut bfs: impl FnMut(VertexId) -> (BfsOutput, Option<f64>),
 ) -> TepsReport {
+    let (report, _) = benchmark_bfs_detailed(g, num_sources, seed, |source| {
+        let (out, seconds) = bfs(source);
+        (out, seconds, ())
+    });
+    report
+}
+
+/// Like [`benchmark_bfs`], but each search also yields an instrumentation
+/// payload `T` (per-rank stats, traces, …) which is returned **namespaced
+/// by its source** rather than merged into one stream. Every search runs in
+/// a fresh `World` with fresh per-rank `CommStats`/trace sinks, so payloads
+/// from different sampled roots never interleave; this function keeps that
+/// separation visible in the API. The regression test
+/// `detailed_runs_keep_per_search_instrumentation_separate` pins the
+/// invariant (each search's level timings start at level 0 and cover only
+/// its own levels).
+pub fn benchmark_bfs_detailed<T>(
+    g: &CsrGraph,
+    num_sources: usize,
+    seed: u64,
+    mut bfs: impl FnMut(VertexId) -> (BfsOutput, Option<f64>, T),
+) -> (TepsReport, Vec<(VertexId, T)>) {
     let sources = sample_sources(g, num_sources, seed);
     assert!(!sources.is_empty(), "graph has no usable sources");
+    let mut details = Vec::with_capacity(sources.len());
     let runs = sources
         .into_iter()
         .map(|source| {
             let t0 = Instant::now();
-            let (out, reported) = bfs(source);
+            let (out, reported, detail) = bfs(source);
             let seconds = reported.unwrap_or_else(|| t0.elapsed().as_secs_f64());
+            details.push((source, detail));
             let edges = teps_edges(g, &out);
             SourceRun {
                 source,
@@ -112,7 +136,7 @@ pub fn benchmark_bfs(
             }
         })
         .collect();
-    TepsReport::from_runs(runs)
+    (TepsReport::from_runs(runs), details)
 }
 
 /// Convenience: the per-source TEPS ratio between two reports (how many
@@ -189,6 +213,38 @@ mod tests {
         let report = benchmark_bfs(&g, 2, 1, |s| (serial_bfs(&g, s), Some(2.0)));
         for run in &report.runs {
             assert!((run.seconds - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn detailed_runs_keep_per_search_instrumentation_separate() {
+        use crate::one_d::{bfs1d_run, Bfs1dConfig};
+        let g = rmat_graph(8, 7);
+        let cfg = Bfs1dConfig::flat(4);
+        let (report, details) = benchmark_bfs_detailed(&g, 3, 5, |s| {
+            let run = bfs1d_run(&g, s, &cfg);
+            (
+                run.output,
+                Some(run.seconds),
+                (run.num_levels, run.per_rank_stats),
+            )
+        });
+        assert_eq!(report.runs.len(), 3);
+        assert_eq!(details.len(), 3);
+        for ((source, (num_levels, per_rank)), run) in details.iter().zip(&report.runs) {
+            assert_eq!(source, &run.source, "payloads stay aligned to sources");
+            assert!(
+                (run.seconds > 0.0),
+                "internal barrier-to-barrier timer flows through"
+            );
+            for stats in per_rank {
+                // Each search's level timings are its own: contiguous from
+                // level 0 with one entry per level of *this* search — not
+                // accumulated or interleaved across the sampled roots.
+                let lvls: Vec<u32> = stats.level_timings.iter().map(|t| t.level).collect();
+                let expect: Vec<u32> = (0..*num_levels).collect();
+                assert_eq!(lvls, expect, "source {source}");
+            }
         }
     }
 

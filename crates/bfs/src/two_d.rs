@@ -37,6 +37,7 @@ use dmbfs_comm::algorithms::{allgather_doubling, allgather_ring};
 use dmbfs_comm::{Comm, CommStats, LevelTiming, WireBuf, World};
 use dmbfs_graph::{CsrGraph, Grid2D, VertexId};
 use dmbfs_matrix::{spmsv, Dcsc, MergeKernel, RowSplitDcsc, SelectMax, SpaWorkspace, SparseVector};
+use dmbfs_trace::{RankTrace, SpanKind, TraceSink};
 use rayon::prelude::*;
 use std::ops::Range;
 use std::time::Instant;
@@ -93,6 +94,9 @@ pub struct Bfs2dConfig {
     /// Sender-side filtering of fold rows already emitted at an earlier
     /// level. Ignored under [`Codec::Off`].
     pub sieve: bool,
+    /// Record per-rank span traces (see `dmbfs-trace`). Strictly an
+    /// observer: the computed parent tree is bit-identical either way.
+    pub trace: bool,
 }
 
 impl Bfs2dConfig {
@@ -106,6 +110,7 @@ impl Bfs2dConfig {
             expand: ExpandAlgorithm::Board,
             codec: Codec::Adaptive,
             sieve: true,
+            trace: false,
         }
     }
 
@@ -127,6 +132,12 @@ impl Bfs2dConfig {
     /// Enables or disables the sender-side fold sieve.
     pub fn with_sieve(mut self, sieve: bool) -> Self {
         self.sieve = sieve;
+        self
+    }
+
+    /// Enables or disables span tracing.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -172,6 +183,10 @@ pub struct Dist2dRun {
     /// Per-level codec telemetry, merged across ranks (empty under
     /// [`Codec::Off`]).
     pub codec_levels: Vec<LevelCodecStats>,
+    /// Per-world-rank span traces (row-major grid order); empty spans
+    /// unless [`Bfs2dConfig::trace`] was set. Row/column-communicator
+    /// collectives appear in the owning rank's trace.
+    pub per_rank_trace: Vec<RankTrace>,
 }
 
 /// Runs the 2D algorithm, returning the assembled result only.
@@ -212,9 +227,18 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
         seconds: f64,
         num_levels: u32,
         codec_levels: Vec<LevelCodecStats>,
+        trace: RankTrace,
     }
 
+    let trace = cfg.trace;
+    // Shared epoch so all ranks' spans land on one timeline.
+    let epoch = Instant::now();
     let results: Vec<RankResult> = World::run(p, |comm| {
+        if trace {
+            // Attach before the splits so the row/column communicators
+            // share the sink and their collectives land in this trace.
+            comm.set_tracer(TraceSink::new(comm.rank(), epoch));
+        }
         let (i, j) = grid.coords_of(comm.rank());
         let block = extract_2d(g, grid, i, j);
         let state = RankState::new(comm, cfg, block);
@@ -234,9 +258,12 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
 
         comm.barrier();
         let _setup_events = comm.take_stats(); // exclude setup from accounting
+        comm.trace_clear(); // likewise for the trace
         let t0 = Instant::now();
+        let search_t = comm.trace_start();
         let (levels, parents, num_levels, work, codec_levels) =
             state.run(comm, &row_comm, &col_comm, source, pool.as_ref());
+        comm.trace_span(SpanKind::Search, search_t, source);
         comm.barrier();
         let seconds = t0.elapsed().as_secs_f64();
 
@@ -254,6 +281,10 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
             seconds,
             num_levels,
             codec_levels,
+            trace: comm.take_trace().unwrap_or(RankTrace {
+                rank: comm.rank(),
+                ..RankTrace::default()
+            }),
         }
     });
 
@@ -261,6 +292,7 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
     let mut per_rank_stats = Vec::with_capacity(p);
     let mut per_rank_work = Vec::with_capacity(p);
     let mut per_rank_codec = Vec::with_capacity(p);
+    let mut per_rank_trace = Vec::with_capacity(p);
     let mut seconds = 0.0f64;
     let mut num_levels = 0;
     for r in results {
@@ -270,6 +302,7 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
         per_rank_stats.push(r.stats);
         per_rank_work.push(r.work);
         per_rank_codec.push(r.codec_levels);
+        per_rank_trace.push(r.trace);
         seconds = seconds.max(r.seconds);
         num_levels = num_levels.max(r.num_levels);
     }
@@ -280,6 +313,7 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
         seconds,
         num_levels,
         codec_levels: merge_level_stats(&per_rank_codec),
+        per_rank_trace,
     }
 }
 
@@ -376,6 +410,8 @@ impl RankState {
 
         let mut level: i64 = 1;
         loop {
+            comm.trace_enter_level(level - 1);
+            let level_t = comm.trace_start();
             let level_start = Instant::now();
             // A 2D level communicates on three communicators: world
             // (transpose, allreduce), column (expand), row (fold). Sum
@@ -386,6 +422,7 @@ impl RankState {
                 ..Default::default()
             };
             // Line 5: TransposeVector (wire-encoded on square grids).
+            let transpose_t = comm.trace_start();
             let mut transposed = if codec != Codec::Off && grid.is_square() {
                 debug_assert!(frontier.iter().all(|&g| self.block.map.col_owner(g) == i));
                 let partner = grid.rank_of(j, i);
@@ -401,7 +438,9 @@ impl RankState {
             // senders; sort so every downstream path sees canonical order.
             transposed.sort_unstable();
             transposed.dedup();
+            comm.trace_span(SpanKind::Transpose, transpose_t, transposed.len() as u64);
             // Line 6: expand along the processor column.
+            let expand_t = comm.trace_start();
             let gathered = match self.cfg.expand {
                 ExpandAlgorithm::Board if codec != Codec::Off => {
                     let buf = encode_set(&transposed, self.block.col_range.clone(), codec);
@@ -420,17 +459,24 @@ impl RankState {
                 ExpandAlgorithm::Doubling => col_comm.allgatherv(transposed),
             };
             let fvec = self.assemble_frontier(gathered);
+            comm.trace_span(SpanKind::ExpandPhase, expand_t, fvec.nnz() as u64);
             work.expand_received += fvec.nnz() as u64;
             // Line 7: local SpMSV on the (select, max) semiring.
+            let spmsv_t = comm.trace_start();
             let t = match (pool, &self.split, &self.matrix) {
                 (Some(pool), Some(split), _) => {
-                    pool.install(|| split.par_spmsv::<SelectMax>(&fvec, self.cfg.kernel))
+                    let batch_t = comm.trace_start();
+                    let t = pool.install(|| split.par_spmsv::<SelectMax>(&fvec, self.cfg.kernel));
+                    comm.trace_span(SpanKind::TaskBatch, batch_t, fvec.nnz() as u64);
+                    t
                 }
                 (_, _, Some(m)) => spmsv::<SelectMax>(m, &fvec, self.cfg.kernel, &mut ws),
                 _ => unreachable!("one matrix representation always exists"),
             };
+            comm.trace_span(SpanKind::SpMSV, spmsv_t, t.nnz() as u64);
             work.spmsv_output += t.nnz() as u64;
             // Line 8: fold along the processor row to the vector owners.
+            let fold_t = comm.trace_start();
             let mut fold_bufs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); grid.cols()];
             for (r, parent) in t.iter() {
                 if let Some(s) = fold_sieve.as_ref() {
@@ -450,6 +496,7 @@ impl RankState {
                 // Per-destination encodes are independent; fan them out on
                 // the rank pool. The collective itself stays on this (the
                 // rank's main) thread — see the Comm threading invariant.
+                let encode_t = comm.trace_start();
                 let encode_one = |(oj, pairs): (usize, &Vec<(u64, u64)>)| -> WireBuf {
                     encode_pairs(pairs, self.owner_vrange(i, oj), codec)
                 };
@@ -464,11 +511,16 @@ impl RankState {
                         lvl.note(b);
                     }
                 }
+                comm.trace_span(SpanKind::Encode, encode_t, lvl.sieve_hits);
                 let wire = row_comm.alltoallv_wire(bufs);
-                match pool {
+                let decode_t = comm.trace_start();
+                let out: Vec<Vec<(u64, u64)>> = match pool {
                     Some(pool) => pool.install(|| wire.par_iter().map(decode_pairs).collect()),
                     None => wire.iter().map(decode_pairs).collect(),
-                }
+                };
+                let decoded: u64 = out.iter().map(|b| b.len() as u64).sum();
+                comm.trace_span(SpanKind::Decode, decode_t, decoded);
+                out
             };
             if codec != Codec::Off {
                 codec_levels.push(lvl);
@@ -476,6 +528,8 @@ impl RankState {
             // Lines 9–11: mask by π̄, update π, form the next frontier.
             let mut next: Vec<VertexId> = Vec::new();
             let mut merged: Vec<(u64, u64)> = folded.into_iter().flatten().collect();
+            comm.trace_span(SpanKind::FoldPhase, fold_t, merged.len() as u64);
+            let mask_t = comm.trace_start();
             work.fold_received += merged.len() as u64;
             match pool {
                 Some(pool) => pool.install(|| merged.par_sort_unstable()),
@@ -499,6 +553,7 @@ impl RankState {
                     next.push(g);
                 }
             }
+            comm.trace_span(SpanKind::Mask, mask_t, next.len() as u64);
             // Termination: is the global frontier empty?
             let total = comm.allreduce(next.len() as u64, |a, b| a + b);
             let comm_spent = (comm.comm_wall() + row_comm.comm_wall() + col_comm.comm_wall())
@@ -508,7 +563,9 @@ impl RankState {
                 compute: level_start.elapsed().saturating_sub(comm_spent),
                 comm: comm_spent,
             });
+            comm.trace_span(SpanKind::Level, level_t, frontier.len() as u64);
             if total == 0 {
+                comm.trace_enter_level(dmbfs_trace::NO_LEVEL);
                 break;
             }
             frontier = next;
@@ -753,6 +810,50 @@ mod tests {
         };
         assert_eq!(ag(&ring), 0);
         assert_eq!(ag(&board) as u32, board.num_levels);
+    }
+
+    #[test]
+    fn traced_run_captures_phases_on_all_communicators() {
+        let g = rmat_graph(8, 23);
+        let run = bfs2d_run(
+            &g,
+            0,
+            &Bfs2dConfig::flat(Grid2D::new(2, 2)).with_trace(true),
+        );
+        assert_eq!(run.per_rank_trace.len(), 4);
+        use dmbfs_trace::{CollectiveTag, SpanKind};
+        for (rank, t) in run.per_rank_trace.iter().enumerate() {
+            assert_eq!(t.rank, rank);
+            let count = |k| t.spans.iter().filter(|s| s.kind == k).count() as u32;
+            assert_eq!(count(SpanKind::Search), 1);
+            assert_eq!(count(SpanKind::Level), run.num_levels);
+            assert_eq!(count(SpanKind::Transpose), run.num_levels);
+            assert_eq!(count(SpanKind::ExpandPhase), run.num_levels);
+            assert_eq!(count(SpanKind::SpMSV), run.num_levels);
+            assert_eq!(count(SpanKind::FoldPhase), run.num_levels);
+            assert_eq!(count(SpanKind::Mask), run.num_levels);
+            // Row/column collectives land in this rank's trace with the
+            // sub-communicator's group size (√p = 2), tagged by level.
+            let expand_collectives: Vec<_> = t
+                .spans
+                .iter()
+                .filter(|s| {
+                    s.kind == SpanKind::Collective && s.pattern == CollectiveTag::Allgatherv
+                })
+                .collect();
+            assert_eq!(expand_collectives.len() as u32, run.num_levels);
+            for s in &expand_collectives {
+                assert_eq!(s.detail, 2, "expand runs on the column communicator");
+                assert!(s.level >= 0, "collectives are tagged with their level");
+            }
+            // The setup collectives (splits, warm-up barrier) were cleared.
+            assert!(t.spans.iter().all(|s| s.kind != SpanKind::Collective
+                || s.level >= 0
+                || s.pattern == CollectiveTag::Barrier));
+        }
+        // Untraced runs return placeholder traces with no spans.
+        let run = bfs2d_run(&g, 0, &Bfs2dConfig::flat(Grid2D::new(2, 2)));
+        assert!(run.per_rank_trace.iter().all(|t| t.spans.is_empty()));
     }
 
     #[test]

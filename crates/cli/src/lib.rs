@@ -32,6 +32,7 @@ use dmbfs_graph::gen::{erdos_renyi, rmat, webcrawl, RmatConfig, WebCrawlConfig};
 use dmbfs_graph::stats::{approx_diameter, degree_stats};
 use dmbfs_graph::weighted::{attach_uniform_weights, WeightedCsr};
 use dmbfs_graph::{io, CsrGraph, EdgeList, Grid2D, RandomPermutation};
+use dmbfs_trace::RankTrace;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -140,8 +141,10 @@ USAGE:
   dmbfs bfs FILE [--algorithm serial|shared|direction|1d|2d] [--ranks P]
                  [--threads T] [--source V] [--validate true]
                  [--codec off|raw|varint|bitmap|adaptive] [--sieve true|false]
+                 [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs teps FILE [--algorithm ...] [--ranks P] [--threads T] [--sources N]
                   [--codec ...] [--sieve ...]
+                  [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs components FILE [--ranks P]
   dmbfs sssp FILE [--ranks P] [--max-weight W] [--source V]
   dmbfs diameter FILE [--exact true] [--ranks P]
@@ -259,6 +262,66 @@ impl WireOpts {
     }
 }
 
+/// `--trace FILE [--trace-format chrome|jsonl]`: where (and how) to write
+/// the structured span trace of a run. See docs/observability.md.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct TraceOpts {
+    path: String,
+    format: TraceFormat,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Jsonl,
+}
+
+impl TraceOpts {
+    /// Parses the trace flags; `None` when `--trace` is absent.
+    fn from_args(args: &Args) -> Result<Option<Self>, CliError> {
+        let format = match args.opt_str("trace-format", "chrome").as_str() {
+            "chrome" => TraceFormat::Chrome,
+            "jsonl" => TraceFormat::Jsonl,
+            other => {
+                return Err(err(format!(
+                    "--trace-format expects chrome|jsonl, got '{other}'"
+                )))
+            }
+        };
+        match args.options.get("trace") {
+            Some(path) => Ok(Some(TraceOpts {
+                path: path.clone(),
+                format,
+            })),
+            None if args.options.contains_key("trace-format") => {
+                Err(err("--trace-format requires --trace FILE"))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Serializes and writes the per-rank traces, returning a report line.
+    fn write(&self, traces: &[RankTrace]) -> Result<String, CliError> {
+        let doc = match self.format {
+            TraceFormat::Chrome => dmbfs_trace::to_chrome_trace(traces),
+            TraceFormat::Jsonl => dmbfs_trace::to_jsonl(traces),
+        };
+        std::fs::write(&self.path, doc)?;
+        let spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+        let dropped: u64 = traces.iter().map(|t| t.dropped).sum();
+        let mut line = format!(
+            "trace: {} spans from {} ranks written to {}",
+            spans,
+            traces.len(),
+            self.path
+        );
+        if dropped > 0 {
+            line.push_str(&format!(" ({dropped} spans dropped: ring full)"));
+        }
+        Ok(line)
+    }
+}
+
 /// One-line description of the effective process/thread layout — the
 /// flat-vs-hybrid distinction of §6 ("Flat MPI" vs "Hybrid"). The 2D
 /// algorithm reports the realized grid, which may round `--ranks` down
@@ -285,18 +348,32 @@ fn mode_line(algorithm: &str, ranks: usize, threads: usize) -> String {
     }
 }
 
-fn run_algorithm(
+/// One algorithm invocation: the BFS output, the runner's own
+/// barrier-to-barrier seconds when it measures them (the distributed
+/// drivers do; the single-process variants return `None`), and the
+/// per-rank span traces (empty unless `trace` is set).
+fn run_algorithm_traced(
     g: &CsrGraph,
     algorithm: &str,
     ranks: usize,
     threads: usize,
     source: u64,
     wire: WireOpts,
-) -> Result<dmbfs_bfs::BfsOutput, CliError> {
+    trace: bool,
+) -> Result<(dmbfs_bfs::BfsOutput, Option<f64>, Vec<RankTrace>), CliError> {
+    if trace && !matches!(algorithm, "1d" | "2d") {
+        return Err(err(format!(
+            "--trace requires a distributed algorithm (1d|2d), got '{algorithm}'"
+        )));
+    }
     Ok(match algorithm {
-        "serial" => serial_bfs(g, source),
-        "shared" => shared_bfs(g, source),
-        "direction" => dmbfs_bfs::direction::direction_optimizing_bfs(g, source).output,
+        "serial" => (serial_bfs(g, source), None, Vec::new()),
+        "shared" => (shared_bfs(g, source), None, Vec::new()),
+        "direction" => (
+            dmbfs_bfs::direction::direction_optimizing_bfs(g, source).output,
+            None,
+            Vec::new(),
+        ),
         "1d" => {
             let cfg = if threads > 1 {
                 Bfs1dConfig::hybrid(ranks, threads)
@@ -304,8 +381,10 @@ fn run_algorithm(
                 Bfs1dConfig::flat(ranks)
             }
             .with_codec(wire.codec)
-            .with_sieve(wire.sieve);
-            bfs1d_run(g, source, &cfg).output
+            .with_sieve(wire.sieve)
+            .with_trace(trace);
+            let run = bfs1d_run(g, source, &cfg);
+            (run.output, Some(run.seconds), run.per_rank_trace)
         }
         "2d" => {
             let grid = Grid2D::closest_square(ranks);
@@ -315,8 +394,10 @@ fn run_algorithm(
                 Bfs2dConfig::flat(grid)
             }
             .with_codec(wire.codec)
-            .with_sieve(wire.sieve);
-            bfs2d_run(g, source, &cfg).output
+            .with_sieve(wire.sieve)
+            .with_trace(trace);
+            let run = bfs2d_run(g, source, &cfg);
+            (run.output, Some(run.seconds), run.per_rank_trace)
         }
         other => return Err(err(format!("unknown algorithm '{other}'"))),
     })
@@ -344,15 +425,24 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
         return Err(err("--threads expects a positive thread count"));
     }
     let wire = WireOpts::from_args(args)?;
+    let trace = TraceOpts::from_args(args)?;
     let t0 = Instant::now();
-    let out = run_algorithm(&g, &algorithm, ranks, threads, source, wire)?;
+    let (out, _, traces) = run_algorithm_traced(
+        &g,
+        &algorithm,
+        ranks,
+        threads,
+        source,
+        wire,
+        trace.is_some(),
+    )?;
     let secs = t0.elapsed().as_secs_f64();
     if args.opt_str("validate", "true") == "true" {
         validate_bfs(&g, source, &out.parents, out.levels())
             .map_err(|e| err(format!("validation failed: {e}")))?;
     }
     let edges = teps_edges(&g, &out);
-    Ok(format!(
+    let mut report = format!(
         "{}\nalgorithm {algorithm} source {source}: reached {} of {} vertices, depth {}, \
          {} edges, {:.1} ms, {:.2} MTEPS (validated)",
         mode_line(&algorithm, ranks, threads),
@@ -362,7 +452,12 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
         edges,
         secs * 1e3,
         edges as f64 / secs / 1e6,
-    ))
+    );
+    if let Some(trace) = trace {
+        report.push('\n');
+        report.push_str(&trace.write(&traces)?);
+    }
+    Ok(report)
 }
 
 fn cmd_teps(args: &Args) -> Result<String, CliError> {
@@ -375,13 +470,19 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
         return Err(err("--threads expects a positive thread count"));
     }
     let wire = WireOpts::from_args(args)?;
-    let report = dmbfs_bfs::teps::benchmark_bfs(&g, num_sources, 5, |s| {
-        (
-            run_algorithm(&g, &algorithm, ranks, threads, s, wire).expect("algorithm runs"),
-            None,
-        )
+    let trace = TraceOpts::from_args(args)?;
+    // Each sampled root runs in its own World with its own stats and trace
+    // sink: `benchmark_bfs_detailed` keeps the per-search instrumentation
+    // namespaced by source, and the distributed runners' internal
+    // barrier-to-barrier seconds feed the TEPS statistics (the harness
+    // timer would otherwise fold World setup/teardown into search time).
+    let (report, details) = dmbfs_bfs::teps::benchmark_bfs_detailed(&g, num_sources, 5, |s| {
+        let (out, seconds, traces) =
+            run_algorithm_traced(&g, &algorithm, ranks, threads, s, wire, trace.is_some())
+                .expect("algorithm runs");
+        (out, seconds, traces)
     });
-    Ok(format!(
+    let mut out = format!(
         "{}\nalgorithm {algorithm}: {} sources, {:.2} MTEPS aggregate, {:.2} MTEPS harmonic mean, \
          {:.1} ms mean search time",
         mode_line(&algorithm, ranks, threads),
@@ -389,7 +490,16 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
         report.mteps(),
         report.harmonic_mean_teps / 1e6,
         report.mean_seconds * 1e3,
-    ))
+    );
+    if let Some(trace) = trace {
+        // Searches ran sequentially from a per-search epoch; lay them end
+        // to end (1 ms apart) on one timeline before exporting.
+        let runs: Vec<Vec<RankTrace>> = details.into_iter().map(|(_, t)| t).collect();
+        let merged = dmbfs_trace::merge_sequential(&runs, 1_000_000);
+        out.push('\n');
+        out.push_str(&trace.write(&merged)?);
+    }
+    Ok(out)
 }
 
 fn cmd_components(args: &Args) -> Result<String, CliError> {
@@ -846,6 +956,136 @@ mod tests {
         assert!(bad.is_err());
         let bad = run(&args(&["bfs", file_s, "--sieve", "maybe"]));
         assert!(bad.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bfs_trace_flags_write_both_formats() {
+        let dir = tmpdir();
+        let file = dir.join("tr.bin");
+        let file_s = file.to_str().unwrap();
+        run(&args(&[
+            "generate", "--model", "rmat", "--scale", "8", "--out", file_s,
+        ]))
+        .unwrap();
+
+        let chrome = dir.join("tr.chrome.json");
+        let msg = run(&args(&[
+            "bfs",
+            file_s,
+            "--algorithm",
+            "2d",
+            "--ranks",
+            "4",
+            "--trace",
+            chrome.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("trace: "), "{msg}");
+        let doc = std::fs::read_to_string(&chrome).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&doc).unwrap();
+        match &v["traceEvents"] {
+            serde_json::Value::Seq(events) => assert!(events.len() > 4, "{msg}"),
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        }
+
+        let jsonl = dir.join("tr.jsonl");
+        run(&args(&[
+            "bfs",
+            file_s,
+            "--algorithm",
+            "1d",
+            "--ranks",
+            "4",
+            "--trace",
+            jsonl.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+        ]))
+        .unwrap();
+        let doc = std::fs::read_to_string(&jsonl).unwrap();
+        let traces = dmbfs_trace::from_jsonl(&doc).unwrap();
+        assert_eq!(traces.len(), 4);
+        assert!(traces.iter().all(|t| !t.spans.is_empty()));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_flags_reject_bad_combinations() {
+        let dir = tmpdir();
+        let file = dir.join("trbad.bin");
+        let file_s = file.to_str().unwrap();
+        run(&args(&[
+            "generate", "--model", "rmat", "--scale", "7", "--out", file_s,
+        ]))
+        .unwrap();
+        let out = dir.join("t.json");
+        let out_s = out.to_str().unwrap();
+
+        // --trace-format without --trace
+        let bad = run(&args(&["bfs", file_s, "--trace-format", "chrome"]));
+        assert!(bad.unwrap_err().0.contains("requires --trace"));
+        // unknown format
+        let bad = run(&args(&[
+            "bfs",
+            file_s,
+            "--trace",
+            out_s,
+            "--trace-format",
+            "xml",
+        ]));
+        assert!(bad.unwrap_err().0.contains("chrome|jsonl"));
+        // tracing a single-process algorithm
+        let bad = run(&args(&[
+            "bfs",
+            file_s,
+            "--algorithm",
+            "serial",
+            "--trace",
+            out_s,
+        ]));
+        assert!(bad.unwrap_err().0.contains("distributed algorithm"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn teps_trace_merges_searches_on_one_timeline() {
+        let dir = tmpdir();
+        let file = dir.join("tt.bin");
+        let file_s = file.to_str().unwrap();
+        run(&args(&[
+            "generate", "--model", "rmat", "--scale", "8", "--out", file_s,
+        ]))
+        .unwrap();
+        let jsonl = dir.join("tt.jsonl");
+        let msg = run(&args(&[
+            "teps",
+            file_s,
+            "--algorithm",
+            "1d",
+            "--ranks",
+            "2",
+            "--sources",
+            "2",
+            "--trace",
+            jsonl.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+        ]))
+        .unwrap();
+        assert!(msg.contains("MTEPS"), "{msg}");
+        let traces = dmbfs_trace::from_jsonl(&std::fs::read_to_string(&jsonl).unwrap()).unwrap();
+        assert_eq!(traces.len(), 2, "merged down to one trace per rank");
+        for t in &traces {
+            let searches = t
+                .spans
+                .iter()
+                .filter(|s| s.kind == dmbfs_trace::SpanKind::Search)
+                .count();
+            assert_eq!(searches, 2, "both sampled roots present in rank {}", t.rank);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

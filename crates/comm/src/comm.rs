@@ -2,6 +2,7 @@
 
 use crate::barrier::{Poison, PoisonBarrier};
 use crate::stats::{CommEvent, CommStats, LevelTiming, Pattern};
+use dmbfs_trace::{CollectiveTag, RankTrace, SpanKind, TraceSink};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::cell::RefCell;
@@ -81,8 +82,28 @@ pub struct Comm {
     shared: Arc<Shared>,
     rank: usize,
     stats: RefCell<CommStats>,
+    /// Optional span recorder shared with sub-communicators split off this
+    /// handle, so row/column collectives land in the same per-rank trace.
+    /// `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>` only to keep `Comm:
+    /// Send`; the lock is uncontended — every handle sharing it belongs to
+    /// the same rank thread.
+    tracer: RefCell<Option<Arc<Mutex<TraceSink>>>>,
     /// Thread that created the handle; collectives must run on it.
     owner: ThreadId,
+}
+
+/// The trace-side name of a collective pattern. `dmbfs-trace` is a leaf
+/// crate, so the mapping lives here rather than there.
+fn collective_tag(pattern: Pattern) -> CollectiveTag {
+    match pattern {
+        Pattern::Alltoallv => CollectiveTag::Alltoallv,
+        Pattern::Allgatherv => CollectiveTag::Allgatherv,
+        Pattern::Allreduce => CollectiveTag::Allreduce,
+        Pattern::Broadcast => CollectiveTag::Broadcast,
+        Pattern::Gather => CollectiveTag::Gather,
+        Pattern::PointToPoint => CollectiveTag::PointToPoint,
+        Pattern::Barrier => CollectiveTag::Barrier,
+    }
 }
 
 impl Comm {
@@ -91,6 +112,7 @@ impl Comm {
             shared,
             rank,
             stats: RefCell::new(CommStats::default()),
+            tracer: RefCell::new(None),
             owner: std::thread::current().id(),
         }
     }
@@ -147,6 +169,72 @@ impl Comm {
         self.stats.borrow_mut().level_timings.push(timing);
     }
 
+    /// Attach a span recorder to this handle. Sub-communicators created by
+    /// [`Comm::split`] *after* this call share the sink, so their collective
+    /// spans interleave into the same per-rank timeline.
+    pub fn set_tracer(&self, sink: TraceSink) {
+        *self.tracer.borrow_mut() = Some(Arc::new(Mutex::new(sink)));
+    }
+
+    /// Whether a tracer is attached (spans are being recorded).
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.borrow().is_some()
+    }
+
+    /// Timestamp (ns since the trace epoch) opening a span, or 0 when no
+    /// tracer is attached. The disabled path is one borrow and one branch —
+    /// cheap enough for the BFS hot loop (asserted by the overhead test in
+    /// `dmbfs-bfs`).
+    pub fn trace_start(&self) -> u64 {
+        match self.tracer.borrow().as_ref() {
+            Some(t) => t.lock().now_ns(),
+            None => 0,
+        }
+    }
+
+    /// Close a span opened by [`Comm::trace_start`]. No-op when untraced.
+    pub fn trace_span(&self, kind: SpanKind, start_ns: u64, detail: u64) {
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.lock().span(kind, start_ns, detail);
+        }
+    }
+
+    /// Tag subsequent spans — including collective spans from shared
+    /// sub-communicators — with this BFS level.
+    pub fn trace_enter_level(&self, level: i64) {
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.lock().set_level(level);
+        }
+    }
+
+    /// Discard spans recorded so far (setup noise), keeping the tracer
+    /// attached. The trace analogue of dropping `take_stats()` output.
+    pub fn trace_clear(&self) {
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.lock().clear();
+        }
+    }
+
+    /// Detach the tracer and drain its spans; `None` if never attached.
+    pub fn take_trace(&self) -> Option<RankTrace> {
+        self.tracer.borrow_mut().take().map(|t| t.lock().drain())
+    }
+
+    /// Emit the span for one finished collective (pattern, group size,
+    /// logical and wire bytes on the send side). Called from the same two
+    /// choke points that record [`CommEvent`]s.
+    fn trace_collective(&self, pattern: Pattern, bytes: u64, wire: u64, start: Instant) {
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.lock().collective(
+                collective_tag(pattern),
+                start,
+                self.size() as u64,
+                bytes,
+                wire,
+            );
+        }
+    }
+
     fn record(&self, pattern: Pattern, bytes_out: u64, bytes_in: u64, start: Instant) {
         // Plain collectives put their logical payload on the wire verbatim.
         self.stats.borrow_mut().events.push(CommEvent {
@@ -158,6 +246,7 @@ impl Comm {
             wire_in: bytes_in,
             wall: start.elapsed(),
         });
+        self.trace_collective(pattern, bytes_out, bytes_out, start);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -179,6 +268,7 @@ impl Comm {
             wire_in,
             wall: start.elapsed(),
         });
+        self.trace_collective(pattern, bytes_out, wire_out, start);
     }
 
     /// First step of every data-bearing collective — which makes it the
@@ -676,6 +766,71 @@ impl Comm {
         self.shared.barrier.wait();
         self.record(Pattern::Broadcast, 0, 0, start);
 
-        Comm::new(group_shared, my_group_rank)
+        let child = Comm::new(group_shared, my_group_rank);
+        // Sub-communicator collectives record into the parent's trace.
+        *child.tracer.borrow_mut() = self.tracer.borrow().clone();
+        child
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn collectives_emit_spans_when_traced() {
+        let epoch = Instant::now();
+        let traces = World::run(2, |comm| {
+            comm.set_tracer(TraceSink::new(comm.rank(), epoch));
+            comm.trace_enter_level(3);
+            let bufs = vec![vec![comm.rank() as u64], vec![comm.rank() as u64]];
+            comm.alltoallv(bufs);
+            comm.barrier();
+            comm.take_trace().expect("tracer was attached")
+        });
+        for (rank, t) in traces.iter().enumerate() {
+            assert_eq!(t.rank, rank);
+            assert_eq!(t.spans.len(), 2, "alltoallv + barrier");
+            let a2a = t.spans[0];
+            assert_eq!(a2a.kind, SpanKind::Collective);
+            assert_eq!(a2a.pattern, CollectiveTag::Alltoallv);
+            assert_eq!(a2a.level, 3);
+            assert_eq!(a2a.detail, 2, "group size");
+            assert_eq!(a2a.bytes, 8, "one off-rank u64");
+            assert_eq!(a2a.wire, 8, "plain collectives ship logical bytes");
+            assert!(a2a.end_ns >= a2a.start_ns);
+            assert_eq!(t.spans[1].pattern, CollectiveTag::Barrier);
+        }
+    }
+
+    #[test]
+    fn split_children_share_the_parent_trace() {
+        let epoch = Instant::now();
+        let traces = World::run(4, |comm| {
+            comm.set_tracer(TraceSink::new(comm.rank(), epoch));
+            comm.trace_clear(); // drop nothing, but exercise the call
+            let row = comm.split((comm.rank() / 2) as u64, comm.rank() as u64);
+            comm.trace_clear(); // discard the split's own collectives
+            row.allreduce(1u64, |a, b| a + b);
+            comm.take_trace().expect("tracer was attached")
+        });
+        for t in &traces {
+            assert_eq!(t.spans.len(), 1, "only the row allreduce survives clear");
+            assert_eq!(t.spans[0].pattern, CollectiveTag::Allreduce);
+            assert_eq!(t.spans[0].detail, 2, "row communicator has 2 ranks");
+        }
+    }
+
+    #[test]
+    fn untraced_comm_records_no_spans() {
+        let out = World::run(2, |comm| {
+            assert!(!comm.trace_enabled());
+            assert_eq!(comm.trace_start(), 0);
+            comm.trace_span(SpanKind::Level, 0, 0);
+            comm.barrier();
+            comm.take_trace()
+        });
+        assert!(out.iter().all(|t| t.is_none()));
     }
 }

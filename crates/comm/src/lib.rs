@@ -20,6 +20,13 @@
 //!   Fig. 4: "The waiting time for this blocking collective is accounted
 //!   for the total MPI time"). `dmbfs-model` replays these events through
 //!   an α–β network model to predict times on real interconnects.
+//! * When a `dmbfs_trace::TraceSink` is attached via [`Comm::set_tracer`],
+//!   every collective additionally emits a timestamped span (pattern, group
+//!   size, logical and wire bytes) into the rank's trace, and the driver can
+//!   wrap levels/phases in spans of its own through [`Comm::trace_start`] /
+//!   [`Comm::trace_span`]. Tracing is a strict observer: with no sink
+//!   attached the hooks are a branch each, and attached sinks never change
+//!   collective results.
 //! * Rank panics poison the world: every blocked collective unblocks and
 //!   panics, and [`World::run`] propagates the original payload, so a bug
 //!   in one rank fails tests instead of deadlocking them.

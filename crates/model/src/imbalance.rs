@@ -1,0 +1,247 @@
+//! Load-imbalance analysis over structured traces (the Fig. 4 data).
+//!
+//! Fig. 4 of Buluç & Madduri (SC'11) is a per-rank × per-level heatmap of
+//! time spent inside blocking collectives: "The waiting time for this
+//! blocking collective is accounted for the total MPI time", so a rank that
+//! arrives early at an `Alltoallv` charges its idle time to communication,
+//! and the heatmap exposes which levels and which ranks carry the skew.
+//!
+//! This module reproduces that analysis from [`dmbfs_trace::RankTrace`]
+//! streams (recorded live by the drivers, or re-read from a JSONL trace via
+//! [`dmbfs_trace::from_jsonl`]):
+//!
+//! * a **wait matrix** `wait_ns[rank][level]` — summed [`SpanKind::Collective`]
+//!   span durations, the heatmap cells of Fig. 4;
+//! * a **compute matrix** `compute_ns[rank][level]` — the rank's `Level` span
+//!   minus its collective time at that level, i.e. time doing local work;
+//! * per-level and whole-run **imbalance factors** (max over mean across
+//!   ranks — 1.0 is perfectly balanced);
+//! * a **critical path** split: since levels are barrier-synchronised, the
+//!   run can go no faster than the per-level maximum across ranks, summed
+//!   over levels, and that bound decomposes into compute and wait shares.
+
+use dmbfs_trace::{RankTrace, SpanKind};
+use serde::Serialize;
+
+/// Per-rank × per-level imbalance analysis of one traced run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ImbalanceReport {
+    /// Number of ranks (rows of the matrices).
+    pub ranks: usize,
+    /// Number of BFS levels (columns of the matrices).
+    pub levels: usize,
+    /// `wait_ns[rank][level]`: nanoseconds inside collectives — the Fig. 4
+    /// heatmap cell. Includes barrier waiting, so it *is* the imbalance.
+    pub wait_ns: Vec<Vec<u64>>,
+    /// `level_ns[rank][level]`: duration of the rank's whole level span.
+    pub level_ns: Vec<Vec<u64>>,
+    /// `compute_ns[rank][level]`: level time minus collective time
+    /// (saturating) — local pack/SpMSV/merge work.
+    pub compute_ns: Vec<Vec<u64>>,
+    /// Per-level imbalance factor: max over mean of `level_ns` across ranks.
+    pub level_imbalance: Vec<f64>,
+    /// Whole-run imbalance factor over summed per-rank level time.
+    pub imbalance_factor: f64,
+    /// Σ over levels of the per-level max `level_ns`: the synchronised
+    /// lower bound on traversal time.
+    pub critical_path_ns: u64,
+    /// Σ over levels of the per-level max `wait_ns` — the communication
+    /// share of the critical path.
+    pub critical_wait_ns: u64,
+    /// Σ over levels of the per-level max `compute_ns` — the compute share.
+    pub critical_compute_ns: u64,
+    /// Total collective time across all ranks and levels.
+    pub total_wait_ns: u64,
+    /// Total compute time across all ranks and levels.
+    pub total_compute_ns: u64,
+}
+
+impl ImbalanceReport {
+    /// Fraction of the critical path spent waiting in collectives, in
+    /// `[0, 1]`; 0 when the trace is empty.
+    pub fn critical_wait_fraction(&self) -> f64 {
+        let denom = self.critical_wait_ns + self.critical_compute_ns;
+        if denom == 0 {
+            0.0
+        } else {
+            self.critical_wait_ns as f64 / denom as f64
+        }
+    }
+}
+
+fn max_mean_ratio(values: impl Iterator<Item = u64> + Clone) -> f64 {
+    let max = values.clone().max().unwrap_or(0);
+    let (sum, n) = values.fold((0u64, 0u64), |(s, n), v| (s + v, n + 1));
+    if sum == 0 || n == 0 {
+        1.0
+    } else {
+        max as f64 * n as f64 / sum as f64
+    }
+}
+
+/// Builds the per-rank × per-level analysis from drained rank traces.
+///
+/// Spans recorded outside any level (`level < 0`: setup, teardown, the
+/// result gather) are excluded, matching the paper's focus on traversal
+/// time. Ranks that recorded nothing for a level contribute zero cells.
+pub fn analyze(traces: &[RankTrace]) -> ImbalanceReport {
+    let ranks = traces.len();
+    let levels = traces
+        .iter()
+        .flat_map(|t| t.spans.iter())
+        .filter(|s| s.level >= 0)
+        .map(|s| s.level as usize + 1)
+        .max()
+        .unwrap_or(0);
+
+    let mut wait_ns = vec![vec![0u64; levels]; ranks];
+    let mut level_ns = vec![vec![0u64; levels]; ranks];
+    for (r, t) in traces.iter().enumerate() {
+        for s in &t.spans {
+            if s.level < 0 {
+                continue;
+            }
+            let l = s.level as usize;
+            match s.kind {
+                SpanKind::Collective => wait_ns[r][l] += s.dur_ns(),
+                SpanKind::Level => level_ns[r][l] += s.dur_ns(),
+                _ => {}
+            }
+        }
+    }
+    let compute_ns: Vec<Vec<u64>> = (0..ranks)
+        .map(|r| {
+            (0..levels)
+                .map(|l| level_ns[r][l].saturating_sub(wait_ns[r][l]))
+                .collect()
+        })
+        .collect();
+
+    let level_imbalance: Vec<f64> = (0..levels)
+        .map(|l| max_mean_ratio((0..ranks).map(|r| level_ns[r][l])))
+        .collect();
+    let imbalance_factor = max_mean_ratio(level_ns.iter().map(|row| row.iter().sum::<u64>()));
+
+    let col_max = |m: &[Vec<u64>], l: usize| m.iter().map(|row| row[l]).max().unwrap_or(0);
+    let critical_path_ns = (0..levels).map(|l| col_max(&level_ns, l)).sum();
+    let critical_wait_ns = (0..levels).map(|l| col_max(&wait_ns, l)).sum();
+    let critical_compute_ns = (0..levels).map(|l| col_max(&compute_ns, l)).sum();
+
+    ImbalanceReport {
+        ranks,
+        levels,
+        total_wait_ns: wait_ns.iter().flatten().sum(),
+        total_compute_ns: compute_ns.iter().flatten().sum(),
+        wait_ns,
+        level_ns,
+        compute_ns,
+        level_imbalance,
+        imbalance_factor,
+        critical_path_ns,
+        critical_wait_ns,
+        critical_compute_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmbfs_trace::{CollectiveTag, SpanRecord};
+
+    fn span(kind: SpanKind, level: i64, start_ns: u64, end_ns: u64) -> SpanRecord {
+        SpanRecord {
+            kind,
+            pattern: if kind == SpanKind::Collective {
+                CollectiveTag::Alltoallv
+            } else {
+                CollectiveTag::None
+            },
+            start_ns,
+            end_ns,
+            level,
+            detail: 0,
+            bytes: 0,
+            wire: 0,
+        }
+    }
+
+    fn rank(rank: usize, spans: Vec<SpanRecord>) -> RankTrace {
+        RankTrace {
+            rank,
+            spans,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn wait_matrix_sums_collectives_per_rank_and_level() {
+        // Rank 0: level 0 takes 100ns of which 60ns collective; level 1 takes
+        // 50ns all compute. Rank 1: level 0 takes 100ns of which 20ns
+        // collective (two calls); level 1 takes 150ns with 150ns collective.
+        let traces = vec![
+            rank(
+                0,
+                vec![
+                    span(SpanKind::Collective, 0, 10, 70),
+                    span(SpanKind::Level, 0, 0, 100),
+                    span(SpanKind::Level, 1, 100, 150),
+                    span(SpanKind::Search, -1, 0, 160),
+                ],
+            ),
+            rank(
+                1,
+                vec![
+                    span(SpanKind::Collective, 0, 10, 20),
+                    span(SpanKind::Collective, 0, 30, 40),
+                    span(SpanKind::Level, 0, 0, 100),
+                    span(SpanKind::Collective, 1, 100, 250),
+                    span(SpanKind::Level, 1, 100, 250),
+                ],
+            ),
+        ];
+        let rep = analyze(&traces);
+        assert_eq!(rep.ranks, 2);
+        assert_eq!(rep.levels, 2);
+        assert_eq!(rep.wait_ns, vec![vec![60, 0], vec![20, 150]]);
+        assert_eq!(rep.level_ns, vec![vec![100, 50], vec![100, 150]]);
+        assert_eq!(rep.compute_ns, vec![vec![40, 50], vec![80, 0]]);
+        // Level 0 balanced (100 vs 100); level 1 skewed 150 vs 50.
+        assert!((rep.level_imbalance[0] - 1.0).abs() < 1e-12);
+        assert!((rep.level_imbalance[1] - 1.5).abs() < 1e-12);
+        // Totals: rank 0 = 150, rank 1 = 250 → 250 / 200 mean.
+        assert!((rep.imbalance_factor - 1.25).abs() < 1e-12);
+        assert_eq!(rep.critical_path_ns, 100 + 150);
+        assert_eq!(rep.critical_wait_ns, 60 + 150);
+        assert_eq!(rep.critical_compute_ns, 80 + 50);
+        assert_eq!(rep.total_wait_ns, 230);
+        assert_eq!(rep.total_compute_ns, 170);
+        assert!((rep.critical_wait_fraction() - 210.0 / 340.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_traces_yield_empty_report() {
+        let rep = analyze(&[rank(0, vec![])]);
+        assert_eq!(rep.levels, 0);
+        assert_eq!(rep.critical_path_ns, 0);
+        assert!((rep.imbalance_factor - 1.0).abs() < 1e-12);
+        assert_eq!(rep.critical_wait_fraction(), 0.0);
+    }
+
+    #[test]
+    fn analysis_consumes_the_jsonl_export() {
+        // The model layer is the downstream consumer of the JSONL trace
+        // format: round-trip through the exporter and re-analyze.
+        let traces = vec![rank(
+            0,
+            vec![
+                span(SpanKind::Collective, 0, 5, 25),
+                span(SpanKind::Level, 0, 0, 40),
+            ],
+        )];
+        let doc = dmbfs_trace::to_jsonl(&traces);
+        let reread = dmbfs_trace::from_jsonl(&doc).expect("exporter output parses");
+        let rep = analyze(&reread);
+        assert_eq!(rep.wait_ns, vec![vec![20]]);
+        assert_eq!(rep.compute_ns, vec![vec![20]]);
+    }
+}

@@ -24,13 +24,19 @@
 //! 3. [`predict`] — closed-form per-algorithm predictions (§5.1 for 1D,
 //!    §5.2 for 2D) used to regenerate the paper's figures at core counts
 //!    (512–40 000) that cannot be executed functionally here.
+//!
+//! Alongside the cost model, [`imbalance`] analyzes `dmbfs-trace` span
+//! streams from real (functional) runs into the per-rank × per-level wait
+//! matrices and critical-path compute/communication splits behind Fig. 4.
 
 #![warn(missing_docs)]
 
+pub mod imbalance;
 pub mod predict;
 pub mod profile;
 pub mod replay;
 
+pub use imbalance::{analyze, ImbalanceReport};
 pub use predict::{Algorithm, GraphShape, Prediction, ScalePredictor};
 pub use profile::MachineProfile;
 pub use replay::{replay_comm_time, replay_rank_time};

@@ -1,0 +1,275 @@
+//! Trace exporters: Chrome trace-event JSON for humans, JSONL for machines.
+//!
+//! The Chrome format targets `chrome://tracing` and Perfetto's legacy-JSON
+//! importer: every rank becomes one process track (`pid` = rank), all spans
+//! are complete (`"ph": "X"`) events with microsecond timestamps, and a
+//! metadata event names each track. The JSONL format is a header line
+//! followed by one span object per line, each span being exactly the serde
+//! encoding of [`SpanRecord`] plus `type`/`rank` envelope fields — this is
+//! what the `dmbfs-model` imbalance analysis reads back.
+
+use crate::{RankTrace, SpanRecord};
+use serde::{Deserialize as _, Serialize as _};
+use serde_json::{json, Value};
+
+/// Render traces as a Chrome trace-event JSON document (object form, with a
+/// `traceEvents` array), one process track per rank.
+pub fn to_chrome_trace(traces: &[RankTrace]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    for t in traces {
+        let pid = t.rank as u64;
+        events.push(json!({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0u64,
+            "args": {"name": (format!("rank {}", t.rank))}
+        }));
+        for s in &t.spans {
+            let name = match s.kind {
+                crate::SpanKind::Collective => s.pattern.name(),
+                k => k.name(),
+            };
+            events.push(json!({
+                "name": name,
+                "cat": (s.kind.category()),
+                "ph": "X",
+                "ts": (s.start_ns as f64 / 1_000.0),
+                "dur": (s.dur_ns() as f64 / 1_000.0),
+                "pid": pid,
+                "tid": 0u64,
+                "args": {
+                    "level": (s.level),
+                    "detail": (s.detail),
+                    "bytes": (s.bytes),
+                    "wire": (s.wire)
+                }
+            }));
+        }
+    }
+    let doc = json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms"
+    });
+    serde_json::to_string(&doc).expect("chrome trace serializes")
+}
+
+/// Render traces as JSONL: one `{"type":"header",...}` line, then one
+/// `{"type":"span","rank":R,...}` line per span in rank order.
+pub fn to_jsonl(traces: &[RankTrace]) -> String {
+    let total_spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+    let total_dropped: u64 = traces.iter().map(|t| t.dropped).sum();
+    let header = json!({
+        "type": "header",
+        "version": 1u64,
+        "ranks": (traces.len()),
+        "spans": total_spans,
+        "dropped": total_dropped
+    });
+    let mut out = String::new();
+    out.push_str(&serde_json::to_string(&header).expect("header serializes"));
+    out.push('\n');
+    for t in traces {
+        for s in &t.spans {
+            let Value::Map(fields) = s.to_content() else {
+                unreachable!("SpanRecord serializes to an object");
+            };
+            let mut line = vec![
+                ("type".to_string(), Value::Str("span".to_string())),
+                ("rank".to_string(), t.rank.to_content()),
+            ];
+            line.extend(fields);
+            out.push_str(&serde_json::to_string(&Value::Map(line)).expect("span serializes"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse a JSONL trace document back into per-rank traces. The inverse of
+/// [`to_jsonl`] up to the per-rank `dropped` counters, which the header only
+/// preserves in aggregate (they are folded into rank 0).
+pub fn from_jsonl(text: &str) -> Result<Vec<RankTrace>, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or("empty trace document")?;
+    let header: Value = serde_json::from_str(header_line).map_err(|e| format!("header: {e}"))?;
+    if header["type"] != "header" {
+        return Err("first line is not a trace header".to_string());
+    }
+    let ranks: usize =
+        usize::from_content(&header["ranks"]).map_err(|e| format!("header ranks: {e}"))?;
+    let dropped: u64 =
+        u64::from_content(&header["dropped"]).map_err(|e| format!("header dropped: {e}"))?;
+    let mut traces: Vec<RankTrace> = (0..ranks)
+        .map(|rank| RankTrace {
+            rank,
+            ..RankTrace::default()
+        })
+        .collect();
+    if let Some(t) = traces.first_mut() {
+        t.dropped = dropped;
+    }
+    for (i, line) in lines.enumerate() {
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 2))?;
+        if v["type"] != "span" {
+            return Err(format!("line {}: expected a span object", i + 2));
+        }
+        let rank: usize =
+            usize::from_content(&v["rank"]).map_err(|e| format!("line {}: rank: {e}", i + 2))?;
+        let span = SpanRecord::from_content(&v).map_err(|e| format!("line {}: {e}", i + 2))?;
+        let t = traces
+            .get_mut(rank)
+            .ok_or_else(|| format!("line {}: rank {rank} out of range", i + 2))?;
+        t.spans.push(span);
+    }
+    Ok(traces)
+}
+
+/// Lay several runs' traces end to end on one timeline: run `k+1` is shifted
+/// past the latest span of run `k` plus `gap_ns`. Used by `dmbfs teps
+/// --trace` to concatenate the sampled searches (each has its own epoch)
+/// into a single viewable file while keeping them disjoint in time.
+pub fn merge_sequential(runs: &[Vec<RankTrace>], gap_ns: u64) -> Vec<RankTrace> {
+    let ranks = runs.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut out: Vec<RankTrace> = (0..ranks)
+        .map(|rank| RankTrace {
+            rank,
+            ..RankTrace::default()
+        })
+        .collect();
+    let mut offset = 0u64;
+    for run in runs {
+        let run_end = run.iter().map(|t| t.end_ns()).max().unwrap_or(0);
+        for t in run {
+            let mut t = t.clone();
+            t.shift(offset);
+            out[t.rank].spans.extend(t.spans);
+            out[t.rank].dropped += t.dropped;
+        }
+        offset += run_end + gap_ns;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectiveTag, SpanKind};
+
+    fn sample_traces() -> Vec<RankTrace> {
+        let span = |kind, pattern, start_ns: u64, end_ns: u64, level: i64| SpanRecord {
+            kind,
+            pattern,
+            start_ns,
+            end_ns,
+            level,
+            detail: 4,
+            bytes: 128,
+            wire: 32,
+        };
+        vec![
+            RankTrace {
+                rank: 0,
+                spans: vec![
+                    span(SpanKind::Level, CollectiveTag::None, 100, 900, 0),
+                    span(SpanKind::Pack, CollectiveTag::None, 110, 300, 0),
+                    span(SpanKind::Collective, CollectiveTag::Alltoallv, 320, 850, 0),
+                ],
+                dropped: 0,
+            },
+            RankTrace {
+                rank: 1,
+                spans: vec![span(SpanKind::Level, CollectiveTag::None, 120, 940, 0)],
+                dropped: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_golden_shape() {
+        let doc = to_chrome_trace(&sample_traces());
+        let v: Value = serde_json::from_str(&doc).unwrap();
+        assert_eq!(v["displayTimeUnit"], "ms");
+        let Value::Seq(events) = &v["traceEvents"] else {
+            panic!("traceEvents must be an array");
+        };
+        // 2 metadata events + 4 spans.
+        assert_eq!(events.len(), 6);
+        // One process_name metadata event per rank, pids 0 and 1.
+        let meta: Vec<&Value> = events.iter().filter(|e| e["ph"] == "M").collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(meta[0]["args"]["name"], "rank 0");
+        assert_eq!(meta[1]["pid"], 1i64);
+        // Complete events carry the pinned field set.
+        for e in events.iter().filter(|e| e["ph"] == "X") {
+            for key in ["name", "cat", "ts", "dur", "pid", "tid", "args"] {
+                assert!(!matches!(e[key], Value::Null), "missing field {key}");
+            }
+            for key in ["level", "detail", "bytes", "wire"] {
+                assert!(!matches!(e["args"][key], Value::Null), "missing arg {key}");
+            }
+        }
+        // Collective spans are named after their pattern; ts/dur are µs.
+        let coll = events
+            .iter()
+            .find(|e| e["cat"] == "comm")
+            .expect("collective event present");
+        assert_eq!(coll["name"], "alltoallv");
+        assert_eq!(coll["ts"], 0.32f64);
+        assert_eq!(coll["dur"], 0.53f64);
+    }
+
+    #[test]
+    fn jsonl_golden_shape_and_round_trip() {
+        let traces = sample_traces();
+        let doc = to_jsonl(&traces);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 4 spans");
+        let header: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(header["type"], "header");
+        assert_eq!(header["version"], 1i64);
+        assert_eq!(header["ranks"], 2i64);
+        assert_eq!(header["spans"], 4i64);
+        assert_eq!(header["dropped"], 2i64);
+        let span: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(span["type"], "span");
+        assert_eq!(span["rank"], 0i64);
+        assert_eq!(span["kind"], "Level");
+        assert_eq!(span["pattern"], "None");
+        for key in ["start_ns", "end_ns", "level", "detail", "bytes", "wire"] {
+            assert!(!matches!(span[key], Value::Null), "missing field {key}");
+        }
+
+        let back = from_jsonl(&doc).unwrap();
+        assert_eq!(back.len(), traces.len());
+        for (a, b) in back.iter().zip(&traces) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.spans, b.spans);
+        }
+        assert_eq!(back[0].dropped, 2, "aggregate drop count survives");
+    }
+
+    #[test]
+    fn from_jsonl_rejects_malformed_documents() {
+        assert!(from_jsonl("").is_err());
+        assert!(from_jsonl("{\"type\":\"span\"}").is_err());
+        let mut doc = to_jsonl(&sample_traces());
+        doc.push_str(concat!(
+            "{\"type\":\"span\",\"rank\":9,\"kind\":\"Level\",\"pattern\":\"None\",",
+            "\"start_ns\":0,\"end_ns\":1,\"level\":0,\"detail\":0,\"bytes\":0,\"wire\":0}\n"
+        ));
+        assert!(from_jsonl(&doc).is_err(), "out-of-range rank rejected");
+    }
+
+    #[test]
+    fn merge_sequential_keeps_runs_disjoint() {
+        let traces = sample_traces();
+        let merged = merge_sequential(&[traces.clone(), traces.clone()], 1_000);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].spans.len(), 6);
+        // Run 0 ends at 940; run 1 must start at or after 940 + gap.
+        let second_run_start = merged[0].spans[3].start_ns;
+        assert_eq!(second_run_start, 940 + 1_000 + 100);
+        assert_eq!(merged[1].dropped, 4);
+    }
+}
