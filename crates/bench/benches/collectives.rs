@@ -1,30 +1,32 @@
 //! Criterion benchmarks for the message-passing runtime's collectives:
 //! rendezvous overhead and payload throughput of the operations the BFS
-//! algorithms are built from.
+//! algorithms are built from. Driven through the shared `run_ranks`
+//! harness so the measured path matches what the algorithms execute.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dmbfs_comm::World;
+use dmbfs_runtime::{run_ranks, RunConfig};
 use std::hint::black_box;
 
 fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("collectives");
     group.sample_size(10);
     for p in [4usize, 16] {
-        group.bench_with_input(BenchmarkId::new("barrier_x100", p), &p, |b, &p| {
+        let cfg = RunConfig::flat(p);
+        group.bench_with_input(BenchmarkId::new("barrier_x100", p), &p, |b, _| {
             b.iter(|| {
-                World::run(p, |comm| {
+                run_ranks(&cfg, |ctx| {
                     for _ in 0..100 {
-                        comm.barrier();
+                        ctx.comm().barrier();
                     }
                 })
             })
         });
-        group.bench_with_input(BenchmarkId::new("allreduce_x100", p), &p, |b, &p| {
+        group.bench_with_input(BenchmarkId::new("allreduce_x100", p), &p, |b, _| {
             b.iter(|| {
-                World::run(p, |comm| {
+                run_ranks(&cfg, |ctx| {
                     let mut acc = 0u64;
                     for _ in 0..100 {
-                        acc = comm.allreduce(acc + 1, |a, b| a + b);
+                        acc = ctx.comm().allreduce(acc + 1, |a, b| a + b);
                     }
                     black_box(acc)
                 })
@@ -36,11 +38,11 @@ fn bench_collectives(c: &mut Criterion) {
                 &p,
                 |b, &p| {
                     b.iter(|| {
-                        World::run(p, |comm| {
+                        run_ranks(&cfg, |ctx| {
                             let bufs: Vec<Vec<u64>> = (0..p)
-                                .map(|_| vec![comm.rank() as u64; payload / p])
+                                .map(|_| vec![ctx.rank() as u64; payload / p])
                                 .collect();
-                            black_box(comm.alltoallv(bufs))
+                            black_box(ctx.comm().alltoallv(bufs))
                         })
                     })
                 },
@@ -50,8 +52,8 @@ fn bench_collectives(c: &mut Criterion) {
                 &p,
                 |b, &p| {
                     b.iter(|| {
-                        World::run(p, |comm| {
-                            black_box(comm.allgatherv(vec![comm.rank() as u64; payload / p]))
+                        run_ranks(&cfg, |ctx| {
+                            black_box(ctx.comm().allgatherv(vec![ctx.rank() as u64; payload / p]))
                         })
                     })
                 },
@@ -59,11 +61,11 @@ fn bench_collectives(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::new("split_grid", p), &p, |b, &p| {
             b.iter(|| {
-                World::run(p, |comm| {
+                run_ranks(&cfg, |ctx| {
                     let side = (p as f64).sqrt() as usize;
-                    let (i, j) = (comm.rank() / side, comm.rank() % side);
-                    let row = comm.split(i as u64, j as u64);
-                    let col = comm.split((side + j) as u64, i as u64);
+                    let (i, j) = (ctx.rank() / side, ctx.rank() % side);
+                    let row = ctx.comm().split(i as u64, j as u64);
+                    let col = ctx.comm().split((side + j) as u64, i as u64);
                     black_box((row.size(), col.size()))
                 })
             })

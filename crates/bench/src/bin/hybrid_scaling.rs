@@ -9,7 +9,7 @@
 //! bench isolates the first half of that claim on one machine: for each
 //! `threads_per_rank ∈ {1, 2, 4, 8}` it runs the 1D and 2D algorithms on
 //! the same instance, splits every level's wall time into compute vs
-//! communication (the [`LevelTiming`] stream recorded by the BFS loops),
+//! communication (the [`dmbfs_comm::LevelTiming`] stream recorded by the BFS loops),
 //! and asserts the parent tree is bit-identical to the flat run.
 //!
 //! Caveat recorded in the JSON: speedups are only observable when the

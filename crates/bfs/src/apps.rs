@@ -15,8 +15,10 @@
 
 use crate::distribute::extract_1d;
 use crate::one_d::{bfs1d_run, Bfs1dConfig};
-use dmbfs_comm::World;
+use dmbfs_comm::CommStats;
 use dmbfs_graph::{CsrGraph, VertexId};
+use dmbfs_runtime::{run_ranks, RunConfig};
+use dmbfs_trace::{RankTrace, SpanKind, NO_LEVEL};
 
 /// Result of a distributed connected-components run.
 #[derive(Clone, Debug)]
@@ -25,6 +27,21 @@ pub struct ComponentsOutput {
     pub labels: Vec<VertexId>,
     /// Label-propagation rounds executed.
     pub rounds: u32,
+}
+
+/// [`ComponentsOutput`] plus the harness harvest: per-rank stats, traces,
+/// and barrier-to-barrier wall time.
+#[derive(Clone, Debug)]
+pub struct ComponentsRun {
+    /// The algorithm result.
+    pub output: ComponentsOutput,
+    /// Per-rank communication statistics.
+    pub per_rank_stats: Vec<CommStats>,
+    /// Per-rank span traces (one [`SpanKind::Level`] span per round);
+    /// empty spans unless [`RunConfig::trace`] was set.
+    pub per_rank_trace: Vec<RankTrace>,
+    /// Wall seconds of the propagation loop, max over ranks.
+    pub seconds: f64,
 }
 
 impl ComponentsOutput {
@@ -45,25 +62,32 @@ impl ComponentsOutput {
 /// skeleton as level-synchronous BFS, which is why the paper's analysis
 /// transfers directly to this kernel.
 pub fn distributed_components(g: &CsrGraph, p: usize) -> ComponentsOutput {
+    distributed_components_run(g, &RunConfig::flat(p)).output
+}
+
+/// [`distributed_components`] under a full [`RunConfig`]: span tracing and
+/// wire-byte accounting ride the shared harness. Label adoption is an
+/// inherently sequential min-fold over received messages, so compute stays
+/// on the rank main thread regardless of `threads_per_rank`.
+pub fn distributed_components_run(g: &CsrGraph, cfg: &RunConfig) -> ComponentsRun {
+    let p = cfg.ranks;
     assert!(p > 0);
 
-    struct RankResult {
-        start: u64,
-        labels: Vec<VertexId>,
-        rounds: u32,
-    }
-
-    let results: Vec<RankResult> = World::run(p, |comm| {
-        let local = extract_1d(g, p, comm.rank());
+    let run = run_ranks(cfg, |ctx| {
+        let comm = ctx.comm();
+        let local = extract_1d(g, p, ctx.rank());
         let nloc = local.count();
         // Every vertex starts in its own component.
         let mut labels: Vec<VertexId> = (0..nloc).map(|i| local.to_global(i)).collect();
         // Initially every vertex is "changed" (must announce its label).
         let mut changed: Vec<usize> = (0..nloc).collect();
         let mut rounds = 0u32;
-        loop {
+        ctx.timed(0, || loop {
+            comm.trace_enter_level(rounds as i64);
+            let round_t = comm.trace_start();
             rounds += 1;
             // Announce changed labels to the owners of all neighbors.
+            let pack_t = comm.trace_start();
             let mut send: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); p];
             for &i in &changed {
                 let v = local.to_global(i);
@@ -72,8 +96,10 @@ pub fn distributed_components(g: &CsrGraph, p: usize) -> ComponentsOutput {
                     send[local.block.owner(w)].push((w, label));
                 }
             }
+            comm.trace_span(SpanKind::Pack, pack_t, changed.len() as u64);
             let recv = comm.alltoallv(send);
             // Adopt any smaller label.
+            let unpack_t = comm.trace_start();
             let mut next_changed = Vec::new();
             for buf in recv {
                 for (w, label) in buf {
@@ -86,27 +112,31 @@ pub fn distributed_components(g: &CsrGraph, p: usize) -> ComponentsOutput {
             }
             next_changed.sort_unstable();
             next_changed.dedup();
+            comm.trace_span(SpanKind::Unpack, unpack_t, next_changed.len() as u64);
             let total: u64 = comm.allreduce(next_changed.len() as u64, |a, b| a + b);
+            comm.trace_span(SpanKind::Level, round_t, changed.len() as u64);
             if total == 0 {
+                comm.trace_enter_level(NO_LEVEL);
                 break;
             }
             changed = next_changed;
-        }
-        RankResult {
-            start: local.range.start,
-            labels,
-            rounds,
-        }
+        });
+        (local.range.start, labels, rounds)
     });
 
     let mut labels = vec![0 as VertexId; g.num_vertices() as usize];
     let mut rounds = 0;
-    for r in results {
-        let s = r.start as usize;
-        labels[s..s + r.labels.len()].copy_from_slice(&r.labels);
-        rounds = rounds.max(r.rounds);
+    for (start, rank_labels, rank_rounds) in run.per_rank {
+        let s = start as usize;
+        labels[s..s + rank_labels.len()].copy_from_slice(&rank_labels);
+        rounds = rounds.max(rank_rounds);
     }
-    ComponentsOutput { labels, rounds }
+    ComponentsRun {
+        output: ComponentsOutput { labels, rounds },
+        per_rank_stats: run.per_rank_stats,
+        per_rank_trace: run.per_rank_trace,
+        seconds: run.seconds,
+    }
 }
 
 /// Double-sweep diameter lower bound via distributed BFS: run BFS from

@@ -17,12 +17,20 @@
 //!   buffers, and a generic associative property map (here a `HashMap`,
 //!   mirroring PBGL's distributed property-map abstraction penalty) for
 //!   distances. Table 2 shows our Flat 2D up to 16× faster.
+//!
+//! Both baselines run on the shared execution harness
+//! ([`dmbfs_runtime::run_ranks`]), so their runs carry the same per-rank
+//! stats and span traces as the optimized drivers. Their *compute* stays
+//! single-threaded regardless of [`RunConfig::threads_per_rank`]: the
+//! comparator codes being reimplemented are not multithreaded, and
+//! threading them would misrepresent what Table 2 compares.
 
 use crate::{BfsOutput, UNREACHED};
-use dmbfs_comm::{Comm, World};
+use dmbfs_comm::{Comm, CommStats};
 use dmbfs_graph::{CsrGraph, VertexId};
+use dmbfs_runtime::{run_ranks, DistRun, RunConfig};
+use dmbfs_trace::{RankTrace, SpanKind, NO_LEVEL};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Coalescing buffer size (messages) used by both baselines; PBGL and the
 /// reference code flush partner buffers at a fixed element count instead of
@@ -36,87 +44,92 @@ pub struct BaselineRun {
     pub output: BfsOutput,
     /// Wall seconds of the timed region (max over ranks).
     pub seconds: f64,
+    /// Per-rank communication event streams (index = rank).
+    pub per_rank_stats: Vec<CommStats>,
+    /// Per-rank span traces (index = rank); empty spans unless
+    /// [`RunConfig::trace`] was set.
+    pub per_rank_trace: Vec<RankTrace>,
 }
 
 /// Graph 500 reference-MPI-like 1D BFS on `p` ranks. See module docs.
 pub fn reference_mpi_bfs(g: &CsrGraph, source: VertexId, p: usize) -> BaselineRun {
+    reference_mpi_bfs_with(g, source, &RunConfig::flat(p))
+}
+
+/// [`reference_mpi_bfs`] under a full [`RunConfig`] (tracing etc.; the
+/// codec/sieve/threads fields are ignored — see module docs).
+pub fn reference_mpi_bfs_with(g: &CsrGraph, source: VertexId, cfg: &RunConfig) -> BaselineRun {
     assert!(source < g.num_vertices());
     let n = g.num_vertices();
+    let p = cfg.ranks;
 
-    struct RankResult {
-        owned: Vec<(VertexId, i64, i64)>, // (vertex, level, parent)
-        seconds: f64,
-    }
-
-    let results: Vec<RankResult> = World::run(p, |comm| {
-        let rank = comm.rank();
+    let run = run_ranks(cfg, |ctx| {
+        let comm = ctx.comm();
+        let rank = ctx.rank();
         // Modulo ownership: vertex v lives on rank v % p (the reference
         // code's layout; no degree-balancing shuffle).
         let owned: Vec<VertexId> = (0..n).filter(|v| (*v as usize) % p == rank).collect();
         let index_of: HashMap<VertexId, usize> =
             owned.iter().enumerate().map(|(k, &v)| (v, k)).collect();
 
-        comm.barrier();
-        let t0 = Instant::now();
+        ctx.timed(source, || {
+            let mut levels = vec![UNREACHED; owned.len()];
+            let mut parents = vec![UNREACHED; owned.len()];
+            let mut frontier: Vec<VertexId> = Vec::new();
+            if (source as usize) % p == rank {
+                let k = index_of[&source];
+                levels[k] = 0;
+                parents[k] = source as i64;
+                frontier.push(source);
+            }
 
-        let mut levels = vec![UNREACHED; owned.len()];
-        let mut parents = vec![UNREACHED; owned.len()];
-        let mut frontier: Vec<VertexId> = Vec::new();
-        if (source as usize) % p == rank {
-            let k = index_of[&source];
-            levels[k] = 0;
-            parents[k] = source as i64;
-            frontier.push(source);
-        }
-
-        let mut level: i64 = 1;
-        loop {
-            // Enumerate adjacencies into per-destination queues, then drain
-            // them in fixed-size coalescing rounds (the reference's
-            // isend-coalescing translated to the bulk-synchronous runtime:
-            // many small exchanges instead of one large aggregated one,
-            // with a termination handshake per round).
-            let mut bufs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
-            let mut incoming: Vec<(u64, u64)> = Vec::new();
-            for &u in &frontier {
-                for &v in g.neighbors(u) {
-                    bufs[(v as usize) % p].push((v, u));
+            let mut level: i64 = 1;
+            loop {
+                comm.trace_enter_level(level - 1);
+                let level_t = comm.trace_start();
+                // Enumerate adjacencies into per-destination queues, then
+                // drain them in fixed-size coalescing rounds (the
+                // reference's isend-coalescing translated to the
+                // bulk-synchronous runtime: many small exchanges instead of
+                // one large aggregated one, with a termination handshake
+                // per round).
+                let mut bufs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+                let mut incoming: Vec<(u64, u64)> = Vec::new();
+                for &u in &frontier {
+                    for &v in g.neighbors(u) {
+                        bufs[(v as usize) % p].push((v, u));
+                    }
                 }
-            }
-            drain_in_rounds(comm, &mut bufs, &mut incoming);
-            // Claim received vertices.
-            let mut next = Vec::new();
-            for (v, parent) in incoming.drain(..) {
-                let k = index_of[&v];
-                if levels[k] == UNREACHED {
-                    levels[k] = level;
-                    parents[k] = parent as i64;
-                    next.push(v);
+                drain_in_rounds(comm, &mut bufs, &mut incoming);
+                // Claim received vertices.
+                let mut next = Vec::new();
+                for (v, parent) in incoming.drain(..) {
+                    let k = index_of[&v];
+                    if levels[k] == UNREACHED {
+                        levels[k] = level;
+                        parents[k] = parent as i64;
+                        next.push(v);
+                    }
                 }
+                let total = comm.allreduce(next.len() as u64, |a, b| a + b);
+                comm.trace_span(SpanKind::Level, level_t, frontier.len() as u64);
+                if total == 0 {
+                    comm.trace_enter_level(NO_LEVEL);
+                    break;
+                }
+                frontier = next;
+                level += 1;
             }
-            let total = comm.allreduce(next.len() as u64, |a, b| a + b);
-            if total == 0 {
-                break;
-            }
-            frontier = next;
-            level += 1;
-        }
 
-        let seconds = {
-            comm.barrier();
-            t0.elapsed().as_secs_f64()
-        };
-        RankResult {
-            owned: owned
+            owned
                 .iter()
                 .enumerate()
                 .map(|(k, &v)| (v, levels[k], parents[k]))
-                .collect(),
-            seconds,
-        }
+                .collect::<Vec<_>>()
+        })
     });
 
-    assemble(source, n, results.into_iter().map(|r| (r.owned, r.seconds)))
+    assemble(source, n, run)
 }
 
 /// Drains per-destination queues in collective rounds of at most
@@ -144,68 +157,69 @@ fn drain_in_rounds(comm: &Comm, bufs: &mut [Vec<(u64, u64)>], incoming: &mut Vec
 
 /// PBGL-like distributed-queue BFS on `p` ranks. See module docs.
 pub fn pbgl_like_bfs(g: &CsrGraph, source: VertexId, p: usize) -> BaselineRun {
+    pbgl_like_bfs_with(g, source, &RunConfig::flat(p))
+}
+
+/// [`pbgl_like_bfs`] under a full [`RunConfig`] (tracing etc.; the
+/// codec/sieve/threads fields are ignored — see module docs).
+pub fn pbgl_like_bfs_with(g: &CsrGraph, source: VertexId, cfg: &RunConfig) -> BaselineRun {
     assert!(source < g.num_vertices());
     let n = g.num_vertices();
+    let p = cfg.ranks;
 
-    struct RankResult {
-        owned: Vec<(VertexId, i64, i64)>,
-        seconds: f64,
-    }
-
-    let results: Vec<RankResult> = World::run(p, |comm| {
-        let rank = comm.rank();
+    let run = run_ranks(cfg, |ctx| {
+        let comm = ctx.comm();
+        let rank = ctx.rank();
         let block = n.div_ceil(p as u64).max(1);
         let owner = |v: VertexId| ((v / block) as usize).min(p - 1);
         let owned: Vec<VertexId> = (0..n).filter(|&v| owner(v) == rank).collect();
 
-        comm.barrier();
-        let t0 = Instant::now();
+        ctx.timed(source, || {
+            // PBGL's generic distributed property maps: associative lookups
+            // per vertex rather than dense arrays.
+            let mut distance: HashMap<VertexId, i64> = HashMap::new();
+            let mut parent: HashMap<VertexId, i64> = HashMap::new();
+            let mut queue: Vec<VertexId> = Vec::new();
+            if owner(source) == rank {
+                distance.insert(source, 0);
+                parent.insert(source, source as i64);
+                queue.push(source);
+            }
 
-        // PBGL's generic distributed property maps: associative lookups per
-        // vertex rather than dense arrays.
-        let mut distance: HashMap<VertexId, i64> = HashMap::new();
-        let mut parent: HashMap<VertexId, i64> = HashMap::new();
-        let mut queue: Vec<VertexId> = Vec::new();
-        if owner(source) == rank {
-            distance.insert(source, 0);
-            parent.insert(source, source as i64);
-            queue.push(source);
-        }
-
-        let mut level: i64 = 1;
-        loop {
-            let mut bufs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
-            let mut incoming: Vec<(u64, u64)> = Vec::new();
-            for &u in &queue {
-                for &v in g.neighbors(u) {
-                    // Ghost-cell semantics: no local visited filtering for
-                    // remote vertices — every edge becomes a message.
-                    bufs[owner(v)].push((v, u));
+            let mut level: i64 = 1;
+            loop {
+                comm.trace_enter_level(level - 1);
+                let level_t = comm.trace_start();
+                let mut bufs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+                let mut incoming: Vec<(u64, u64)> = Vec::new();
+                for &u in &queue {
+                    for &v in g.neighbors(u) {
+                        // Ghost-cell semantics: no local visited filtering
+                        // for remote vertices — every edge becomes a
+                        // message.
+                        bufs[owner(v)].push((v, u));
+                    }
                 }
-            }
-            drain_in_rounds(comm, &mut bufs, &mut incoming);
-            let mut next = Vec::new();
-            for (v, u) in incoming.drain(..) {
-                if let std::collections::hash_map::Entry::Vacant(e) = distance.entry(v) {
-                    e.insert(level);
-                    parent.insert(v, u as i64);
-                    next.push(v);
+                drain_in_rounds(comm, &mut bufs, &mut incoming);
+                let mut next = Vec::new();
+                for (v, u) in incoming.drain(..) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = distance.entry(v) {
+                        e.insert(level);
+                        parent.insert(v, u as i64);
+                        next.push(v);
+                    }
                 }
+                let total = comm.allreduce(next.len() as u64, |a, b| a + b);
+                comm.trace_span(SpanKind::Level, level_t, queue.len() as u64);
+                if total == 0 {
+                    comm.trace_enter_level(NO_LEVEL);
+                    break;
+                }
+                queue = next;
+                level += 1;
             }
-            let total = comm.allreduce(next.len() as u64, |a, b| a + b);
-            if total == 0 {
-                break;
-            }
-            queue = next;
-            level += 1;
-        }
 
-        let seconds = {
-            comm.barrier();
-            t0.elapsed().as_secs_f64()
-        };
-        RankResult {
-            owned: owned
+            owned
                 .iter()
                 .map(|&v| {
                     (
@@ -214,30 +228,30 @@ pub fn pbgl_like_bfs(g: &CsrGraph, source: VertexId, p: usize) -> BaselineRun {
                         parent.get(&v).copied().unwrap_or(UNREACHED),
                     )
                 })
-                .collect(),
-            seconds,
-        }
+                .collect::<Vec<_>>()
+        })
     });
 
-    assemble(source, n, results.into_iter().map(|r| (r.owned, r.seconds)))
+    assemble(source, n, run)
 }
 
-/// Assembles scattered per-vertex results into a [`BaselineRun`].
-fn assemble(
-    source: VertexId,
-    n: u64,
-    parts: impl Iterator<Item = (Vec<(VertexId, i64, i64)>, f64)>,
-) -> BaselineRun {
+/// Assembles the scattered per-vertex results of a harness run into a
+/// [`BaselineRun`]. Baseline ownership is not contiguous (modulo layout),
+/// so this writes vertex-by-vertex rather than block-by-block.
+fn assemble(source: VertexId, n: u64, run: DistRun<Vec<(VertexId, i64, i64)>>) -> BaselineRun {
     let mut output = BfsOutput::unreached(source, n as usize);
-    let mut seconds = 0.0f64;
-    for (owned, s) in parts {
-        for (v, level, parent) in owned {
+    for owned in &run.per_rank {
+        for &(v, level, parent) in owned {
             output.levels[v as usize] = level;
             output.parents[v as usize] = parent;
         }
-        seconds = seconds.max(s);
     }
-    BaselineRun { output, seconds }
+    BaselineRun {
+        output,
+        seconds: run.seconds,
+        per_rank_stats: run.per_rank_stats,
+        per_rank_trace: run.per_rank_trace,
+    }
 }
 
 #[cfg(test)]
@@ -297,5 +311,27 @@ mod tests {
         let g = rmat_graph(7, 41);
         assert!(reference_mpi_bfs(&g, 0, 2).seconds > 0.0);
         assert!(pbgl_like_bfs(&g, 0, 2).seconds > 0.0);
+    }
+
+    #[test]
+    fn baselines_carry_stats_and_traces() {
+        let g = rmat_graph(7, 43);
+        let traced = reference_mpi_bfs_with(&g, 0, &RunConfig::flat(3).with_trace(true));
+        let plain = reference_mpi_bfs(&g, 0, 3);
+        assert_eq!(traced.output.levels, plain.output.levels);
+        assert_eq!(traced.output.parents, plain.output.parents);
+        assert_eq!(traced.per_rank_stats.len(), 3);
+        for (rank, t) in traced.per_rank_trace.iter().enumerate() {
+            assert_eq!(t.rank, rank);
+            assert!(t.spans.iter().any(|s| s.kind == SpanKind::Search));
+            assert!(t.spans.iter().any(|s| s.kind == SpanKind::Level));
+        }
+        assert!(plain.per_rank_trace.iter().all(|t| t.spans.is_empty()));
+
+        let traced = pbgl_like_bfs_with(&g, 0, &RunConfig::flat(3).with_trace(true));
+        let plain = pbgl_like_bfs(&g, 0, 3);
+        assert_eq!(traced.output.levels, plain.output.levels);
+        assert_eq!(traced.output.parents, plain.output.parents);
+        assert!(traced.per_rank_trace.iter().all(|t| !t.spans.is_empty()));
     }
 }

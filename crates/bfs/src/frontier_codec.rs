@@ -34,65 +34,11 @@ use dmbfs_comm::WireBuf;
 use dmbfs_graph::VertexId;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
-use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Which wire encoding a frontier exchange uses.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Codec {
-    /// No codec layer at all: the legacy typed collectives move `u64`
-    /// payloads directly (wire bytes == logical bytes).
-    Off,
-    /// Little-endian `u64`s behind the codec framing; the identity
-    /// encoding, useful to isolate framing overhead.
-    Raw,
-    /// Sorted targets, varint-encoded deltas.
-    VarintDelta,
-    /// One bit per vertex of the destination range.
-    Bitmap,
-    /// Per-destination, per-level choice of the cheapest of the above.
-    #[default]
-    Adaptive,
-}
-
-impl Codec {
-    /// All codec choices, for ablation sweeps.
-    pub const ALL: [Codec; 5] = [
-        Codec::Off,
-        Codec::Raw,
-        Codec::VarintDelta,
-        Codec::Bitmap,
-        Codec::Adaptive,
-    ];
-
-    /// Stable lowercase name (CLI flag values, JSON output).
-    pub fn name(&self) -> &'static str {
-        match self {
-            Codec::Off => "off",
-            Codec::Raw => "raw",
-            Codec::VarintDelta => "varint",
-            Codec::Bitmap => "bitmap",
-            Codec::Adaptive => "adaptive",
-        }
-    }
-}
-
-impl FromStr for Codec {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "off" => Ok(Codec::Off),
-            "raw" => Ok(Codec::Raw),
-            "varint" => Ok(Codec::VarintDelta),
-            "bitmap" => Ok(Codec::Bitmap),
-            "adaptive" => Ok(Codec::Adaptive),
-            other => Err(format!(
-                "unknown codec `{other}` (expected off|raw|varint|bitmap|adaptive)"
-            )),
-        }
-    }
-}
+// The codec *choice* travels with every run's `RunConfig`, so the enum
+// lives in the runtime layer; the encodings themselves stay here.
+pub use dmbfs_runtime::Codec;
 
 /// Wire tag identifying the concrete encoding inside a [`WireBuf`].
 const TAG_RAW: u8 = 0;

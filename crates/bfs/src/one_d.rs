@@ -14,76 +14,18 @@ use crate::frontier_codec::{
     decode_pairs, encode_pairs, merge_level_stats, Codec, LevelCodecStats, Sieve,
 };
 use crate::{BfsOutput, UNREACHED};
-use dmbfs_comm::{Comm, CommStats, LevelTiming, WireBuf, World};
+use dmbfs_comm::{Comm, CommStats, LevelTiming, WireBuf};
 use dmbfs_graph::{CsrGraph, VertexId};
-use dmbfs_trace::{RankTrace, SpanKind, TraceSink};
+use dmbfs_runtime::{run_ranks, scatter_block};
+use dmbfs_trace::{RankTrace, SpanKind};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::Instant;
 
-/// Configuration of a 1D run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Bfs1dConfig {
-    /// Number of simulated MPI ranks.
-    pub ranks: usize,
-    /// Threads per rank: 1 = "Flat MPI", >1 = "Hybrid" (§6 uses 4 on
-    /// Franklin, 6 on Hopper).
-    pub threads_per_rank: usize,
-    /// Wire encoding of the frontier exchange (see
-    /// [`crate::frontier_codec`]).
-    pub codec: Codec,
-    /// Sender-side filtering of already-sent vertices. Only meaningful
-    /// with a codec; ignored under [`Codec::Off`].
-    pub sieve: bool,
-    /// Record per-rank span traces (see `dmbfs-trace`). Strictly an
-    /// observer: the computed parent tree is bit-identical either way.
-    pub trace: bool,
-}
-
-impl Bfs1dConfig {
-    /// Flat MPI: one single-threaded process per simulated core.
-    pub fn flat(ranks: usize) -> Self {
-        Self {
-            ranks,
-            threads_per_rank: 1,
-            codec: Codec::Adaptive,
-            sieve: true,
-            trace: false,
-        }
-    }
-
-    /// Hybrid MPI + multithreading.
-    pub fn hybrid(ranks: usize, threads_per_rank: usize) -> Self {
-        assert!(threads_per_rank >= 1);
-        Self {
-            threads_per_rank,
-            ..Self::flat(ranks)
-        }
-    }
-
-    /// Replaces the frontier codec.
-    pub fn with_codec(mut self, codec: Codec) -> Self {
-        self.codec = codec;
-        self
-    }
-
-    /// Enables or disables the sender-side sieve.
-    pub fn with_sieve(mut self, sieve: bool) -> Self {
-        self.sieve = sieve;
-        self
-    }
-
-    /// Enables or disables span tracing.
-    pub fn with_trace(mut self, trace: bool) -> Self {
-        self.trace = trace;
-        self
-    }
-
-    /// True when this is the hybrid variant.
-    pub fn is_hybrid(&self) -> bool {
-        self.threads_per_rank > 1
-    }
-}
+/// Configuration of a 1D run — since the runtime refactor this *is* the
+/// shared [`dmbfs_runtime::RunConfig`]; the historical name stays as an
+/// alias because the 1D driver was its first user.
+pub use dmbfs_runtime::RunConfig as Bfs1dConfig;
 
 /// Everything a 1D run produces: the BFS tree plus per-rank measurements.
 #[derive(Clone, Debug)]
@@ -127,92 +69,34 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
     assert!(cfg.ranks > 0);
     assert!((source) < g.num_vertices(), "source out of range");
     let ranks = cfg.ranks;
-    let threads = cfg.threads_per_rank;
-
-    struct RankResult {
-        start: u64,
-        levels: Vec<i64>,
-        parents: Vec<i64>,
-        stats: CommStats,
-        seconds: f64,
-        num_levels: u32,
-        codec_levels: Vec<LevelCodecStats>,
-        trace: RankTrace,
-    }
-
     let codec = cfg.codec;
     let sieve = cfg.sieve;
-    let trace = cfg.trace;
-    // All ranks stamp spans against this one epoch so their timelines share
-    // a zero (`Instant` is `Copy`; each rank closure gets its own copy).
-    let epoch = Instant::now();
-    let results: Vec<RankResult> = World::run(ranks, |comm| {
-        if trace {
-            comm.set_tracer(TraceSink::new(comm.rank(), epoch));
-        }
-        let local = extract_1d(g, ranks, comm.rank());
-        let pool = make_pool(threads);
 
-        comm.barrier();
-        let t0 = Instant::now();
-        let search_t = comm.trace_start();
-        let (levels, parents, num_levels, codec_levels) =
-            rank_bfs(comm, &local, source, pool.as_ref(), codec, sieve);
-        comm.trace_span(SpanKind::Search, search_t, source);
-        comm.barrier();
-        let seconds = t0.elapsed().as_secs_f64();
-
-        RankResult {
-            start: local.range.start,
-            levels,
-            parents,
-            stats: comm.take_stats(),
-            seconds,
-            num_levels,
-            codec_levels,
-            trace: comm.take_trace().unwrap_or(RankTrace {
-                rank: comm.rank(),
-                ..RankTrace::default()
-            }),
-        }
+    let run = run_ranks(cfg, |ctx| {
+        let local = extract_1d(g, ranks, ctx.rank());
+        let (levels, parents, num_levels, codec_levels) = ctx.timed(source, || {
+            rank_bfs(ctx.comm(), &local, source, ctx.pool(), codec, sieve)
+        });
+        (local.range.start, levels, parents, num_levels, codec_levels)
     });
 
     let mut output = BfsOutput::unreached(source, g.num_vertices() as usize);
-    let mut per_rank_stats = Vec::with_capacity(ranks);
     let mut per_rank_codec = Vec::with_capacity(ranks);
-    let mut per_rank_trace = Vec::with_capacity(ranks);
-    let mut seconds = 0.0f64;
     let mut num_levels = 0;
-    for r in results {
-        let s = r.start as usize;
-        output.levels[s..s + r.levels.len()].copy_from_slice(&r.levels);
-        output.parents[s..s + r.parents.len()].copy_from_slice(&r.parents);
-        per_rank_stats.push(r.stats);
-        per_rank_codec.push(r.codec_levels);
-        per_rank_trace.push(r.trace);
-        seconds = seconds.max(r.seconds);
-        num_levels = num_levels.max(r.num_levels);
+    for (start, levels, parents, rank_levels, codec_levels) in run.per_rank {
+        scatter_block(&mut output.levels, start, &levels);
+        scatter_block(&mut output.parents, start, &parents);
+        per_rank_codec.push(codec_levels);
+        num_levels = num_levels.max(rank_levels);
     }
     Dist1dRun {
         output,
-        per_rank_stats,
-        seconds,
+        per_rank_stats: run.per_rank_stats,
+        seconds: run.seconds,
         num_levels,
         codec_levels: merge_level_stats(&per_rank_codec),
-        per_rank_trace,
+        per_rank_trace: run.per_rank_trace,
     }
-}
-
-/// Builds a dedicated pool for hybrid ranks (None = run serially, the flat
-/// variant; a shared global pool would serialize the simulated ranks
-/// against each other).
-fn make_pool(threads: usize) -> Option<rayon::ThreadPool> {
-    (threads > 1).then(|| {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("failed to build rank thread pool")
-    })
 }
 
 /// The per-rank level loop of Algorithm 2.

@@ -13,12 +13,14 @@
 //! `x̂[v] = x[v] / outdeg(v)`.
 
 use crate::distribute::extract_2d;
-use dmbfs_comm::World;
+use dmbfs_comm::CommStats;
 use dmbfs_graph::{CsrGraph, Grid2D, VertexId};
 use dmbfs_matrix::{spmv::spmv_dense, Dcsc};
+use dmbfs_runtime::{run_ranks, scatter_block, Codec, RunConfig};
+use dmbfs_trace::{RankTrace, SpanKind, NO_LEVEL};
 
 /// Configuration for [`distributed_pagerank`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PageRankConfig {
     /// Damping factor (0.85 is the standard choice).
     pub damping: f64,
@@ -28,6 +30,12 @@ pub struct PageRankConfig {
     pub max_iterations: u32,
     /// Processor grid.
     pub grid: Grid2D,
+    /// Threads per rank (the harness builds a rank pool when > 1; the
+    /// dense kernels currently stay on the rank main thread).
+    pub threads_per_rank: usize,
+    /// Record per-rank span traces. Strictly an observer: the computed
+    /// scores are bit-identical either way.
+    pub trace: bool,
 }
 
 impl PageRankConfig {
@@ -38,6 +46,33 @@ impl PageRankConfig {
             tolerance: 1e-10,
             max_iterations: 200,
             grid,
+            threads_per_rank: 1,
+            trace: false,
+        }
+    }
+
+    /// Replaces the threads-per-rank count.
+    pub fn with_threads(mut self, threads_per_rank: usize) -> Self {
+        assert!(threads_per_rank >= 1);
+        self.threads_per_rank = threads_per_rank;
+        self
+    }
+
+    /// Enables or disables span tracing.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The runtime-layer view of this configuration. PageRank moves dense
+    /// float payloads, so the frontier codec/sieve do not apply.
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig {
+            ranks: self.grid.size(),
+            threads_per_rank: self.threads_per_rank,
+            codec: Codec::Off,
+            sieve: false,
+            trace: self.trace,
         }
     }
 }
@@ -107,26 +142,41 @@ pub fn serial_pagerank(
     }
 }
 
+/// A PageRank run with the harness's full measurement surface.
+#[derive(Clone, Debug)]
+pub struct PageRankRun {
+    /// Assembled global result.
+    pub output: PageRankOutput,
+    /// Per-rank communication event streams (row-major grid order),
+    /// including the row/column communicator events.
+    pub per_rank_stats: Vec<CommStats>,
+    /// Per-rank span traces; empty spans unless [`PageRankConfig::trace`]
+    /// was set.
+    pub per_rank_trace: Vec<RankTrace>,
+    /// Wall seconds of the timed region (max over ranks, excluding graph
+    /// distribution and communicator setup).
+    pub seconds: f64,
+}
+
 /// Distributed PageRank over the 2D grid (see module docs). Produces
 /// scores identical (to fp accumulation order) with [`serial_pagerank`].
 pub fn distributed_pagerank(g: &CsrGraph, cfg: &PageRankConfig) -> PageRankOutput {
+    distributed_pagerank_run(g, cfg).output
+}
+
+/// [`distributed_pagerank`] with per-rank stats, traces, and timing.
+pub fn distributed_pagerank_run(g: &CsrGraph, cfg: &PageRankConfig) -> PageRankRun {
     let grid = cfg.grid;
-    let p = grid.size();
     let n = g.num_vertices();
     assert!(n > 0);
-
-    struct RankResult {
-        start: u64,
-        scores: Vec<f64>,
-        iterations: u32,
-    }
 
     // Out-degrees are global knowledge (ingest-phase metadata).
     let degrees: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
     let degrees = &degrees;
 
-    let results: Vec<RankResult> = World::run(p, |comm| {
-        let (i, j) = grid.coords_of(comm.rank());
+    let run = run_ranks(&cfg.run_config(), |ctx| {
+        let comm = ctx.comm();
+        let (i, j) = grid.coords_of(ctx.rank());
         let block = extract_2d(g, grid, i, j);
         let matrix = Dcsc::from_triples(block.nrows(), block.ncols(), &block.triples);
         let row_comm = comm.split(i as u64, j as u64);
@@ -139,7 +189,10 @@ pub fn distributed_pagerank(g: &CsrGraph, cfg: &PageRankConfig) -> PageRankOutpu
         let mut x: Vec<f64> = vec![1.0 / n as f64; nloc];
         let mut iterations = 0u32;
 
-        loop {
+        ctx.reset_accounting(); // exclude setup from stats and trace
+        ctx.timed(0, || loop {
+            comm.trace_enter_level(iterations as i64);
+            let iter_t = comm.trace_start();
             iterations += 1;
             // Scale by out-degree and account dangling mass.
             let mut dangling = 0.0;
@@ -216,26 +269,32 @@ pub fn distributed_pagerank(g: &CsrGraph, cfg: &PageRankConfig) -> PageRankOutpu
                 .collect();
             x = next;
             let delta = comm.allreduce(local_delta, |a, b| a + b);
+            comm.trace_span(SpanKind::Level, iter_t, iterations as u64);
             if delta < cfg.tolerance || iterations >= cfg.max_iterations {
+                comm.trace_enter_level(NO_LEVEL);
                 break;
             }
-        }
+        });
 
-        RankResult {
-            start: vrange.start,
-            scores: x,
-            iterations,
-        }
+        // World events (transpose, allreduce) plus the row/column
+        // communicator events (fold, expand) in one stream per rank.
+        ctx.merge_stats(row_comm.take_stats());
+        ctx.merge_stats(col_comm.take_stats());
+        (vrange.start, x, iterations)
     });
 
     let mut scores = vec![0.0; n as usize];
     let mut iterations = 0;
-    for r in results {
-        let s = r.start as usize;
-        scores[s..s + r.scores.len()].copy_from_slice(&r.scores);
-        iterations = iterations.max(r.iterations);
+    for (start, rank_scores, rank_iters) in run.per_rank {
+        scatter_block(&mut scores, start, &rank_scores);
+        iterations = iterations.max(rank_iters);
     }
-    PageRankOutput { scores, iterations }
+    PageRankRun {
+        output: PageRankOutput { scores, iterations },
+        per_rank_stats: run.per_rank_stats,
+        per_rank_trace: run.per_rank_trace,
+        seconds: run.seconds,
+    }
 }
 
 #[cfg(test)]

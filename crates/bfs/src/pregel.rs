@@ -21,8 +21,10 @@
 //!   in flight.
 
 use crate::distribute::extract_1d;
-use dmbfs_comm::{CommStats, World};
+use dmbfs_comm::CommStats;
 use dmbfs_graph::{CsrGraph, VertexId};
+use dmbfs_runtime::{run_ranks, RunConfig};
+use dmbfs_trace::{RankTrace, SpanKind, NO_LEVEL};
 
 /// A user-defined vertex program.
 pub trait VertexProgram: Sync {
@@ -71,6 +73,12 @@ pub struct PregelOutput<S> {
     /// (the §2.2 abstraction cost, quantified by
     /// `ablation_framework_overhead`).
     pub per_rank_stats: Vec<CommStats>,
+    /// Per-rank span traces (one [`dmbfs_trace::SpanKind::Level`] span per
+    /// superstep); empty spans unless [`RunConfig::trace`] was set.
+    pub per_rank_trace: Vec<RankTrace>,
+    /// Wall seconds of the superstep loop, barrier-to-barrier (max over
+    /// ranks).
+    pub seconds: f64,
 }
 
 /// Runs `program` over `g` on `p` simulated ranks. `initially_active`
@@ -84,17 +92,28 @@ pub fn run_pregel<P: VertexProgram>(
 where
     P::State: 'static,
 {
+    run_pregel_with(g, program, initially_active, &RunConfig::flat(p))
+}
+
+/// [`run_pregel`] under a full [`RunConfig`]: span tracing and wire-byte
+/// accounting ride the shared harness. The compute phase stays on the rank
+/// main thread — vertex programs mutate shared inboxes through sequential
+/// `send` closures, which is the Pregel model's own semantics.
+pub fn run_pregel_with<P: VertexProgram>(
+    g: &CsrGraph,
+    program: &P,
+    initially_active: &[VertexId],
+    cfg: &RunConfig,
+) -> PregelOutput<P::State>
+where
+    P::State: 'static,
+{
+    let p = cfg.ranks;
     assert!(p > 0);
 
-    struct RankResult<S> {
-        start: u64,
-        states: Vec<S>,
-        supersteps: u32,
-        stats: CommStats,
-    }
-
-    let results: Vec<RankResult<P::State>> = World::run(p, |comm| {
-        let local = extract_1d(g, p, comm.rank());
+    let run = run_ranks(cfg, |ctx| {
+        let comm = ctx.comm();
+        let local = extract_1d(g, p, ctx.rank());
         let nloc = local.count();
         let mut states: Vec<P::State> = vec![P::State::default(); nloc];
         let mut active = vec![false; nloc];
@@ -107,15 +126,20 @@ where
 
         let mut superstep = 0u32;
         let mut aggregate = P::Aggregate::default();
-        loop {
+        ctx.timed(0, || loop {
+            comm.trace_enter_level(superstep as i64);
+            let step_t = comm.trace_start();
             // Compute phase: run active vertices, buffering outgoing
             // messages by owner and folding aggregate contributions.
+            let compute_t = comm.trace_start();
             let mut outgoing: Vec<Vec<(u64, P::Message)>> = vec![Vec::new(); p];
             let mut local_agg = P::Aggregate::default();
+            let mut computed = 0u64;
             for i in 0..nloc {
                 if !active[i] && inbox[i].is_empty() {
                     continue;
                 }
+                computed += 1;
                 let vertex = local.to_global(i);
                 let messages = std::mem::take(&mut inbox[i]);
                 let mut send = |target: VertexId, msg: P::Message| {
@@ -135,9 +159,11 @@ where
                     &mut contribute,
                 );
             }
+            comm.trace_span(SpanKind::Pack, compute_t, computed);
             aggregate = comm.allreduce(local_agg, |a, b| program.combine(a, b));
             // Message exchange (the same Alltoallv skeleton as Algorithm 2).
             let received = comm.alltoallv(outgoing);
+            let unpack_t = comm.trace_start();
             let mut delivered = 0u64;
             for buf in received {
                 for (target, msg) in buf {
@@ -145,38 +171,36 @@ where
                     delivered += 1;
                 }
             }
+            comm.trace_span(SpanKind::Unpack, unpack_t, delivered);
             // Global termination: all halted and no messages delivered.
             let local_active = active.iter().filter(|&&a| a).count() as u64;
             let pending = comm.allreduce(local_active + delivered, |a, b| a + b);
             superstep += 1;
+            comm.trace_span(SpanKind::Level, step_t, computed);
             if pending == 0 {
+                comm.trace_enter_level(NO_LEVEL);
                 break;
             }
-        }
+        });
 
-        RankResult {
-            start: local.range.start,
-            states,
-            supersteps: superstep,
-            stats: comm.take_stats(),
-        }
+        (local.range.start, states, superstep)
     });
 
     let mut states: Vec<P::State> = vec![P::State::default(); g.num_vertices() as usize];
     let mut supersteps = 0;
-    let mut per_rank_stats = Vec::with_capacity(p);
-    for r in results {
-        let s = r.start as usize;
-        for (k, state) in r.states.into_iter().enumerate() {
+    for (start, rank_states, rank_steps) in run.per_rank {
+        let s = start as usize;
+        for (k, state) in rank_states.into_iter().enumerate() {
             states[s + k] = state;
         }
-        supersteps = supersteps.max(r.supersteps);
-        per_rank_stats.push(r.stats);
+        supersteps = supersteps.max(rank_steps);
     }
     PregelOutput {
         states,
         supersteps,
-        per_rank_stats,
+        per_rank_stats: run.per_rank_stats,
+        per_rank_trace: run.per_rank_trace,
+        seconds: run.seconds,
     }
 }
 

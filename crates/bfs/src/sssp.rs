@@ -11,10 +11,18 @@
 //! cross-check the tests exploit.
 //!
 //! The serial oracle is a binary-heap Dijkstra ([`serial_sssp`]).
+//!
+//! Both distributed variants run on the shared execution harness
+//! ([`dmbfs_runtime::run_ranks`]): a [`RunConfig`] selects ranks, hybrid
+//! threading (the relaxation pack fans out over the rank pool), and span
+//! tracing, and every run carries per-rank wire-byte accounting.
 
-use dmbfs_comm::World;
+use dmbfs_comm::CommStats;
 use dmbfs_graph::weighted::WeightedCsr;
 use dmbfs_graph::{Block1D, VertexId};
+use dmbfs_runtime::{run_ranks, scatter_block, RunConfig};
+use dmbfs_trace::{RankTrace, SpanKind, NO_LEVEL};
+use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -71,85 +79,157 @@ pub fn serial_sssp(g: &WeightedCsr, source: VertexId) -> SsspOutput {
     }
 }
 
+/// An SSSP run with the harness's full measurement surface.
+#[derive(Clone, Debug)]
+pub struct SsspRun {
+    /// Assembled global result.
+    pub output: SsspOutput,
+    /// Per-rank communication event streams (index = rank).
+    pub per_rank_stats: Vec<CommStats>,
+    /// Per-rank span traces (index = rank); empty spans unless
+    /// [`RunConfig::trace`] was set.
+    pub per_rank_trace: Vec<RankTrace>,
+    /// Wall seconds of the timed region (max over ranks).
+    pub seconds: f64,
+    /// Communication rounds executed (Bellman–Ford relaxation rounds, or
+    /// Δ-stepping buckets processed).
+    pub rounds: u32,
+}
+
+/// Serial relaxation pack: route each candidate `(target, distance,
+/// parent)` triple of the active set's out-edges to the target's owner.
+fn relax_pack(
+    g: &WeightedCsr,
+    block: &Block1D,
+    start: u64,
+    dists: &[u64],
+    active: &[VertexId],
+    p: usize,
+) -> Vec<Vec<(u64, u64, u64)>> {
+    let mut send: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];
+    for &u in active {
+        let du = dists[(u - start) as usize];
+        for &(v, w) in g.neighbors(u) {
+            send[block.owner(v)].push((v, du + w as u64, u));
+        }
+    }
+    send
+}
+
+/// Thread-parallel relaxation pack with order-preserving chunk
+/// concatenation: the per-destination buffers come out byte-identical to
+/// [`relax_pack`]'s, so hybrid runs produce bit-identical trees.
+fn relax_pack_parallel(
+    g: &WeightedCsr,
+    block: &Block1D,
+    start: u64,
+    dists: &[u64],
+    active: &[VertexId],
+    p: usize,
+) -> Vec<Vec<(u64, u64, u64)>> {
+    active
+        .par_iter()
+        .with_min_len(64)
+        .fold(
+            || vec![Vec::new(); p],
+            |mut bufs: Vec<Vec<(u64, u64, u64)>>, &u| {
+                let du = dists[(u - start) as usize];
+                for &(v, w) in g.neighbors(u) {
+                    bufs[block.owner(v)].push((v, du + w as u64, u));
+                }
+                bufs
+            },
+        )
+        .reduce(
+            || vec![Vec::new(); p],
+            |mut a, mut b| {
+                for (dst, src) in a.iter_mut().zip(b.iter_mut()) {
+                    dst.append(src);
+                }
+                a
+            },
+        )
+}
+
 /// Distributed level-synchronous Bellman–Ford over `p` simulated ranks.
 pub fn distributed_sssp(g: &WeightedCsr, source: VertexId, p: usize) -> SsspOutput {
+    distributed_sssp_run(g, source, &RunConfig::flat(p)).output
+}
+
+/// [`distributed_sssp`] under a full [`RunConfig`]: hybrid threading of
+/// the relaxation pack, per-rank stats, and span traces. The codec/sieve
+/// fields are ignored (the triple payload has no codec path yet).
+pub fn distributed_sssp_run(g: &WeightedCsr, source: VertexId, cfg: &RunConfig) -> SsspRun {
+    let p = cfg.ranks;
     assert!(p > 0);
     assert!(source < g.num_vertices(), "source out of range");
     let n = g.num_vertices();
 
-    struct RankResult {
-        start: u64,
-        dists: Vec<u64>,
-        parents: Vec<i64>,
-    }
-
-    let results: Vec<RankResult> = World::run(p, |comm| {
+    let run = run_ranks(cfg, |ctx| {
+        let comm = ctx.comm();
         let block = Block1D::new(n, p);
-        let range = block.range(comm.rank());
+        let range = block.range(ctx.rank());
         // Adjacency access below touches only owned vertices, i.e. exactly
         // this rank's 1D partition of the weighted graph.
         let nloc = (range.end - range.start) as usize;
         let mut dists = vec![UNREACHABLE; nloc];
         let mut parents = vec![-1i64; nloc];
         let mut active: Vec<VertexId> = Vec::new();
-        if block.owner(source) == comm.rank() {
+        if block.owner(source) == ctx.rank() {
             let s = (source - range.start) as usize;
             dists[s] = 0;
             parents[s] = source as i64;
             active.push(source);
         }
 
-        loop {
-            // Relax out-edges of locally active vertices into
-            // per-destination buffers: (target, candidate, parent).
-            let mut send: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];
-            for &u in &active {
-                let du = dists[(u - range.start) as usize];
-                for &(v, w) in g.neighbors(u) {
-                    send[block.owner(v)].push((v, du + w as u64, u));
-                }
-            }
-            let recv = comm.alltoallv(send);
-            // Owners apply improvements.
-            let mut next: Vec<VertexId> = Vec::new();
-            for buf in recv {
-                for (v, cand, parent) in buf {
-                    let i = (v - range.start) as usize;
-                    if cand < dists[i] {
-                        dists[i] = cand;
-                        parents[i] = parent as i64;
-                        next.push(v);
+        let rounds = ctx.timed(source, || {
+            let mut round: i64 = 0;
+            loop {
+                comm.trace_enter_level(round);
+                let round_t = comm.trace_start();
+                // Relax out-edges of locally active vertices into
+                // per-destination buffers: (target, candidate, parent).
+                let pack_t = comm.trace_start();
+                let send = match ctx.pool() {
+                    Some(pool) => pool.install(|| {
+                        relax_pack_parallel(g, &block, range.start, &dists, &active, p)
+                    }),
+                    None => relax_pack(g, &block, range.start, &dists, &active, p),
+                };
+                comm.trace_span(SpanKind::Pack, pack_t, active.len() as u64);
+                let recv = comm.alltoallv(send);
+                // Owners apply improvements.
+                let unpack_t = comm.trace_start();
+                let mut next: Vec<VertexId> = Vec::new();
+                for buf in recv {
+                    for (v, cand, parent) in buf {
+                        let i = (v - range.start) as usize;
+                        if cand < dists[i] {
+                            dists[i] = cand;
+                            parents[i] = parent as i64;
+                            next.push(v);
+                        }
                     }
                 }
+                next.sort_unstable();
+                next.dedup();
+                comm.trace_span(SpanKind::Unpack, unpack_t, next.len() as u64);
+                let total = comm.allreduce(next.len() as u64, |a, b| a + b);
+                comm.trace_span(SpanKind::Level, round_t, active.len() as u64);
+                round += 1;
+                if total == 0 {
+                    comm.trace_enter_level(NO_LEVEL);
+                    break;
+                }
+                active = next;
             }
-            next.sort_unstable();
-            next.dedup();
-            let total = comm.allreduce(next.len() as u64, |a, b| a + b);
-            if total == 0 {
-                break;
-            }
-            active = next;
-        }
+            round as u32
+        });
 
-        RankResult {
-            start: range.start,
-            dists,
-            parents,
-        }
+        (range.start, dists, parents, rounds)
     });
 
-    let mut dists = vec![UNREACHABLE; n as usize];
-    let mut parents = vec![-1i64; n as usize];
-    for r in results {
-        let s = r.start as usize;
-        dists[s..s + r.dists.len()].copy_from_slice(&r.dists);
-        parents[s..s + r.parents.len()].copy_from_slice(&r.parents);
-    }
-    SsspOutput {
-        source,
-        dists,
-        parents,
-    }
+    assemble_sssp(source, n, run)
 }
 
 /// Distributed Δ-stepping (Meyer & Sanders) over `p` simulated ranks —
@@ -168,24 +248,33 @@ pub fn distributed_delta_stepping(
     delta: u64,
     p: usize,
 ) -> SsspOutput {
+    distributed_delta_stepping_run(g, source, delta, &RunConfig::flat(p)).output
+}
+
+/// [`distributed_delta_stepping`] under a full [`RunConfig`]. The bucket
+/// scan stays serial (it is a cheap linear pass, and the algorithm's
+/// phase structure leaves little batch-parallel pack work), but the run
+/// still carries stats, traces, and barrier-to-barrier timing.
+pub fn distributed_delta_stepping_run(
+    g: &WeightedCsr,
+    source: VertexId,
+    delta: u64,
+    cfg: &RunConfig,
+) -> SsspRun {
+    let p = cfg.ranks;
     assert!(p > 0);
     assert!(delta >= 1, "delta must be at least 1");
     assert!(source < g.num_vertices(), "source out of range");
     let n = g.num_vertices();
 
-    struct RankResult {
-        start: u64,
-        dists: Vec<u64>,
-        parents: Vec<i64>,
-    }
-
-    let results: Vec<RankResult> = World::run(p, |comm| {
+    let run = run_ranks(cfg, |ctx| {
+        let comm = ctx.comm();
         let block = Block1D::new(n, p);
-        let range = block.range(comm.rank());
+        let range = block.range(ctx.rank());
         let nloc = (range.end - range.start) as usize;
         let mut dists = vec![UNREACHABLE; nloc];
         let mut parents = vec![-1i64; nloc];
-        if block.owner(source) == comm.rank() {
+        if block.owner(source) == ctx.rank() {
             let s = (source - range.start) as usize;
             dists[s] = 0;
             parents[s] = source as i64;
@@ -196,109 +285,135 @@ pub fn distributed_delta_stepping(
         // re-enters the candidate scan.
         let mut settled = vec![false; nloc];
 
-        loop {
-            // Find the globally lowest nonempty bucket among unsettled work.
-            let local_min = dists
-                .iter()
-                .zip(settled.iter())
-                .filter(|&(&d, &s)| d != UNREACHABLE && !s)
-                .map(|(&d, _)| bucket_of(d))
-                .min();
-            let current = comm.allreduce(local_min.unwrap_or(u64::MAX), |a, b| a.min(b));
-            if current == u64::MAX {
-                break;
-            }
-
-            // Light-edge phases: iterate until no distance in the current
-            // bucket improves anywhere.
-            let mut processed: Vec<bool> = vec![false; nloc];
+        let rounds = ctx.timed(source, || {
+            let mut buckets_processed: i64 = 0;
             loop {
+                comm.trace_enter_level(buckets_processed);
+                let bucket_t = comm.trace_start();
+                // Find the globally lowest nonempty bucket among unsettled work.
+                let local_min = dists
+                    .iter()
+                    .zip(settled.iter())
+                    .filter(|&(&d, &s)| d != UNREACHABLE && !s)
+                    .map(|(&d, _)| bucket_of(d))
+                    .min();
+                let current = comm.allreduce(local_min.unwrap_or(u64::MAX), |a, b| a.min(b));
+                if current == u64::MAX {
+                    comm.trace_enter_level(NO_LEVEL);
+                    break;
+                }
+
+                // Light-edge phases: iterate until no distance in the current
+                // bucket improves anywhere.
+                let mut processed: Vec<bool> = vec![false; nloc];
+                loop {
+                    let mut send: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];
+                    for i in 0..nloc {
+                        let d = dists[i];
+                        if d == UNREACHABLE || settled[i] || bucket_of(d) != current || processed[i]
+                        {
+                            continue;
+                        }
+                        processed[i] = true;
+                        let u = range.start + i as u64;
+                        for &(v, w) in g.neighbors(u) {
+                            if (w as u64) <= delta {
+                                send[block.owner(v)].push((v, d + w as u64, u));
+                            }
+                        }
+                    }
+                    let recv = comm.alltoallv(send);
+                    let mut reinserted = 0u64;
+                    for buf in recv {
+                        for (v, cand, parent) in buf {
+                            let i = (v - range.start) as usize;
+                            if cand < dists[i] {
+                                dists[i] = cand;
+                                parents[i] = parent as i64;
+                                if bucket_of(cand) == current {
+                                    // Back into the open bucket: another phase.
+                                    processed[i] = false;
+                                    reinserted += 1;
+                                }
+                            }
+                        }
+                    }
+                    let total = comm.allreduce(reinserted, |a, b| a + b);
+                    if total == 0 {
+                        break;
+                    }
+                }
+
+                // Heavy-edge relaxation: once per vertex settled in this bucket.
                 let mut send: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];
                 for i in 0..nloc {
                     let d = dists[i];
-                    if d == UNREACHABLE || settled[i] || bucket_of(d) != current || processed[i] {
+                    if d == UNREACHABLE || settled[i] || bucket_of(d) != current {
                         continue;
                     }
-                    processed[i] = true;
                     let u = range.start + i as u64;
                     for &(v, w) in g.neighbors(u) {
-                        if (w as u64) <= delta {
+                        if (w as u64) > delta {
                             send[block.owner(v)].push((v, d + w as u64, u));
                         }
                     }
                 }
                 let recv = comm.alltoallv(send);
-                let mut reinserted = 0u64;
                 for buf in recv {
                     for (v, cand, parent) in buf {
                         let i = (v - range.start) as usize;
                         if cand < dists[i] {
                             dists[i] = cand;
                             parents[i] = parent as i64;
-                            if bucket_of(cand) == current {
-                                // Back into the open bucket: another phase.
-                                processed[i] = false;
-                                reinserted += 1;
-                            }
                         }
                     }
                 }
-                let total = comm.allreduce(reinserted, |a, b| a + b);
-                if total == 0 {
-                    break;
-                }
-            }
-
-            // Heavy-edge relaxation: once per vertex settled in this bucket.
-            let mut send: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); p];
-            for i in 0..nloc {
-                let d = dists[i];
-                if d == UNREACHABLE || settled[i] || bucket_of(d) != current {
-                    continue;
-                }
-                let u = range.start + i as u64;
-                for &(v, w) in g.neighbors(u) {
-                    if (w as u64) > delta {
-                        send[block.owner(v)].push((v, d + w as u64, u));
+                // Close the bucket: everything left in it is final.
+                let mut closed = 0u64;
+                for i in 0..nloc {
+                    if dists[i] != UNREACHABLE && bucket_of(dists[i]) == current {
+                        settled[i] = true;
+                        closed += 1;
                     }
                 }
+                comm.trace_span(SpanKind::Level, bucket_t, closed);
+                buckets_processed += 1;
             }
-            let recv = comm.alltoallv(send);
-            for buf in recv {
-                for (v, cand, parent) in buf {
-                    let i = (v - range.start) as usize;
-                    if cand < dists[i] {
-                        dists[i] = cand;
-                        parents[i] = parent as i64;
-                    }
-                }
-            }
-            // Close the bucket: everything left in it is final.
-            for i in 0..nloc {
-                if dists[i] != UNREACHABLE && bucket_of(dists[i]) == current {
-                    settled[i] = true;
-                }
-            }
-        }
+            buckets_processed as u32
+        });
 
-        RankResult {
-            start: range.start,
-            dists,
-            parents,
-        }
+        (range.start, dists, parents, rounds)
     });
 
+    assemble_sssp(source, n, run)
+}
+
+/// Assembles contiguous per-rank distance/parent blocks into an
+/// [`SsspRun`], taking the round count as the max over ranks (they agree:
+/// the loop is globally synchronized).
+fn assemble_sssp(
+    source: VertexId,
+    n: u64,
+    run: dmbfs_runtime::DistRun<(u64, Vec<u64>, Vec<i64>, u32)>,
+) -> SsspRun {
     let mut dists = vec![UNREACHABLE; n as usize];
     let mut parents = vec![-1i64; n as usize];
-    for r in results {
-        let s = r.start as usize;
-        dists[s..s + r.dists.len()].copy_from_slice(&r.dists);
-        parents[s..s + r.parents.len()].copy_from_slice(&r.parents);
+    let mut rounds = 0;
+    for (start, d, par, r) in run.per_rank {
+        scatter_block(&mut dists, start, &d);
+        scatter_block(&mut parents, start, &par);
+        rounds = rounds.max(r);
     }
-    SsspOutput {
-        source,
-        dists,
-        parents,
+    SsspRun {
+        output: SsspOutput {
+            source,
+            dists,
+            parents,
+        },
+        per_rank_stats: run.per_rank_stats,
+        per_rank_trace: run.per_rank_trace,
+        seconds: run.seconds,
+        rounds,
     }
 }
 

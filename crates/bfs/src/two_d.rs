@@ -34,10 +34,11 @@ use crate::frontier_codec::{
 };
 use crate::{BfsOutput, UNREACHED};
 use dmbfs_comm::algorithms::{allgather_doubling, allgather_ring};
-use dmbfs_comm::{Comm, CommStats, LevelTiming, WireBuf, World};
+use dmbfs_comm::{Comm, CommStats, LevelTiming, WireBuf};
 use dmbfs_graph::{CsrGraph, Grid2D, VertexId};
 use dmbfs_matrix::{spmsv, Dcsc, MergeKernel, RowSplitDcsc, SelectMax, SpaWorkspace, SparseVector};
-use dmbfs_trace::{RankTrace, SpanKind, TraceSink};
+use dmbfs_runtime::{run_ranks, scatter_block, RunConfig};
+use dmbfs_trace::{RankTrace, SpanKind};
 use rayon::prelude::*;
 use std::ops::Range;
 use std::time::Instant;
@@ -75,7 +76,7 @@ pub enum ExpandAlgorithm {
 }
 
 /// Configuration of a 2D run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Bfs2dConfig {
     /// The processor grid (`Grid2D::closest_square(p)` reproduces §6).
     pub grid: Grid2D,
@@ -144,6 +145,19 @@ impl Bfs2dConfig {
     /// True when this is the hybrid variant.
     pub fn is_hybrid(&self) -> bool {
         self.threads_per_rank > 1
+    }
+
+    /// The runtime-layer view of this configuration: everything the
+    /// execution harness needs, minus the 2D-specific algorithm knobs
+    /// (grid shape, distribution, kernel, expand schedule).
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig {
+            ranks: self.grid.size(),
+            threads_per_rank: self.threads_per_rank,
+            codec: self.codec,
+            sieve: self.sieve,
+            trace: self.trace,
+        }
     }
 }
 
@@ -218,36 +232,14 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
     let grid = cfg.grid;
     let p = grid.size();
 
-    struct RankResult {
-        vrange: Range<u64>,
-        levels: Vec<i64>,
-        parents: Vec<i64>,
-        stats: CommStats,
-        work: RankWork,
-        seconds: f64,
-        num_levels: u32,
-        codec_levels: Vec<LevelCodecStats>,
-        trace: RankTrace,
-    }
-
-    let trace = cfg.trace;
-    // Shared epoch so all ranks' spans land on one timeline.
-    let epoch = Instant::now();
-    let results: Vec<RankResult> = World::run(p, |comm| {
-        if trace {
-            // Attach before the splits so the row/column communicators
-            // share the sink and their collectives land in this trace.
-            comm.set_tracer(TraceSink::new(comm.rank(), epoch));
-        }
-        let (i, j) = grid.coords_of(comm.rank());
+    // The harness attaches the tracer before this closure runs — and
+    // therefore before the splits — so the row/column communicators share
+    // the sink and their collectives land in the rank's trace.
+    let run = run_ranks(&cfg.run_config(), |ctx| {
+        let comm = ctx.comm();
+        let (i, j) = grid.coords_of(ctx.rank());
         let block = extract_2d(g, grid, i, j);
         let state = RankState::new(comm, cfg, block);
-        let pool = (cfg.threads_per_rank > 1).then(|| {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(cfg.threads_per_rank)
-                .build()
-                .expect("failed to build rank thread pool")
-        });
 
         // Row communicator P(i, :) for the fold, column communicator
         // P(:, j) for the expand. Sub-rank = grid position by construction.
@@ -256,64 +248,44 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
         debug_assert_eq!(row_comm.rank(), j);
         debug_assert_eq!(col_comm.rank(), i);
 
-        comm.barrier();
-        let _setup_events = comm.take_stats(); // exclude setup from accounting
-        comm.trace_clear(); // likewise for the trace
-        let t0 = Instant::now();
-        let search_t = comm.trace_start();
-        let (levels, parents, num_levels, work, codec_levels) =
-            state.run(comm, &row_comm, &col_comm, source, pool.as_ref());
-        comm.trace_span(SpanKind::Search, search_t, source);
-        comm.barrier();
-        let seconds = t0.elapsed().as_secs_f64();
+        ctx.reset_accounting(); // exclude setup from stats and trace
+        let (levels, parents, num_levels, work, codec_levels) = ctx.timed(source, || {
+            state.run(comm, &row_comm, &col_comm, source, ctx.pool())
+        });
 
         // One stream per rank: world events (transpose, allreduce) plus the
         // row/column communicator events (fold, expand).
-        let mut stats = comm.take_stats();
-        stats.merge(&row_comm.take_stats());
-        stats.merge(&col_comm.take_stats());
-        RankResult {
-            vrange: state.vrange,
+        ctx.merge_stats(row_comm.take_stats());
+        ctx.merge_stats(col_comm.take_stats());
+        (
+            state.vrange.clone(),
             levels,
             parents,
-            stats,
-            work,
-            seconds,
             num_levels,
+            work,
             codec_levels,
-            trace: comm.take_trace().unwrap_or(RankTrace {
-                rank: comm.rank(),
-                ..RankTrace::default()
-            }),
-        }
+        )
     });
 
     let mut output = BfsOutput::unreached(source, g.num_vertices() as usize);
-    let mut per_rank_stats = Vec::with_capacity(p);
     let mut per_rank_work = Vec::with_capacity(p);
     let mut per_rank_codec = Vec::with_capacity(p);
-    let mut per_rank_trace = Vec::with_capacity(p);
-    let mut seconds = 0.0f64;
     let mut num_levels = 0;
-    for r in results {
-        let s = r.vrange.start as usize;
-        output.levels[s..s + r.levels.len()].copy_from_slice(&r.levels);
-        output.parents[s..s + r.parents.len()].copy_from_slice(&r.parents);
-        per_rank_stats.push(r.stats);
-        per_rank_work.push(r.work);
-        per_rank_codec.push(r.codec_levels);
-        per_rank_trace.push(r.trace);
-        seconds = seconds.max(r.seconds);
-        num_levels = num_levels.max(r.num_levels);
+    for (vrange, levels, parents, rank_levels, work, codec_levels) in run.per_rank {
+        scatter_block(&mut output.levels, vrange.start, &levels);
+        scatter_block(&mut output.parents, vrange.start, &parents);
+        per_rank_work.push(work);
+        per_rank_codec.push(codec_levels);
+        num_levels = num_levels.max(rank_levels);
     }
     Dist2dRun {
         output,
-        per_rank_stats,
+        per_rank_stats: run.per_rank_stats,
         per_rank_work,
-        seconds,
+        seconds: run.seconds,
         num_levels,
         codec_levels: merge_level_stats(&per_rank_codec),
-        per_rank_trace,
+        per_rank_trace: run.per_rank_trace,
     }
 }
 

@@ -15,15 +15,15 @@
 //! The argument grammar is deliberately tiny (`--key value` pairs after a
 //! subcommand); everything is also available as a library call for tests.
 
-use dmbfs_bfs::apps::{distributed_components, distributed_diameter};
+use dmbfs_bfs::apps::{distributed_components_run, distributed_diameter};
 use dmbfs_bfs::centrality::approx_betweenness;
 use dmbfs_bfs::frontier_codec::Codec;
 use dmbfs_bfs::multi_source::exact_component_diameter;
 use dmbfs_bfs::one_d::{bfs1d_run, Bfs1dConfig};
-use dmbfs_bfs::pagerank::{distributed_pagerank, PageRankConfig};
+use dmbfs_bfs::pagerank::{distributed_pagerank_run, PageRankConfig};
 use dmbfs_bfs::serial::serial_bfs;
 use dmbfs_bfs::shared::shared_bfs;
-use dmbfs_bfs::sssp::{distributed_sssp, validate_sssp};
+use dmbfs_bfs::sssp::{distributed_sssp_run, validate_sssp};
 use dmbfs_bfs::teps::teps_edges;
 use dmbfs_bfs::two_d::{bfs2d_run, Bfs2dConfig};
 use dmbfs_bfs::validate::validate_bfs;
@@ -32,6 +32,7 @@ use dmbfs_graph::gen::{erdos_renyi, rmat, webcrawl, RmatConfig, WebCrawlConfig};
 use dmbfs_graph::stats::{approx_diameter, degree_stats};
 use dmbfs_graph::weighted::{attach_uniform_weights, WeightedCsr};
 use dmbfs_graph::{io, CsrGraph, EdgeList, Grid2D, RandomPermutation};
+use dmbfs_runtime::RunConfig;
 use dmbfs_trace::RankTrace;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -128,6 +129,16 @@ impl Args {
             .cloned()
             .ok_or_else(|| err("missing input file argument"))
     }
+
+    /// `--threads T`, rejecting zero — shared by every distributed
+    /// subcommand so hybrid mode spells the same everywhere.
+    fn opt_threads(&self) -> Result<usize, CliError> {
+        let threads = self.opt_u64("threads", 1)? as usize;
+        if threads == 0 {
+            return Err(err("--threads expects a positive thread count"));
+        }
+        Ok(threads)
+    }
 }
 
 /// Usage text.
@@ -145,10 +156,13 @@ USAGE:
   dmbfs teps FILE [--algorithm ...] [--ranks P] [--threads T] [--sources N]
                   [--codec ...] [--sieve ...]
                   [--trace FILE] [--trace-format chrome|jsonl]
-  dmbfs components FILE [--ranks P]
-  dmbfs sssp FILE [--ranks P] [--max-weight W] [--source V]
+  dmbfs components FILE [--ranks P] [--threads T]
+                        [--trace FILE] [--trace-format chrome|jsonl]
+  dmbfs sssp FILE [--ranks P] [--threads T] [--max-weight W] [--source V]
+                  [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs diameter FILE [--exact true] [--ranks P]
-  dmbfs pagerank FILE [--ranks P] [--damping D] [--top K]
+  dmbfs pagerank FILE [--ranks P] [--threads T] [--damping D] [--top K]
+                      [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs centrality FILE [--samples K] [--top K]
   dmbfs convert FILE --to bin|mm --out FILE
   dmbfs help
@@ -407,7 +421,7 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
     let g = load(args)?;
     let algorithm = args.opt_str("algorithm", "2d");
     let ranks = args.opt_u64("ranks", 4)? as usize;
-    let threads = args.opt_u64("threads", 1)? as usize;
+    let threads = args.opt_threads()?;
     let source = match args.options.get("source") {
         Some(v) => v.parse().map_err(|_| err("--source expects a vertex id"))?,
         None => sample_sources(&g, 1, 7)
@@ -420,9 +434,6 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
             "source {source} out of range (n = {})",
             g.num_vertices()
         )));
-    }
-    if threads == 0 {
-        return Err(err("--threads expects a positive thread count"));
     }
     let wire = WireOpts::from_args(args)?;
     let trace = TraceOpts::from_args(args)?;
@@ -464,11 +475,8 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
     let g = load(args)?;
     let algorithm = args.opt_str("algorithm", "2d");
     let ranks = args.opt_u64("ranks", 4)? as usize;
-    let threads = args.opt_u64("threads", 1)? as usize;
+    let threads = args.opt_threads()?;
     let num_sources = args.opt_u64("sources", 16)? as usize;
-    if threads == 0 {
-        return Err(err("--threads expects a positive thread count"));
-    }
     let wire = WireOpts::from_args(args)?;
     let trace = TraceOpts::from_args(args)?;
     // Each sampled root runs in its own World with its own stats and trace
@@ -505,16 +513,28 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
 fn cmd_components(args: &Args) -> Result<String, CliError> {
     let g = load(args)?;
     let ranks = args.opt_u64("ranks", 4)? as usize;
+    let threads = args.opt_threads()?;
+    let trace = TraceOpts::from_args(args)?;
+    let cfg = RunConfig::flat(ranks)
+        .with_threads(threads)
+        .with_trace(trace.is_some());
     let t0 = Instant::now();
-    let out = distributed_components(&g, ranks);
+    let run = distributed_components_run(&g, &cfg);
     let secs = t0.elapsed().as_secs_f64();
-    Ok(format!(
-        "{} components in {} rounds over {} ranks ({:.1} ms)",
+    let out = run.output;
+    let mut report = format!(
+        "{}\n{} components in {} rounds over {} ranks ({:.1} ms)",
+        mode_line("components", ranks, threads),
         out.num_components(),
         out.rounds,
         ranks,
         secs * 1e3,
-    ))
+    );
+    if let Some(trace) = trace {
+        report.push('\n');
+        report.push_str(&trace.write(&run.per_rank_trace)?);
+    }
+    Ok(report)
 }
 
 fn cmd_sssp(args: &Args) -> Result<String, CliError> {
@@ -525,6 +545,8 @@ fn cmd_sssp(args: &Args) -> Result<String, CliError> {
         io::load_binary(&path)?
     };
     let ranks = args.opt_u64("ranks", 4)? as usize;
+    let threads = args.opt_threads()?;
+    let trace = TraceOpts::from_args(args)?;
     let max_weight = args.opt_u64("max-weight", 10)? as u32;
     let weighted = WeightedCsr::from_edges(
         el.num_vertices,
@@ -540,10 +562,14 @@ fn cmd_sssp(args: &Args) -> Result<String, CliError> {
                 .ok_or_else(|| err("graph has no usable source"))?
         }
     };
+    let cfg = RunConfig::flat(ranks)
+        .with_threads(threads)
+        .with_trace(trace.is_some());
     let t0 = Instant::now();
-    let out = distributed_sssp(&weighted, source, ranks);
+    let run = distributed_sssp_run(&weighted, source, &cfg);
     let secs = t0.elapsed().as_secs_f64();
-    validate_sssp(&weighted, &out).map_err(|e| err(format!("validation failed: {e}")))?;
+    let out = &run.output;
+    validate_sssp(&weighted, out).map_err(|e| err(format!("validation failed: {e}")))?;
     let max_dist = out
         .dists
         .iter()
@@ -551,11 +577,17 @@ fn cmd_sssp(args: &Args) -> Result<String, CliError> {
         .max()
         .copied()
         .unwrap_or(0);
-    Ok(format!(
-        "sssp from {source} over {ranks} ranks (weights 1..={max_weight}): reached {} vertices,          max distance {max_dist}, {:.1} ms (validated)",
+    let mut report = format!(
+        "{}\nsssp from {source} over {ranks} ranks (weights 1..={max_weight}): reached {} vertices,          max distance {max_dist}, {:.1} ms (validated)",
+        mode_line("sssp", ranks, threads),
         out.num_reached(),
         secs * 1e3,
-    ))
+    );
+    if let Some(trace) = trace {
+        report.push('\n');
+        report.push_str(&trace.write(&run.per_rank_trace)?);
+    }
+    Ok(report)
 }
 
 fn cmd_diameter(args: &Args) -> Result<String, CliError> {
@@ -583,6 +615,8 @@ fn cmd_diameter(args: &Args) -> Result<String, CliError> {
 fn cmd_pagerank(args: &Args) -> Result<String, CliError> {
     let g = load(args)?;
     let ranks = args.opt_u64("ranks", 4)? as usize;
+    let threads = args.opt_threads()?;
+    let trace = TraceOpts::from_args(args)?;
     let top = args.opt_u64("top", 5)? as usize;
     let damping: f64 = args
         .opt_str("damping", "0.85")
@@ -591,12 +625,16 @@ fn cmd_pagerank(args: &Args) -> Result<String, CliError> {
     let cfg = PageRankConfig {
         damping,
         ..PageRankConfig::new(Grid2D::closest_square(ranks))
-    };
+    }
+    .with_threads(threads)
+    .with_trace(trace.is_some());
     let t0 = Instant::now();
-    let out = distributed_pagerank(&g, &cfg);
+    let run = distributed_pagerank_run(&g, &cfg);
     let secs = t0.elapsed().as_secs_f64();
+    let out = run.output;
     let mut report = format!(
-        "pagerank converged in {} iterations over {ranks} ranks ({:.1} ms); top {top}:\n",
+        "{}\npagerank converged in {} iterations over {ranks} ranks ({:.1} ms); top {top}:\n",
+        mode_line("2d", ranks, threads),
         out.iterations,
         secs * 1e3
     );
@@ -605,6 +643,10 @@ fn cmd_pagerank(args: &Args) -> Result<String, CliError> {
             "  vertex {v:>8}  score {:.6}\n",
             out.scores[v as usize]
         ));
+    }
+    if let Some(trace) = trace {
+        report.push_str(&trace.write(&run.per_rank_trace)?);
+        report.push('\n');
     }
     Ok(report)
 }
@@ -1085,6 +1127,54 @@ mod tests {
                 .filter(|s| s.kind == dmbfs_trace::SpanKind::Search)
                 .count();
             assert_eq!(searches, 2, "both sampled roots present in rank {}", t.rank);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sssp_pagerank_components_take_threads_and_trace() {
+        let dir = tmpdir();
+        let file = dir.join("rt.bin");
+        let file_s = file.to_str().unwrap();
+        run(&args(&[
+            "generate", "--model", "rmat", "--scale", "8", "--out", file_s,
+        ]))
+        .unwrap();
+
+        for (cmd, needle) in [
+            ("sssp", "validated"),
+            ("pagerank", "converged"),
+            ("components", "components in"),
+        ] {
+            let jsonl = dir.join(format!("{cmd}.jsonl"));
+            let msg = run(&args(&[
+                cmd,
+                file_s,
+                "--ranks",
+                "4",
+                "--threads",
+                "2",
+                "--trace",
+                jsonl.to_str().unwrap(),
+                "--trace-format",
+                "jsonl",
+            ]))
+            .unwrap();
+            assert!(msg.contains(needle), "{cmd}: {msg}");
+            assert!(msg.contains("mode hybrid"), "{cmd}: {msg}");
+            assert!(msg.contains("trace: "), "{cmd}: {msg}");
+            let traces =
+                dmbfs_trace::from_jsonl(&std::fs::read_to_string(&jsonl).unwrap()).unwrap();
+            assert_eq!(traces.len(), 4, "{cmd}");
+            assert!(traces.iter().all(|t| !t.spans.is_empty()), "{cmd}");
+
+            let bad = run(&args(&[cmd, file_s, "--threads", "0"]));
+            assert!(
+                bad.unwrap_err().0.contains("positive thread count"),
+                "{cmd}"
+            );
+            let bad = run(&args(&[cmd, file_s, "--trace-format", "jsonl"]));
+            assert!(bad.unwrap_err().0.contains("requires --trace"), "{cmd}");
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -134,7 +134,7 @@ impl CollectiveTag {
 /// `Vec<SpanRecord>` with no per-record allocation.
 ///
 /// Timestamps are nanoseconds since the run's shared epoch (the `Instant`
-/// captured on the launching thread before `World::run`), so spans from
+/// captured on the launching thread before the ranks spawn), so spans from
 /// different ranks share a zero and can be laid on one timeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpanRecord {

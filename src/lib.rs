@@ -8,6 +8,11 @@
 //! * [`comm`] — in-process message-passing runtime standing in for MPI:
 //!   ranks, typed collectives (`alltoallv`, `allgatherv`, `allreduce`, …),
 //!   communicator splitting, and exact per-rank communication accounting.
+//! * [`runtime`] — the distributed-execution harness every algorithm runs
+//!   on: a unified [`runtime::RunConfig`] (ranks × threads × codec × sieve
+//!   × trace) and the [`runtime::run_ranks`] driver that spawns ranks,
+//!   installs per-rank thread pools, attaches tracers, times
+//!   barrier-to-barrier, and harvests per-rank stats and traces.
 //! * [`graph`] — CSR graphs, the Graph 500 R-MAT generator, random vertex
 //!   relabeling, 1D/2D partition maps, components, statistics.
 //! * [`matrix`] — DCSC hypersparse matrices, sparse vectors, the
@@ -44,21 +49,30 @@ pub use dmbfs_comm as comm;
 pub use dmbfs_graph as graph;
 pub use dmbfs_matrix as matrix;
 pub use dmbfs_model as model;
+pub use dmbfs_runtime as runtime;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use dmbfs_bfs::apps::{distributed_components, distributed_diameter};
-    pub use dmbfs_bfs::baseline::{pbgl_like_bfs, reference_mpi_bfs};
+    pub use dmbfs_bfs::apps::{
+        distributed_components, distributed_components_run, distributed_diameter, ComponentsRun,
+    };
+    pub use dmbfs_bfs::baseline::{
+        pbgl_like_bfs, pbgl_like_bfs_with, reference_mpi_bfs, reference_mpi_bfs_with, BaselineRun,
+    };
     pub use dmbfs_bfs::centrality::{approx_betweenness, parallel_betweenness, serial_betweenness};
     pub use dmbfs_bfs::direction::direction_optimizing_bfs;
     pub use dmbfs_bfs::multi_source::multi_source_bfs;
     pub use dmbfs_bfs::one_d::{bfs1d, Bfs1dConfig};
-    pub use dmbfs_bfs::pagerank::{distributed_pagerank, serial_pagerank, PageRankConfig};
-    pub use dmbfs_bfs::pregel::{pregel_bfs, run_pregel, VertexProgram};
+    pub use dmbfs_bfs::pagerank::{
+        distributed_pagerank, distributed_pagerank_run, serial_pagerank, PageRankConfig,
+        PageRankRun,
+    };
+    pub use dmbfs_bfs::pregel::{pregel_bfs, run_pregel, run_pregel_with, VertexProgram};
     pub use dmbfs_bfs::serial::serial_bfs;
     pub use dmbfs_bfs::shared::shared_bfs;
     pub use dmbfs_bfs::sssp::{
-        distributed_delta_stepping, distributed_sssp, serial_sssp, validate_sssp,
+        distributed_delta_stepping, distributed_delta_stepping_run, distributed_sssp,
+        distributed_sssp_run, serial_sssp, validate_sssp, SsspRun,
     };
     pub use dmbfs_bfs::teps::{benchmark_bfs, TepsReport};
     pub use dmbfs_bfs::two_d::ExpandAlgorithm;
@@ -72,4 +86,5 @@ pub mod prelude {
     pub use dmbfs_graph::{Block1D, CsrGraph, EdgeList, Grid2D, OwnerMap2D, RandomPermutation};
     pub use dmbfs_matrix::{Dcsc, SpaWorkspace, SparseVector, SymmetricDcsc};
     pub use dmbfs_model::{MachineProfile, ScalePredictor};
+    pub use dmbfs_runtime::{run_ranks, Codec, DistRun, RankCtx, RunConfig};
 }

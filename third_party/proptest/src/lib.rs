@@ -219,7 +219,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// [`vec`]'s strategy type.
+    /// [`vec()`]'s strategy type.
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,
