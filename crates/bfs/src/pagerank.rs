@@ -36,6 +36,10 @@ pub struct PageRankConfig {
     /// Record per-rank span traces. Strictly an observer: the computed
     /// scores are bit-identical either way.
     pub trace: bool,
+    /// Attach the collective-matching verifier (see `docs/verification.md`).
+    /// Strictly an observer: the computed scores are bit-identical either
+    /// way.
+    pub verify: bool,
 }
 
 impl PageRankConfig {
@@ -48,6 +52,7 @@ impl PageRankConfig {
             grid,
             threads_per_rank: 1,
             trace: false,
+            verify: false,
         }
     }
 
@@ -64,6 +69,12 @@ impl PageRankConfig {
         self
     }
 
+    /// Enables or disables the collective-matching verifier.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
     /// The runtime-layer view of this configuration. PageRank moves dense
     /// float payloads, so the frontier codec/sieve do not apply.
     pub fn run_config(&self) -> RunConfig {
@@ -73,6 +84,7 @@ impl PageRankConfig {
             codec: Codec::Off,
             sieve: false,
             trace: self.trace,
+            verify: self.verify,
         }
     }
 }

@@ -98,6 +98,10 @@ pub struct Bfs2dConfig {
     /// Record per-rank span traces (see `dmbfs-trace`). Strictly an
     /// observer: the computed parent tree is bit-identical either way.
     pub trace: bool,
+    /// Attach the collective-matching verifier (see `docs/verification.md`).
+    /// Strictly an observer: the computed parent tree is bit-identical
+    /// either way.
+    pub verify: bool,
 }
 
 impl Bfs2dConfig {
@@ -112,6 +116,7 @@ impl Bfs2dConfig {
             codec: Codec::Adaptive,
             sieve: true,
             trace: false,
+            verify: false,
         }
     }
 
@@ -142,6 +147,12 @@ impl Bfs2dConfig {
         self
     }
 
+    /// Enables or disables the collective-matching verifier.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
     /// True when this is the hybrid variant.
     pub fn is_hybrid(&self) -> bool {
         self.threads_per_rank > 1
@@ -157,6 +168,7 @@ impl Bfs2dConfig {
             codec: self.codec,
             sieve: self.sieve,
             trace: self.trace,
+            verify: self.verify,
         }
     }
 }

@@ -1,0 +1,123 @@
+//! The collective-matching verifier is a strict observer — the two
+//! guarantees, mirroring the tracing ones in `trace_tests.rs`:
+//!
+//! 1. **No feedback**: with verification enabled, both distributed drivers
+//!    (flat and hybrid) produce parent trees and level arrays bit-identical
+//!    to the unverified run, across every codec × sieve combination.
+//!    Property-tested over random graphs, layouts, and sources.
+//! 2. **No cost when off**: the disabled hook is one `Option` check. The
+//!    overhead test extrapolates the measured per-hook cost to the
+//!    collective count of a real search and asserts the total stays under
+//!    5% of that search's unverified wall time.
+
+use dmbfs_bfs::one_d::{bfs1d_run, Bfs1dConfig};
+use dmbfs_bfs::two_d::{bfs2d_run, Bfs2dConfig};
+use dmbfs_comm::verify_disabled_hook_cost;
+use dmbfs_graph::{CsrGraph, EdgeList, Grid2D};
+use dmbfs_runtime::Codec;
+use proptest::prelude::*;
+
+/// Strategy: a canonicalized undirected graph on `n` vertices.
+fn graph(n: u64, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    prop::collection::vec((0..n, 0..n), 1..max_m).prop_map(move |edges| {
+        let mut el = EdgeList::new(n, edges);
+        el.canonicalize_undirected();
+        CsrGraph::from_edge_list(&el)
+    })
+}
+
+fn codec_strategy() -> impl Strategy<Value = Codec> {
+    prop::sample::select(Codec::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn verified_1d_is_bit_identical_to_unverified(
+        g in graph(80, 400),
+        p in 1usize..5,
+        hybrid in any::<bool>(),
+        codec in codec_strategy(),
+        sieve in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let source = seed % g.num_vertices();
+        let base = if hybrid {
+            Bfs1dConfig::hybrid(p, 3)
+        } else {
+            Bfs1dConfig::flat(p)
+        }
+        .with_codec(codec)
+        .with_sieve(sieve);
+        let off = bfs1d_run(&g, source, &base);
+        let on = bfs1d_run(&g, source, &base.with_verify(true));
+        prop_assert_eq!(&on.output.parents, &off.output.parents);
+        prop_assert_eq!(&on.output.levels, &off.output.levels);
+    }
+
+    #[test]
+    fn verified_2d_is_bit_identical_to_unverified(
+        g in graph(64, 320),
+        dims in prop::sample::select(vec![(1usize, 1usize), (2, 2), (2, 3), (3, 3)]),
+        hybrid in any::<bool>(),
+        codec in codec_strategy(),
+        sieve in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let source = seed % g.num_vertices();
+        let grid = Grid2D::new(dims.0, dims.1);
+        let base = if hybrid {
+            Bfs2dConfig::hybrid(grid, 3)
+        } else {
+            Bfs2dConfig::flat(grid)
+        }
+        .with_codec(codec)
+        .with_sieve(sieve);
+        let off = bfs2d_run(&g, source, &base);
+        let on = bfs2d_run(&g, source, &base.with_verify(true));
+        prop_assert_eq!(&on.output.parents, &off.output.parents);
+        prop_assert_eq!(&on.output.levels, &off.output.levels);
+    }
+}
+
+fn rmat_graph(scale: u32, seed: u64) -> CsrGraph {
+    use dmbfs_graph::gen::{rmat, RmatConfig};
+    let mut el = rmat(&RmatConfig::graph500(scale, seed));
+    el.canonicalize_undirected();
+    CsrGraph::from_edge_list(&el)
+}
+
+/// Disabled-mode overhead stays under 5% of an unverified search.
+///
+/// Mirrors the tracing overhead methodology: a direct A/B wall-clock
+/// comparison is too noisy to bound a sub-percent effect, so this measures
+/// the disabled hook itself (the `Option<Arc<VerifyBoard>>` check every
+/// collective takes when verification is off), charges a real search's
+/// collective count with that per-hook cost, and compares against the same
+/// search's unverified internal seconds.
+#[test]
+fn disabled_verify_overhead_is_bounded() {
+    let g = rmat_graph(12, 9);
+    let cfg = Bfs1dConfig::flat(4);
+    let unverified = bfs1d_run(&g, 1, &cfg);
+    let collectives: u64 = unverified
+        .per_rank_stats
+        .iter()
+        .map(|s| s.num_calls() as u64)
+        .sum();
+    assert!(collectives > 0, "a search must issue collectives");
+
+    const ITERS: u64 = 1_000_000;
+    let per_hook = verify_disabled_hook_cost(ITERS).as_secs_f64() / ITERS as f64;
+
+    let modeled_overhead = per_hook * collectives as f64;
+    let budget = 0.05 * unverified.seconds;
+    assert!(
+        modeled_overhead < budget,
+        "disabled verify hooks would cost {:.3e}s over {collectives} collectives, \
+         budget is 5% of {:.3e}s unverified search",
+        modeled_overhead,
+        unverified.seconds
+    );
+}

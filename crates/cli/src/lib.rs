@@ -130,6 +130,15 @@ impl Args {
             .ok_or_else(|| err("missing input file argument"))
     }
 
+    fn opt_bool(&self, key: &str, default: bool) -> Result<bool, CliError> {
+        match self.options.get(key).map(String::as_str) {
+            None => Ok(default),
+            Some("true") => Ok(true),
+            Some("false") => Ok(false),
+            Some(other) => Err(err(format!("--{key} expects true|false, got '{other}'"))),
+        }
+    }
+
     /// `--threads T`, rejecting zero — shared by every distributed
     /// subcommand so hybrid mode spells the same everywhere.
     fn opt_threads(&self) -> Result<usize, CliError> {
@@ -152,16 +161,19 @@ USAGE:
   dmbfs bfs FILE [--algorithm serial|shared|direction|1d|2d] [--ranks P]
                  [--threads T] [--source V] [--validate true]
                  [--codec off|raw|varint|bitmap|adaptive] [--sieve true|false]
+                 [--verify true|false]
                  [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs teps FILE [--algorithm ...] [--ranks P] [--threads T] [--sources N]
-                  [--codec ...] [--sieve ...]
+                  [--codec ...] [--sieve ...] [--verify true|false]
                   [--trace FILE] [--trace-format chrome|jsonl]
-  dmbfs components FILE [--ranks P] [--threads T]
+  dmbfs components FILE [--ranks P] [--threads T] [--verify true|false]
                         [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs sssp FILE [--ranks P] [--threads T] [--max-weight W] [--source V]
+                  [--verify true|false]
                   [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs diameter FILE [--exact true] [--ranks P]
   dmbfs pagerank FILE [--ranks P] [--threads T] [--damping D] [--top K]
+                      [--verify true|false]
                       [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs centrality FILE [--samples K] [--top K]
   dmbfs convert FILE --to bin|mm --out FILE
@@ -267,13 +279,17 @@ impl WireOpts {
             .opt_str("codec", "adaptive")
             .parse::<Codec>()
             .map_err(err)?;
-        let sieve = match args.opt_str("sieve", "true").as_str() {
-            "true" => true,
-            "false" => false,
-            other => return Err(err(format!("--sieve expects true|false, got '{other}'"))),
-        };
+        let sieve = args.opt_bool("sieve", true)?;
         Ok(Self { codec, sieve })
     }
+}
+
+/// The strict-observer switches of a distributed run: span tracing and
+/// the collective-matching verifier. Neither changes the computed result.
+#[derive(Clone, Copy, Debug, Default)]
+struct ObserverOpts {
+    trace: bool,
+    verify: bool,
 }
 
 /// `--trace FILE [--trace-format chrome|jsonl]`: where (and how) to write
@@ -373,11 +389,16 @@ fn run_algorithm_traced(
     threads: usize,
     source: u64,
     wire: WireOpts,
-    trace: bool,
+    observe: ObserverOpts,
 ) -> Result<(dmbfs_bfs::BfsOutput, Option<f64>, Vec<RankTrace>), CliError> {
-    if trace && !matches!(algorithm, "1d" | "2d") {
+    if observe.trace && !matches!(algorithm, "1d" | "2d") {
         return Err(err(format!(
             "--trace requires a distributed algorithm (1d|2d), got '{algorithm}'"
+        )));
+    }
+    if observe.verify && !matches!(algorithm, "1d" | "2d") {
+        return Err(err(format!(
+            "--verify requires a distributed algorithm (1d|2d), got '{algorithm}'"
         )));
     }
     Ok(match algorithm {
@@ -396,7 +417,8 @@ fn run_algorithm_traced(
             }
             .with_codec(wire.codec)
             .with_sieve(wire.sieve)
-            .with_trace(trace);
+            .with_trace(observe.trace)
+            .with_verify(observe.verify);
             let run = bfs1d_run(g, source, &cfg);
             (run.output, Some(run.seconds), run.per_rank_trace)
         }
@@ -409,7 +431,8 @@ fn run_algorithm_traced(
             }
             .with_codec(wire.codec)
             .with_sieve(wire.sieve)
-            .with_trace(trace);
+            .with_trace(observe.trace)
+            .with_verify(observe.verify);
             let run = bfs2d_run(g, source, &cfg);
             (run.output, Some(run.seconds), run.per_rank_trace)
         }
@@ -437,16 +460,13 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
     }
     let wire = WireOpts::from_args(args)?;
     let trace = TraceOpts::from_args(args)?;
+    let observe = ObserverOpts {
+        trace: trace.is_some(),
+        verify: args.opt_bool("verify", false)?,
+    };
     let t0 = Instant::now();
-    let (out, _, traces) = run_algorithm_traced(
-        &g,
-        &algorithm,
-        ranks,
-        threads,
-        source,
-        wire,
-        trace.is_some(),
-    )?;
+    let (out, _, traces) =
+        run_algorithm_traced(&g, &algorithm, ranks, threads, source, wire, observe)?;
     let secs = t0.elapsed().as_secs_f64();
     if args.opt_str("validate", "true") == "true" {
         validate_bfs(&g, source, &out.parents, out.levels())
@@ -479,6 +499,10 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
     let num_sources = args.opt_u64("sources", 16)? as usize;
     let wire = WireOpts::from_args(args)?;
     let trace = TraceOpts::from_args(args)?;
+    let observe = ObserverOpts {
+        trace: trace.is_some(),
+        verify: args.opt_bool("verify", false)?,
+    };
     // Each sampled root runs in its own World with its own stats and trace
     // sink: `benchmark_bfs_detailed` keeps the per-search instrumentation
     // namespaced by source, and the distributed runners' internal
@@ -486,7 +510,7 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
     // timer would otherwise fold World setup/teardown into search time).
     let (report, details) = dmbfs_bfs::teps::benchmark_bfs_detailed(&g, num_sources, 5, |s| {
         let (out, seconds, traces) =
-            run_algorithm_traced(&g, &algorithm, ranks, threads, s, wire, trace.is_some())
+            run_algorithm_traced(&g, &algorithm, ranks, threads, s, wire, observe)
                 .expect("algorithm runs");
         (out, seconds, traces)
     });
@@ -517,7 +541,8 @@ fn cmd_components(args: &Args) -> Result<String, CliError> {
     let trace = TraceOpts::from_args(args)?;
     let cfg = RunConfig::flat(ranks)
         .with_threads(threads)
-        .with_trace(trace.is_some());
+        .with_trace(trace.is_some())
+        .with_verify(args.opt_bool("verify", false)?);
     let t0 = Instant::now();
     let run = distributed_components_run(&g, &cfg);
     let secs = t0.elapsed().as_secs_f64();
@@ -564,7 +589,8 @@ fn cmd_sssp(args: &Args) -> Result<String, CliError> {
     };
     let cfg = RunConfig::flat(ranks)
         .with_threads(threads)
-        .with_trace(trace.is_some());
+        .with_trace(trace.is_some())
+        .with_verify(args.opt_bool("verify", false)?);
     let t0 = Instant::now();
     let run = distributed_sssp_run(&weighted, source, &cfg);
     let secs = t0.elapsed().as_secs_f64();
@@ -627,7 +653,8 @@ fn cmd_pagerank(args: &Args) -> Result<String, CliError> {
         ..PageRankConfig::new(Grid2D::closest_square(ranks))
     }
     .with_threads(threads)
-    .with_trace(trace.is_some());
+    .with_trace(trace.is_some())
+    .with_verify(args.opt_bool("verify", false)?);
     let t0 = Instant::now();
     let run = distributed_pagerank_run(&g, &cfg);
     let secs = t0.elapsed().as_secs_f64();
@@ -998,6 +1025,53 @@ mod tests {
         assert!(bad.is_err());
         let bad = run(&args(&["bfs", file_s, "--sieve", "maybe"]));
         assert!(bad.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bfs_verify_flag_runs_and_rejects_bad_values() {
+        let dir = tmpdir();
+        let file = dir.join("verify.bin");
+        let file_s = file.to_str().unwrap();
+        run(&args(&[
+            "generate", "--model", "rmat", "--scale", "8", "--out", file_s,
+        ]))
+        .unwrap();
+        for alg in ["1d", "2d"] {
+            let msg = run(&args(&[
+                "bfs",
+                file_s,
+                "--algorithm",
+                alg,
+                "--ranks",
+                "4",
+                "--verify",
+                "true",
+            ]))
+            .unwrap();
+            assert!(msg.contains("validated"), "{alg}: {msg}");
+        }
+        let msg = run(&args(&[
+            "components",
+            file_s,
+            "--ranks",
+            "4",
+            "--verify",
+            "true",
+        ]))
+        .unwrap();
+        assert!(msg.contains("components"), "{msg}");
+        let bad = run(&args(&["bfs", file_s, "--verify", "maybe"]));
+        assert!(bad.is_err());
+        let bad = run(&args(&[
+            "bfs",
+            file_s,
+            "--algorithm",
+            "serial",
+            "--verify",
+            "true",
+        ]));
+        assert!(bad.is_err(), "--verify needs a distributed algorithm");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -2,10 +2,12 @@
 
 use crate::barrier::{Poison, PoisonBarrier};
 use crate::stats::{CommEvent, CommStats, LevelTiming, Pattern};
+use crate::verify::{CollectiveKind, Fingerprint, VerifyBoard};
 use dmbfs_trace::{CollectiveTag, RankTrace, SpanKind, TraceSink};
 use parking_lot::Mutex;
-use std::any::Any;
-use std::cell::RefCell;
+use std::any::{Any, TypeId};
+use std::cell::{Cell, RefCell};
+use std::panic::Location;
 use std::sync::Arc;
 use std::thread::ThreadId;
 use std::time::{Duration, Instant};
@@ -42,14 +44,26 @@ pub(crate) struct Shared {
     pub(crate) slots: Vec<Mutex<Option<Arc<dyn Any + Send + Sync>>>>,
     pub(crate) barrier: PoisonBarrier,
     pub(crate) poison: Arc<Poison>,
+    /// Collective-matching verifier board; `None` when verification is off
+    /// (the default), so the per-collective cost is one `Option` check.
+    pub(crate) verify: Option<Arc<VerifyBoard>>,
 }
 
 impl Shared {
     pub(crate) fn new(size: usize, poison: Arc<Poison>) -> Arc<Self> {
+        Self::new_with_verify(size, poison, None)
+    }
+
+    pub(crate) fn new_with_verify(
+        size: usize,
+        poison: Arc<Poison>,
+        verify: Option<Arc<VerifyBoard>>,
+    ) -> Arc<Self> {
         Arc::new(Self {
             slots: (0..size).map(|_| Mutex::new(None)).collect(),
             barrier: PoisonBarrier::new(size, poison.clone()),
             poison,
+            verify,
         })
     }
 }
@@ -90,6 +104,10 @@ pub struct Comm {
     tracer: RefCell<Option<Arc<Mutex<TraceSink>>>>,
     /// Thread that created the handle; collectives must run on it.
     owner: ThreadId,
+    /// Per-handle collective counter feeding verifier fingerprints: the
+    /// epoch of the next collective this rank will issue on this
+    /// communicator. Unused (stays 0) when verification is off.
+    verify_epoch: Cell<u64>,
 }
 
 /// The trace-side name of a collective pattern. `dmbfs-trace` is a leaf
@@ -114,6 +132,40 @@ impl Comm {
             stats: RefCell::new(CommStats::default()),
             tracer: RefCell::new(None),
             owner: std::thread::current().id(),
+            verify_epoch: Cell::new(0),
+        }
+    }
+
+    /// Whether the collective-matching verifier is attached to this
+    /// communicator (see [`crate::World::run_verified`]).
+    pub fn verify_enabled(&self) -> bool {
+        self.shared.verify.is_some()
+    }
+
+    /// Records this rank's fingerprint for the collective it is entering
+    /// and rendezvouses with the rest of the group for cross-checking.
+    /// No-op (one `Option` check) when verification is off.
+    #[inline]
+    fn verify_enter(
+        &self,
+        kind: CollectiveKind,
+        type_id: TypeId,
+        type_name: &'static str,
+        location: &'static Location<'static>,
+    ) {
+        if let Some(board) = self.shared.verify.as_ref() {
+            let epoch = self.verify_epoch.get();
+            self.verify_epoch.set(epoch + 1);
+            board.enter(
+                self.rank,
+                Fingerprint {
+                    kind,
+                    type_id,
+                    type_name,
+                    epoch,
+                    location,
+                },
+            );
         }
     }
 
@@ -281,17 +333,35 @@ impl Comm {
 
     fn read<T: Send + Sync + 'static>(&self, rank: usize) -> Arc<T> {
         let guard = self.shared.slots[rank].lock();
-        let any = guard
-            .as_ref()
-            .expect("exchange-board slot empty: mismatched collective call")
-            .clone();
-        any.downcast::<T>()
-            .expect("exchange-board type mismatch: ranks called different collectives")
+        let any = match guard.as_ref() {
+            Some(v) => v.clone(),
+            None => panic!(
+                "exchange-board slot of rank {rank} empty while rank {} was reading: \
+                 mismatched collective call (run under World::run_verified to pinpoint it)",
+                self.rank
+            ),
+        };
+        match any.downcast::<T>() {
+            Ok(v) => v,
+            Err(_) => panic!(
+                "exchange-board type mismatch reading rank {rank} from rank {}: \
+                 ranks called different collectives (run under World::run_verified \
+                 to pinpoint it)",
+                self.rank
+            ),
+        }
     }
 
     /// Pure synchronization barrier.
+    #[track_caller]
     pub fn barrier(&self) {
         self.assert_owner();
+        self.verify_enter(
+            CollectiveKind::Barrier,
+            TypeId::of::<()>(),
+            "()",
+            Location::caller(),
+        );
         let start = Instant::now();
         self.shared.barrier.wait();
         self.record(Pattern::Barrier, 0, 0, start);
@@ -316,8 +386,15 @@ impl Comm {
     /// assert_eq!(received[0], vec![vec![0], vec![1]]);
     /// assert_eq!(received[1], vec![vec![0], vec![1]]);
     /// ```
+    #[track_caller]
     pub fn alltoallv<T: Clone + Send + Sync + 'static>(&self, bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(bufs.len(), self.size(), "need one buffer per rank");
+        self.verify_enter(
+            CollectiveKind::Alltoallv,
+            TypeId::of::<T>(),
+            std::any::type_name::<T>(),
+            Location::caller(),
+        );
         let start = Instant::now();
         let elem = size_of::<T>() as u64;
         let bytes_out: u64 = bufs
@@ -345,7 +422,14 @@ impl Comm {
     /// Variable all-gather: every rank contributes `mine`; returns the
     /// contributions of all ranks indexed by rank. The 2D expand phase
     /// (Algorithm 3 line 6) runs this on the processor-column communicator.
+    #[track_caller]
     pub fn allgatherv<T: Clone + Send + Sync + 'static>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
+        self.verify_enter(
+            CollectiveKind::Allgatherv,
+            TypeId::of::<T>(),
+            std::any::type_name::<T>(),
+            Location::caller(),
+        );
         let start = Instant::now();
         let elem = size_of::<T>() as u64;
         let bytes_out = mine.len() as u64 * elem * (self.size() as u64 - 1);
@@ -365,7 +449,9 @@ impl Comm {
         all
     }
 
-    /// All-gather of one value per rank.
+    /// All-gather of one value per rank. Fingerprints as an `allgatherv`
+    /// (it delegates), with the caller's location preserved.
+    #[track_caller]
     pub fn allgather<T: Clone + Send + Sync + 'static>(&self, mine: T) -> Vec<T> {
         self.allgatherv(vec![mine])
             .into_iter()
@@ -376,11 +462,18 @@ impl Comm {
     /// All-reduce with a caller-supplied associative, commutative `op`.
     /// Every rank must pass an identical `op`; the fold happens in rank
     /// order on every rank, so results are deterministic and identical.
+    #[track_caller]
     pub fn allreduce<T: Clone + Send + Sync + 'static>(
         &self,
         mine: T,
         op: impl Fn(T, T) -> T,
     ) -> T {
+        self.verify_enter(
+            CollectiveKind::Allreduce,
+            TypeId::of::<T>(),
+            std::any::type_name::<T>(),
+            Location::caller(),
+        );
         let start = Instant::now();
         let elem = size_of::<T>() as u64;
         self.deposit(mine);
@@ -405,12 +498,19 @@ impl Comm {
 
     /// Broadcast from `root`: `root` passes `Some(value)`, everyone else
     /// `None`; all ranks return the root's value.
+    #[track_caller]
     pub fn broadcast<T: Clone + Send + Sync + 'static>(&self, root: usize, mine: Option<T>) -> T {
         assert!(root < self.size());
         assert_eq!(
             mine.is_some(),
             self.rank == root,
             "exactly the root must supply the broadcast value"
+        );
+        self.verify_enter(
+            CollectiveKind::Broadcast,
+            TypeId::of::<T>(),
+            std::any::type_name::<T>(),
+            Location::caller(),
         );
         let start = Instant::now();
         let elem = size_of::<T>() as u64;
@@ -431,8 +531,15 @@ impl Comm {
 
     /// Gather to `root`: returns `Some(all values indexed by rank)` on the
     /// root, `None` elsewhere.
+    #[track_caller]
     pub fn gather<T: Clone + Send + Sync + 'static>(&self, root: usize, mine: T) -> Option<Vec<T>> {
         assert!(root < self.size());
+        self.verify_enter(
+            CollectiveKind::Gather,
+            TypeId::of::<T>(),
+            std::any::type_name::<T>(),
+            Location::caller(),
+        );
         let start = Instant::now();
         let elem = size_of::<T>() as u64;
         self.deposit(mine);
@@ -458,12 +565,19 @@ impl Comm {
 
     /// Variable gather to `root`: returns `Some(contributions indexed by
     /// rank)` on the root, `None` elsewhere.
+    #[track_caller]
     pub fn gatherv<T: Clone + Send + Sync + 'static>(
         &self,
         root: usize,
         mine: Vec<T>,
     ) -> Option<Vec<Vec<T>>> {
         assert!(root < self.size());
+        self.verify_enter(
+            CollectiveKind::Gatherv,
+            TypeId::of::<T>(),
+            std::any::type_name::<T>(),
+            Location::caller(),
+        );
         let start = Instant::now();
         let elem = size_of::<T>() as u64;
         let out = if self.rank == root {
@@ -494,6 +608,7 @@ impl Comm {
 
     /// Variable scatter from `root`: the root passes `Some(bufs)` with one
     /// buffer per rank; every rank returns its buffer.
+    #[track_caller]
     pub fn scatterv<T: Clone + Send + Sync + 'static>(
         &self,
         root: usize,
@@ -508,6 +623,12 @@ impl Comm {
         if let Some(ref b) = bufs {
             assert_eq!(b.len(), self.size(), "need one buffer per rank");
         }
+        self.verify_enter(
+            CollectiveKind::Scatterv,
+            TypeId::of::<T>(),
+            std::any::type_name::<T>(),
+            Location::caller(),
+        );
         let start = Instant::now();
         let elem = size_of::<T>() as u64;
         let out = bufs
@@ -540,12 +661,19 @@ impl Comm {
 
     /// Exclusive prefix scan: rank r receives `op` folded over the values
     /// of ranks `0..r` (`init` for rank 0). Deterministic rank order.
+    #[track_caller]
     pub fn exscan<T: Clone + Send + Sync + 'static>(
         &self,
         mine: T,
         init: T,
         op: impl Fn(T, T) -> T,
     ) -> T {
+        self.verify_enter(
+            CollectiveKind::Exscan,
+            TypeId::of::<T>(),
+            std::any::type_name::<T>(),
+            Location::caller(),
+        );
         let start = Instant::now();
         let elem = size_of::<T>() as u64;
         self.deposit(mine);
@@ -562,12 +690,19 @@ impl Comm {
     /// Reduce-scatter: every rank contributes one value per rank; rank `j`
     /// returns `op` folded over everyone's j-th contribution. The
     /// building block of communication-avoiding reductions.
+    #[track_caller]
     pub fn reduce_scatter<T: Clone + Send + Sync + 'static>(
         &self,
         mine: Vec<T>,
         op: impl Fn(T, T) -> T,
     ) -> T {
         assert_eq!(mine.len(), self.size(), "need one contribution per rank");
+        self.verify_enter(
+            CollectiveKind::ReduceScatter,
+            TypeId::of::<T>(),
+            std::any::type_name::<T>(),
+            Location::caller(),
+        );
         let start = Instant::now();
         let elem = size_of::<T>() as u64;
         let p = self.size() as u64;
@@ -592,12 +727,19 @@ impl Comm {
     /// rank must participate — this is the square-grid `TransposeVector`
     /// of §3.2, "simply a pairwise exchange between P(i,j) and P(j,i)".
     /// A rank may partner itself (the diagonal), which is a local copy.
+    #[track_caller]
     pub fn sendrecv<T: Clone + Send + Sync + 'static>(
         &self,
         partner: usize,
         data: Vec<T>,
     ) -> Vec<T> {
         assert!(partner < self.size());
+        self.verify_enter(
+            CollectiveKind::Sendrecv,
+            TypeId::of::<T>(),
+            std::any::type_name::<T>(),
+            Location::caller(),
+        );
         let start = Instant::now();
         let elem = size_of::<T>() as u64;
         let bytes_out = if partner == self.rank {
@@ -629,8 +771,15 @@ impl Comm {
     /// [`CommEvent`] carries the logical bytes in `bytes_out`/`bytes_in`
     /// and the encoded sizes in `wire_out`/`wire_in`, which is what the
     /// α–β replay charges bandwidth for.
+    #[track_caller]
     pub fn alltoallv_wire(&self, bufs: Vec<WireBuf>) -> Vec<WireBuf> {
         assert_eq!(bufs.len(), self.size(), "need one buffer per rank");
+        self.verify_enter(
+            CollectiveKind::AlltoallvWire,
+            TypeId::of::<WireBuf>(),
+            "WireBuf",
+            Location::caller(),
+        );
         let start = Instant::now();
         let (mut bytes_out, mut wire_out) = (0u64, 0u64);
         for (j, b) in bufs.iter().enumerate() {
@@ -666,7 +815,14 @@ impl Comm {
 
     /// Wire-aware variable all-gather: like [`Comm::allgatherv`] with an
     /// encoded payload. See [`Comm::alltoallv_wire`] for the accounting.
+    #[track_caller]
     pub fn allgatherv_wire(&self, mine: WireBuf) -> Vec<WireBuf> {
+        self.verify_enter(
+            CollectiveKind::AllgathervWire,
+            TypeId::of::<WireBuf>(),
+            "WireBuf",
+            Location::caller(),
+        );
         let start = Instant::now();
         let peers = self.size() as u64 - 1;
         let bytes_out = mine.logical_bytes * peers;
@@ -697,8 +853,15 @@ impl Comm {
 
     /// Wire-aware pairwise exchange: like [`Comm::sendrecv`] with an
     /// encoded payload. See [`Comm::alltoallv_wire`] for the accounting.
+    #[track_caller]
     pub fn sendrecv_wire(&self, partner: usize, data: WireBuf) -> WireBuf {
         assert!(partner < self.size());
+        self.verify_enter(
+            CollectiveKind::SendrecvWire,
+            TypeId::of::<WireBuf>(),
+            "WireBuf",
+            Location::caller(),
+        );
         let start = Instant::now();
         let (bytes_out, wire_out) = if partner == self.rank {
             (0, 0)
@@ -739,7 +902,14 @@ impl Comm {
     /// the processor-row communicator (color = row index) for the fold phase
     /// and the processor-column communicator (color = column index) for the
     /// expand phase.
+    #[track_caller]
     pub fn split(&self, color: u64, key: u64) -> Comm {
+        self.verify_enter(
+            CollectiveKind::Split,
+            TypeId::of::<()>(),
+            "()",
+            Location::caller(),
+        );
         // Round 1: learn everyone's (color, key).
         let infos = self.allgather((color, key));
         let mut members: Vec<usize> = (0..self.size()).filter(|&r| infos[r].0 == color).collect();
@@ -754,7 +924,16 @@ impl Comm {
         // it up from the leader's world slot.
         let start = Instant::now();
         let created: Option<Arc<Shared>> = if self.rank == leader {
-            Some(Shared::new(members.len(), self.shared.poison.clone()))
+            // The child inherits verification: the leader derives a fresh
+            // board (new group id, same timeout) and every member receives
+            // it with the shared state, so sub-communicator collectives are
+            // cross-checked exactly like world ones.
+            let child_verify = self.shared.verify.as_ref().map(|b| b.child(members.len()));
+            Some(Shared::new_with_verify(
+                members.len(),
+                self.shared.poison.clone(),
+                child_verify,
+            ))
         } else {
             None
         };

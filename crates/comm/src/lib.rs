@@ -30,6 +30,12 @@
 //! * Rank panics poison the world: every blocked collective unblocks and
 //!   panics, and [`World::run`] propagates the original payload, so a bug
 //!   in one rank fails tests instead of deadlocking them.
+//! * [`World::run_verified`] attaches a MUST-style collective-matching
+//!   verifier: every collective records a call-site fingerprint (kind,
+//!   element `TypeId`, epoch, `#[track_caller]` location) that is
+//!   cross-checked across ranks at rendezvous, and mismatches or stuck
+//!   rendezvous raise one structured [`VerifyFailure`] naming every rank's
+//!   pending operation — see `docs/verification.md`.
 //!
 //! What this deliberately does **not** model in-process: network latency and
 //! bandwidth (that is `dmbfs-model`'s job, driven by the recorded events)
@@ -42,8 +48,13 @@ pub mod algorithms;
 mod barrier;
 mod comm;
 mod stats;
+mod verify;
 mod world;
 
 pub use comm::{Comm, WireBuf};
 pub use stats::{CommEvent, CommStats, LevelTiming, Pattern};
+pub use verify::{
+    disabled_hook_cost as verify_disabled_hook_cost, CollectiveKind, FailureKind, PendingOp,
+    VerifyConfig, VerifyFailure,
+};
 pub use world::World;

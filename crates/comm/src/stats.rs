@@ -272,7 +272,9 @@ mod tests {
         assert_eq!(stats.wire_out(), 258);
         assert_eq!(stats.wire_in(), 224);
         assert_eq!(stats.wire_out_for(Pattern::Alltoallv), 250);
-        let ratio = stats.compression_ratio().unwrap();
+        let ratio = stats
+            .compression_ratio()
+            .expect("stats with recorded wire traffic must report a compression ratio");
         assert!((ratio - 258.0 / 1008.0).abs() < 1e-12);
         assert_eq!(CommStats::default().compression_ratio(), None);
     }

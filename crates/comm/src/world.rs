@@ -2,6 +2,7 @@
 
 use crate::barrier::Poison;
 use crate::comm::{Comm, Shared};
+use crate::verify::{VerifyBoard, VerifyConfig, VerifyFailure, VerifyWorld};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -36,9 +37,48 @@ impl World {
         R: Send,
         F: Fn(&Comm) -> R + Send + Sync,
     {
+        Self::run_inner(p, None, f)
+    }
+
+    /// Like [`World::run`], with the collective-matching verifier attached
+    /// to the world communicator (and, transitively, to every
+    /// sub-communicator created by [`Comm::split`]).
+    ///
+    /// Every collective cross-checks call-site fingerprints across ranks
+    /// at rendezvous; a mismatched collective, a mismatched element type,
+    /// or a rank sitting out a collective raises a structured
+    /// [`VerifyFailure`] naming every rank's pending operation and source
+    /// location — re-raised here as the run's root cause — instead of a
+    /// deadlock or a garbled exchange. Verification is a strict observer:
+    /// results are bit-identical to an unverified run.
+    ///
+    /// # Examples
+    /// ```
+    /// use dmbfs_comm::{VerifyConfig, World};
+    ///
+    /// let sums = World::run_verified(4, VerifyConfig::default(), |comm| {
+    ///     comm.allreduce(comm.rank() as u64, |a, b| a + b)
+    /// });
+    /// assert_eq!(sums, vec![6, 6, 6, 6]);
+    /// ```
+    pub fn run_verified<R, F>(p: usize, config: VerifyConfig, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        Self::run_inner(p, Some(config), f)
+    }
+
+    fn run_inner<R, F>(p: usize, verify: Option<VerifyConfig>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
         assert!(p > 0, "need at least one rank");
         let poison = Arc::new(Poison::default());
-        let shared = Shared::new(p, poison.clone());
+        let board =
+            verify.map(|config| VerifyBoard::new(p, 0, config, VerifyWorld::new(), poison.clone()));
+        let shared = Shared::new_with_verify(p, poison.clone(), board);
         let f = &f;
 
         let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
@@ -58,44 +98,59 @@ impl World {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank thread itself must not die"))
+                .enumerate()
+                .map(|(rank, h)| {
+                    h.join().unwrap_or_else(|_| {
+                        panic!("rank {rank} thread itself died outside catch_unwind during join")
+                    })
+                })
                 .collect()
         });
 
         let mut ok = Vec::with_capacity(p);
-        let mut first_panic = None;
+        let mut panics = Vec::new();
         for r in results {
             match r {
                 Ok(v) => ok.push(v),
-                Err(payload) => {
-                    if first_panic.is_none() {
-                        // Prefer a payload that is not the secondary
-                        // "poisoned" panic, so the user sees the root cause.
-                        first_panic = Some(payload);
-                    }
-                }
+                Err(payload) => panics.push(payload),
             }
         }
-        if let Some(payload) = pick_root_cause(first_panic, &mut ok, p) {
+        if let Some(payload) = pick_root_cause(panics) {
             resume_unwind(payload);
         }
         ok
     }
 }
 
-/// Returns the panic payload to re-raise, if any. Prefers non-poison
-/// payloads so the root cause surfaces instead of the sympathetic
-/// "communicator poisoned" panics of the other ranks.
+/// Returns the panic payload to re-raise, if any. Prefers a structured
+/// [`VerifyFailure`], then any payload that is not the sympathetic
+/// "communicator poisoned" panic, so the root cause surfaces instead of a
+/// secondary symptom. If some ranks succeeded we still fail the whole run:
+/// a partial world result is never meaningful.
 fn pick_root_cause(
-    first: Option<Box<dyn std::any::Any + Send>>,
-    ok: &mut [impl Sized],
-    p: usize,
+    panics: Vec<Box<dyn std::any::Any + Send>>,
 ) -> Option<Box<dyn std::any::Any + Send>> {
-    let payload = first?;
-    // If some ranks succeeded we still fail the whole run: a partial world
-    // result is never meaningful.
-    let _ = (ok.len(), p);
-    Some(payload)
+    fn is_poison_echo(payload: &dyn std::any::Any) -> bool {
+        let msg = payload
+            .downcast_ref::<&'static str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned());
+        msg.is_some_and(|m| m.contains("communicator poisoned"))
+    }
+    let mut fallback = None;
+    let mut poison_echo = None;
+    for payload in panics {
+        if payload.is::<VerifyFailure>() {
+            return Some(payload);
+        }
+        if is_poison_echo(payload.as_ref()) {
+            poison_echo.get_or_insert(payload);
+        } else {
+            fallback.get_or_insert(payload);
+        }
+    }
+    fallback.or(poison_echo)
 }
 
 #[cfg(test)]
@@ -200,7 +255,9 @@ mod tests {
         });
         for (r, res) in out.iter().enumerate() {
             if r == 2 {
-                let got = res.as_ref().unwrap();
+                let got = res
+                    .as_ref()
+                    .expect("rank 2 is the gatherv root and must receive every buffer");
                 #[allow(clippy::needless_range_loop)]
                 for src in 0..4 {
                     assert_eq!(got[src], vec![src as u8; src]);
@@ -330,6 +387,27 @@ mod tests {
     }
 
     #[test]
+    fn verified_world_matches_unverified() {
+        let plain = World::run(4, |comm| {
+            let row = comm.split((comm.rank() / 2) as u64, comm.rank() as u64);
+            let bufs: Vec<Vec<u64>> = (0..4).map(|j| vec![(comm.rank() * j) as u64]).collect();
+            let recv = comm.alltoallv(bufs);
+            let row_sum = row.allreduce(comm.rank() as u64, |a, b| a + b);
+            (recv, row_sum)
+        });
+        let verified = World::run_verified(4, VerifyConfig::default(), |comm| {
+            assert!(comm.verify_enabled());
+            let row = comm.split((comm.rank() / 2) as u64, comm.rank() as u64);
+            assert!(row.verify_enabled(), "split children inherit verification");
+            let bufs: Vec<Vec<u64>> = (0..4).map(|j| vec![(comm.rank() * j) as u64]).collect();
+            let recv = comm.alltoallv(bufs);
+            let row_sum = row.allreduce(comm.rank() as u64, |a, b| a + b);
+            (recv, row_sum)
+        });
+        assert_eq!(plain, verified, "verification is a strict observer");
+    }
+
+    #[test]
     fn world_reuse_is_independent() {
         for _ in 0..3 {
             let out = World::run(3, |comm| comm.allreduce(1u32, |a, b| a + b));
@@ -358,7 +436,7 @@ mod tests {
             barrier && reduce
         })
         .join()
-        .unwrap();
+        .expect("thread probing the owner invariant must report, not die");
         assert!(cross_thread_panicked);
     }
 

@@ -8,7 +8,8 @@
 //! so the algorithm crates only provide their per-rank closure:
 //!
 //! * [`RunConfig`] — the unified execution configuration (ranks, threads
-//!   per rank, wire codec, sieve, tracing) every driver accepts.
+//!   per rank, wire codec, sieve, tracing, collective verification) every
+//!   driver accepts.
 //! * [`run_ranks`] — the generic harness: rank spawn via the in-process
 //!   world, tracer attach, pool construction, and the stats/trace/seconds
 //!   harvest, returning a [`DistRun`].
@@ -27,7 +28,7 @@
 
 #![warn(missing_docs)]
 
-use dmbfs_comm::{Comm, CommStats, World};
+use dmbfs_comm::{Comm, CommStats, VerifyConfig, World};
 use dmbfs_trace::{RankTrace, SpanKind, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
@@ -114,6 +115,13 @@ pub struct RunConfig {
     /// Record per-rank span traces (see `dmbfs-trace`). Strictly an
     /// observer: the computed result is bit-identical either way.
     pub trace: bool,
+    /// Attach the collective-matching verifier (see
+    /// [`dmbfs_comm::World::run_verified`] and `docs/verification.md`):
+    /// every collective cross-checks call-site fingerprints across ranks,
+    /// and a mismatched or stuck collective raises a structured per-rank
+    /// diagnostic instead of deadlocking. Strictly an observer: the
+    /// computed result is bit-identical either way.
+    pub verify: bool,
 }
 
 impl RunConfig {
@@ -125,6 +133,7 @@ impl RunConfig {
             codec: Codec::Adaptive,
             sieve: true,
             trace: false,
+            verify: false,
         }
     }
 
@@ -159,6 +168,12 @@ impl RunConfig {
     /// Enables or disables span tracing.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Enables or disables the collective-matching verifier.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
         self
     }
 
@@ -312,7 +327,7 @@ where
     // All ranks stamp spans against this one epoch so their timelines share
     // a zero (`Instant` is `Copy`; each rank closure gets its own copy).
     let epoch = Instant::now();
-    let harvests: Vec<Harvest<T>> = World::run(cfg.ranks, |comm| {
+    let rank_body = |comm: &Comm| {
         if cfg.trace {
             comm.set_tracer(TraceSink::new(comm.rank(), epoch));
         }
@@ -320,7 +335,13 @@ where
             rayon::ThreadPoolBuilder::new()
                 .num_threads(cfg.threads_per_rank)
                 .build()
-                .expect("failed to build rank thread pool")
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "rank {}: failed to build its {}-thread pool: {e:?}",
+                        comm.rank(),
+                        cfg.threads_per_rank
+                    )
+                })
         });
         let ctx = RankCtx {
             comm,
@@ -343,7 +364,12 @@ where
             }),
             seconds: ctx.seconds.get(),
         }
-    });
+    };
+    let harvests: Vec<Harvest<T>> = if cfg.verify {
+        World::run_verified(cfg.ranks, VerifyConfig::default(), rank_body)
+    } else {
+        World::run(cfg.ranks, rank_body)
+    };
 
     let mut per_rank = Vec::with_capacity(cfg.ranks);
     let mut per_rank_stats = Vec::with_capacity(cfg.ranks);
@@ -515,6 +541,7 @@ mod tests {
                 codec: Codec::Bitmap,
                 sieve: false,
                 trace: true,
+                verify: false,
             }
         );
         assert_eq!(
@@ -524,12 +551,40 @@ mod tests {
                 .with_trace(true),
             cfg
         );
+        assert!(RunConfig::flat(2).with_verify(true).verify);
+    }
+
+    #[test]
+    fn verified_runs_harvest_identically() {
+        let body = |ctx: &RankCtx<'_>| {
+            ctx.timed(0, || {
+                let bufs: Vec<Vec<u64>> = (0..ctx.size())
+                    .map(|j| vec![(ctx.rank() * 10 + j) as u64])
+                    .collect();
+                ctx.comm().alltoallv(bufs)
+            })
+        };
+        let plain = run_ranks(&RunConfig::flat(3), body);
+        let verified = run_ranks(&RunConfig::flat(3).with_verify(true), body);
+        assert_eq!(
+            plain.per_rank, verified.per_rank,
+            "verification is a strict observer"
+        );
+        assert_eq!(
+            plain.per_rank_stats.len(),
+            verified.per_rank_stats.len(),
+            "stats harvest is unaffected"
+        );
     }
 
     #[test]
     fn codec_names_parse_back() {
         for codec in Codec::ALL {
-            assert_eq!(codec.name().parse::<Codec>().unwrap(), codec);
+            let parsed = codec
+                .name()
+                .parse::<Codec>()
+                .expect("every canonical codec name must parse back");
+            assert_eq!(parsed, codec);
         }
         assert!("zstd".parse::<Codec>().is_err());
     }

@@ -1,0 +1,393 @@
+//! A minimal Rust lexer for the lint pass — just enough token structure to
+//! pattern-match rule violations without a real parser, while never being
+//! fooled by comments, string/char literals, or lifetimes.
+//!
+//! The lexer also harvests `// lint: allow(rule-name)` directives from
+//! comments; a finding is suppressed when an allow for its rule sits on
+//! the same line or the line directly above (see `docs/verification.md`).
+
+use std::collections::{HashMap, HashSet};
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token payload.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The token classes the rules need. Literals carry no payload — the rules
+/// only care that they are not identifiers or punctuation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// Numeric literal.
+    Num,
+    /// String (including raw/byte) literal.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime (`'a`), distinguished from char literals.
+    Lifetime,
+}
+
+/// Lexer output: the token stream plus the allow-directives by line.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// `line -> rules` allowed via `// lint: allow(rule)` comments.
+    pub allows: HashMap<u32, HashSet<String>>,
+    /// Lines that carry at least one code token — an allow-directive on a
+    /// code line is a trailing comment and covers only that line.
+    pub code_lines: HashSet<u32>,
+}
+
+impl Lexed {
+    /// True when `rule` is suppressed at `line` — an allow-directive as a
+    /// trailing comment on the same line, or standing alone (comment-only
+    /// line) directly above.
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        let hit = |l: u32| {
+            self.allows
+                .get(&l)
+                .is_some_and(|rules| rules.contains(rule) || rules.contains("all"))
+        };
+        hit(line) || (line > 1 && hit(line - 1) && !self.code_lines.contains(&(line - 1)))
+    }
+}
+
+/// Parses a line comment body for `lint: allow(rule-a, rule-b)`.
+fn parse_allow_directive(body: &str, line: u32, allows: &mut HashMap<u32, HashSet<String>>) {
+    let body = body.trim();
+    let Some(rest) = body.strip_prefix("lint:") else {
+        return;
+    };
+    let rest = rest.trim();
+    let Some(inner) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    else {
+        return;
+    };
+    let entry = allows.entry(line).or_default();
+    for rule in inner.split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            entry.insert(rule.to_string());
+        }
+    }
+}
+
+/// Lexes `src`, stripping comments and literals (see module docs).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut allows = HashMap::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let bump_lines = |s: &[char], from: usize, to: usize, line: &mut u32| {
+        *line += s[from..to].iter().filter(|&&c| c == '\n').count() as u32;
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Line comment (also the allow-directive channel).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            let body: String = chars[start..j].iter().collect();
+            parse_allow_directive(&body, line, &mut allows);
+            i = j;
+            continue;
+        }
+        // Block comment, nested per Rust.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let tok_line = line;
+            let mut j = i + 1;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by a quote ('a, 'static). A char
+            // like 'x' has a closing quote right after one character.
+            let is_lifetime = matches!(chars.get(i + 1), Some(ch) if ch.is_alphabetic() || *ch == '_')
+                && chars.get(i + 2) != Some(&'\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            let tok_line = line;
+            let mut j = i + 1;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\'' => {
+                        j += 1;
+                        break;
+                    }
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Char,
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifier/keyword — with raw/byte string detection at the head
+        // (r"..", r#".."#, b"..", br#".."#).
+        if c.is_alphabetic() || c == '_' {
+            if let Some(end) = raw_or_byte_string_end(&chars, i) {
+                let tok_line = line;
+                bump_lines(&chars, i, end, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    line: tok_line,
+                });
+                i = end;
+                continue;
+            }
+            let start = i;
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident(chars[start..j].iter().collect()),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number: consume the alphanumeric body (handles 0x.., 1_000, 1e9
+        // suffixes); a `.` that follows becomes punctuation, which is fine
+        // for these rules and keeps `0..n` ranges intact.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+
+    let code_lines = toks.iter().map(|t| t.line).collect();
+    Lexed {
+        toks,
+        allows,
+        code_lines,
+    }
+}
+
+/// When position `i` starts a raw or byte string (`r"`, `r#"`, `br##"`,
+/// `b"`), returns the index just past its closing quote.
+fn raw_or_byte_string_end(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    // Optional `b`, then optional `r`.
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    if j == i {
+        return None; // neither prefix: a plain identifier
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if chars.get(j) != Some(&'"') {
+        return None; // `b`/`r` was just the start of an identifier
+    }
+    j += 1;
+    if !raw {
+        // Byte string: same escape rules as a plain string.
+        while j < chars.len() {
+            match chars[j] {
+                '\\' => j += 2,
+                '"' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return Some(chars.len());
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    while j < chars.len() {
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k);
+            }
+        }
+        j += 1;
+    }
+    Some(chars.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+            // World::run in a comment
+            /* thread::spawn in /* a nested */ block */
+            let s = "World::run(2, f)";
+            let r = r#"thread::spawn"#;
+            let b = b"Instant::now";
+            real_ident();
+        "##;
+        assert_eq!(
+            idents(src),
+            vec!["let", "s", "let", "r", "let", "b", "real_ident"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let l = lex(src);
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Char));
+        assert!(idents(src).contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "a\n/* x\ny */\nb\n\"s\nt\"\nc";
+        let l = lex(src);
+        let lines: Vec<(String, u32)> = l
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some((s.clone(), t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("b".into(), 4), ("c".into(), 7)]
+        );
+    }
+
+    #[test]
+    fn allow_directives_attach_to_their_line() {
+        let src = "x();\n// lint: allow(collective-symmetry)\ny(); // lint: allow(no-raw-spawn, world-run-boundary)\n";
+        let l = lex(src);
+        assert!(l.allowed(2, "collective-symmetry"));
+        assert!(l.allowed(3, "collective-symmetry"), "line below the allow");
+        assert!(l.allowed(3, "no-raw-spawn"), "trailing comment");
+        assert!(l.allowed(3, "world-run-boundary"));
+        assert!(!l.allowed(1, "collective-symmetry"));
+        assert!(!l.allowed(3, "timed-regions-only"));
+        assert!(
+            !l.allowed(4, "no-raw-spawn"),
+            "a trailing allow covers only its own line"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Workspace maintenance tasks, chiefly the rank-safety lint pass
+//! (`cargo run -p xtask -- lint`).
+//!
+//! The lint pass is a hand-rolled lexer plus token-pattern rules — no
+//! external dependencies, so the offline vendored build keeps working. It
+//! enforces four named repo invariants (documented with examples in
+//! `docs/verification.md`):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `world-run-boundary`  | `World::run*` only in `crates/runtime` + `crates/comm` |
+//! | `no-raw-spawn`        | `thread::spawn` only in `crates/comm` + `crates/runtime` |
+//! | `timed-regions-only`  | `Instant::now` in rank closures only via `ctx.timed` |
+//! | `collective-symmetry` | no collectives inside rank-guarded branches |
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::Finding;
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into during the scan: vendored stubs,
+/// build output, and the lint pass's own seeded-violation fixtures.
+const SKIP_DIRS: &[&str] = &["third_party", "target", "fixtures", ".git"];
+
+/// The workspace sub-trees the lint pass covers. `third_party/` is
+/// deliberately absent: vendored code keeps its upstream idioms.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "xtask/src"];
+
+/// Lints every `.rs` file under the standard scan roots of `root`
+/// (the workspace root). Findings come back sorted by path, then line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        findings.extend(lint_source(&rel, &src));
+    }
+    Ok(findings)
+}
+
+/// Lints a single source string as if it lived at workspace-relative
+/// `path` (the path decides which rules apply). Exposed for tests.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    rules::check_file(path, &lexer::lex(src))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root, taken as the parent of the `xtask` crate directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask must live one level below the workspace root")
+        .to_path_buf()
+}

@@ -1,0 +1,48 @@
+//! `cargo run -p xtask -- <task>` — workspace maintenance entry point.
+//!
+//! Tasks:
+//! - `lint [root]`: run the rank-safety lint pass over the workspace
+//!   (default root: the directory containing this workspace). Prints one
+//!   `file:line rule-name: message` per finding and exits non-zero when
+//!   any survive.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(xtask::workspace_root);
+            match xtask::lint_workspace(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    eprintln!("xtask lint: no findings");
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    eprintln!(
+                        "xtask lint: {} finding{} (suppress a deliberate violation with \
+                         `// lint: allow(rule-name)` on or above the offending line)",
+                        findings.len(),
+                        if findings.len() == 1 { "" } else { "s" }
+                    );
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: failed to read workspace sources: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [root]");
+            ExitCode::from(2)
+        }
+    }
+}

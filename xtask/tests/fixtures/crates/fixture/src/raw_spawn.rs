@@ -1,0 +1,6 @@
+// Fixture: seeded `no-raw-spawn` violation (line 4).
+
+pub fn helper() -> i32 {
+    let h = std::thread::spawn(|| 1 + 1);
+    h.join().expect("fixture thread")
+}

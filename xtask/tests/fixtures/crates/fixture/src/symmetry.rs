@@ -1,0 +1,15 @@
+// Fixture: seeded `collective-symmetry` violations (lines 5, 7, 12).
+
+pub fn lopsided(comm: &Comm, x: u64) {
+    if comm.rank() == 0 {
+        comm.barrier();
+    } else {
+        comm.allreduce(x, |a, b| a + b);
+    }
+    match comm.rank() {
+        0 => {}
+        _ => {
+            comm.gatherv(&[x], 0);
+        }
+    }
+}

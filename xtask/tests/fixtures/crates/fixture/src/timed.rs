@@ -1,0 +1,10 @@
+// Fixture: seeded `timed-regions-only` violation (line 6).
+
+pub fn drive(cfg: RunConfig) {
+    let _ = run_ranks(cfg, |ctx| {
+        let comm = ctx.comm();
+        let t0 = std::time::Instant::now();
+        comm.barrier();
+        t0.elapsed()
+    });
+}

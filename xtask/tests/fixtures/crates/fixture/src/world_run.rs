@@ -1,0 +1,6 @@
+// Fixture: seeded `world-run-boundary` violation (line 5).
+use dmbfs_comm::World;
+
+pub fn launch() -> Vec<usize> {
+    World::run(4, |comm| comm.rank())
+}
