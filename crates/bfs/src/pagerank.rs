@@ -16,8 +16,9 @@ use crate::distribute::extract_2d;
 use dmbfs_comm::CommStats;
 use dmbfs_graph::{CsrGraph, Grid2D, VertexId};
 use dmbfs_matrix::{spmv::spmv_dense, Dcsc};
-use dmbfs_runtime::{run_ranks, scatter_block, Codec, RunConfig};
+use dmbfs_runtime::{run_ranks, scatter_block, Codec, FaultPlan, RunConfig};
 use dmbfs_trace::{RankTrace, SpanKind, NO_LEVEL};
+use std::time::Duration;
 
 /// Configuration for [`distributed_pagerank`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,6 +41,11 @@ pub struct PageRankConfig {
     /// Strictly an observer: the computed scores are bit-identical either
     /// way.
     pub verify: bool,
+    /// Deterministic fault-injection schedule (see `docs/fault-injection.md`).
+    /// Empty by default.
+    pub faults: FaultPlan,
+    /// Overrides the verifier's watchdog timeout (`None` = env default).
+    pub verify_timeout: Option<Duration>,
 }
 
 impl PageRankConfig {
@@ -53,6 +59,8 @@ impl PageRankConfig {
             threads_per_rank: 1,
             trace: false,
             verify: false,
+            faults: FaultPlan::none(),
+            verify_timeout: None,
         }
     }
 
@@ -75,6 +83,18 @@ impl PageRankConfig {
         self
     }
 
+    /// Replaces the fault-injection schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the verifier's watchdog timeout.
+    pub fn with_verify_timeout(mut self, timeout: Duration) -> Self {
+        self.verify_timeout = Some(timeout);
+        self
+    }
+
     /// The runtime-layer view of this configuration. PageRank moves dense
     /// float payloads, so the frontier codec/sieve do not apply.
     pub fn run_config(&self) -> RunConfig {
@@ -85,6 +105,8 @@ impl PageRankConfig {
             sieve: false,
             trace: self.trace,
             verify: self.verify,
+            faults: self.faults,
+            verify_timeout: self.verify_timeout,
         }
     }
 }

@@ -37,11 +37,11 @@ use dmbfs_comm::algorithms::{allgather_doubling, allgather_ring};
 use dmbfs_comm::{Comm, CommStats, LevelTiming, WireBuf};
 use dmbfs_graph::{CsrGraph, Grid2D, VertexId};
 use dmbfs_matrix::{spmsv, Dcsc, MergeKernel, RowSplitDcsc, SelectMax, SpaWorkspace, SparseVector};
-use dmbfs_runtime::{run_ranks, scatter_block, RunConfig};
+use dmbfs_runtime::{run_ranks, scatter_block, FaultPlan, RunConfig};
 use dmbfs_trace::{RankTrace, SpanKind};
 use rayon::prelude::*;
 use std::ops::Range;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How frontier/parent vector entries are assigned to processors (§4.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -102,6 +102,11 @@ pub struct Bfs2dConfig {
     /// Strictly an observer: the computed parent tree is bit-identical
     /// either way.
     pub verify: bool,
+    /// Deterministic fault-injection schedule (see `docs/fault-injection.md`).
+    /// Empty by default.
+    pub faults: FaultPlan,
+    /// Overrides the verifier's watchdog timeout (`None` = env default).
+    pub verify_timeout: Option<Duration>,
 }
 
 impl Bfs2dConfig {
@@ -117,6 +122,8 @@ impl Bfs2dConfig {
             sieve: true,
             trace: false,
             verify: false,
+            faults: FaultPlan::none(),
+            verify_timeout: None,
         }
     }
 
@@ -153,6 +160,18 @@ impl Bfs2dConfig {
         self
     }
 
+    /// Replaces the fault-injection schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the verifier's watchdog timeout.
+    pub fn with_verify_timeout(mut self, timeout: Duration) -> Self {
+        self.verify_timeout = Some(timeout);
+        self
+    }
+
     /// True when this is the hybrid variant.
     pub fn is_hybrid(&self) -> bool {
         self.threads_per_rank > 1
@@ -169,6 +188,8 @@ impl Bfs2dConfig {
             sieve: self.sieve,
             trace: self.trace,
             verify: self.verify,
+            faults: self.faults,
+            verify_timeout: self.verify_timeout,
         }
     }
 }

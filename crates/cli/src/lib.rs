@@ -11,6 +11,10 @@
 //! * `sssp` — distributed single-source shortest paths on uniformly
 //!   weighted instances.
 //! * `convert` — binary ↔ Matrix Market.
+//! * `chaos` — sweep the deterministic fault grid (algorithm × fault kind
+//!   × rank × level) under the collective verifier and ledger whether each
+//!   injected fault was detected with a typed root-cause report — see
+//!   `docs/fault-injection.md`.
 //!
 //! The argument grammar is deliberately tiny (`--key value` pairs after a
 //! subcommand); everything is also available as a library call for tests.
@@ -27,16 +31,20 @@ use dmbfs_bfs::sssp::{distributed_sssp_run, validate_sssp};
 use dmbfs_bfs::teps::teps_edges;
 use dmbfs_bfs::two_d::{bfs2d_run, Bfs2dConfig};
 use dmbfs_bfs::validate::validate_bfs;
+use dmbfs_comm::{FailureKind, VerifyFailure};
 use dmbfs_graph::components::{connected_components, sample_sources};
 use dmbfs_graph::gen::{erdos_renyi, rmat, webcrawl, RmatConfig, WebCrawlConfig};
 use dmbfs_graph::stats::{approx_diameter, degree_stats};
 use dmbfs_graph::weighted::{attach_uniform_weights, WeightedCsr};
 use dmbfs_graph::{io, CsrGraph, EdgeList, Grid2D, RandomPermutation};
-use dmbfs_runtime::RunConfig;
+use dmbfs_runtime::{
+    FailStopExit, FaultKind, FaultPlan, FaultSpec, FaultTrigger, InjectedFault, RunConfig,
+};
 use dmbfs_trace::RankTrace;
+use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A parsed command line: subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -161,23 +169,35 @@ USAGE:
   dmbfs bfs FILE [--algorithm serial|shared|direction|1d|2d] [--ranks P]
                  [--threads T] [--source V] [--validate true]
                  [--codec off|raw|varint|bitmap|adaptive] [--sieve true|false]
-                 [--verify true|false]
+                 [--verify true|false] [--fault SPEC[;SPEC]]
                  [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs teps FILE [--algorithm ...] [--ranks P] [--threads T] [--sources N]
                   [--codec ...] [--sieve ...] [--verify true|false]
+                  [--fault SPEC[;SPEC]]
                   [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs components FILE [--ranks P] [--threads T] [--verify true|false]
+                        [--fault SPEC[;SPEC]]
                         [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs sssp FILE [--ranks P] [--threads T] [--max-weight W] [--source V]
-                  [--verify true|false]
+                  [--verify true|false] [--fault SPEC[;SPEC]]
                   [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs diameter FILE [--exact true] [--ranks P]
   dmbfs pagerank FILE [--ranks P] [--threads T] [--damping D] [--top K]
-                      [--verify true|false]
+                      [--verify true|false] [--fault SPEC[;SPEC]]
                       [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs centrality FILE [--samples K] [--top K]
   dmbfs convert FILE --to bin|mm --out FILE
+  dmbfs chaos [--scale S] [--edge-factor E] [--ranks P] [--seed X]
+              [--algorithms 1d,2d] [--kinds panic,failstop,delay,corrupt]
+              [--inject-ranks R,R] [--levels L,L] [--timeout-secs T]
+              [--delay-ms MS] [--out FILE]
   dmbfs help
+
+Fault SPEC grammar (also the DMBFS_FAULTS environment variable):
+  <kind>@r<rank>:<site>[:coll=<collective>]
+  kind ∈ panic | failstop | delay=MS | corrupt=SEED
+  site ∈ opN (Nth collective on that rank) | levelL (first collective at
+  BFS level ≥ L); see docs/fault-injection.md.
 ";
 
 /// Executes a parsed command, returning the report to print.
@@ -193,6 +213,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "pagerank" => cmd_pagerank(args),
         "centrality" => cmd_centrality(args),
         "convert" => cmd_convert(args),
+        "chaos" => cmd_chaos(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
     }
@@ -292,6 +313,83 @@ struct ObserverOpts {
     verify: bool,
 }
 
+/// `--fault SPEC[;SPEC...]`, falling back to the `DMBFS_FAULTS` environment
+/// variable: the deterministic fault-injection schedule armed on the world
+/// communicator of a distributed run. Fail-stop and wire-corruption faults
+/// are only *detectable* through the collective verifier (the fail-stopped
+/// rank is named by the verify watchdog; corruption by the end-to-end wire
+/// checksums that exist only under verification), so those kinds insist on
+/// `--verify true` instead of silently hanging to the 300 s barrier
+/// watchdog or flipping bits nothing checks. See docs/fault-injection.md.
+fn fault_plan_from_args(args: &Args, verify: bool) -> Result<FaultPlan, CliError> {
+    let plan = match args.options.get("fault") {
+        Some(spec) => spec.parse::<FaultPlan>().map_err(err)?,
+        None => FaultPlan::from_env().map_err(err)?,
+    };
+    let needs_verify = plan
+        .specs()
+        .any(|s| matches!(s.kind, FaultKind::FailStop | FaultKind::CorruptWire { .. }));
+    if needs_verify && !verify {
+        return Err(err(
+            "failstop/corrupt faults require --verify true: fail-stop detection and \
+             end-to-end wire checksums live in the collective verifier \
+             (see docs/fault-injection.md)",
+        ));
+    }
+    Ok(plan)
+}
+
+/// Renders a distributed run's panic payload for the user: the typed
+/// reports ([`InjectedFault`], [`FailStopExit`], [`VerifyFailure`]) print
+/// their structured diagnostics; anything else falls back to the string
+/// payload.
+fn describe_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        return f.to_string();
+    }
+    if let Some(f) = payload.downcast_ref::<FailStopExit>() {
+        return f.0.to_string();
+    }
+    if let Some(f) = payload.downcast_ref::<VerifyFailure>() {
+        return f.to_string();
+    }
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| {
+            payload
+                .downcast_ref::<&'static str>()
+                .map(|s| s.to_string())
+        })
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+/// Runs a distributed invocation that has live faults armed. The injected
+/// rank's death (or the verifier diagnostic it provokes) unwinds out of
+/// `World::run` as a panic; here it is caught and reported as a readable
+/// CLI error carrying the typed root cause, with the default per-thread
+/// panic banner silenced for the duration. An empty plan runs the closure
+/// bare — healthy runs see no wrapper at all.
+fn run_reporting_faults<T>(
+    faults: &FaultPlan,
+    f: impl FnOnce() -> Result<T, CliError>,
+) -> Result<T, CliError> {
+    if faults.is_empty() {
+        return f();
+    }
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    std::panic::set_hook(prev_hook);
+    match result {
+        Ok(r) => r,
+        Err(payload) => Err(err(format!(
+            "fault detected: {}",
+            describe_payload(payload.as_ref())
+        ))),
+    }
+}
+
 /// `--trace FILE [--trace-format chrome|jsonl]`: where (and how) to write
 /// the structured span trace of a run. See docs/observability.md.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -382,6 +480,7 @@ fn mode_line(algorithm: &str, ranks: usize, threads: usize) -> String {
 /// barrier-to-barrier seconds when it measures them (the distributed
 /// drivers do; the single-process variants return `None`), and the
 /// per-rank span traces (empty unless `trace` is set).
+#[allow(clippy::too_many_arguments)]
 fn run_algorithm_traced(
     g: &CsrGraph,
     algorithm: &str,
@@ -390,6 +489,7 @@ fn run_algorithm_traced(
     source: u64,
     wire: WireOpts,
     observe: ObserverOpts,
+    faults: FaultPlan,
 ) -> Result<(dmbfs_bfs::BfsOutput, Option<f64>, Vec<RankTrace>), CliError> {
     if observe.trace && !matches!(algorithm, "1d" | "2d") {
         return Err(err(format!(
@@ -399,6 +499,11 @@ fn run_algorithm_traced(
     if observe.verify && !matches!(algorithm, "1d" | "2d") {
         return Err(err(format!(
             "--verify requires a distributed algorithm (1d|2d), got '{algorithm}'"
+        )));
+    }
+    if !faults.is_empty() && !matches!(algorithm, "1d" | "2d") {
+        return Err(err(format!(
+            "--fault requires a distributed algorithm (1d|2d), got '{algorithm}'"
         )));
     }
     Ok(match algorithm {
@@ -418,7 +523,8 @@ fn run_algorithm_traced(
             .with_codec(wire.codec)
             .with_sieve(wire.sieve)
             .with_trace(observe.trace)
-            .with_verify(observe.verify);
+            .with_verify(observe.verify)
+            .with_faults(faults);
             let run = bfs1d_run(g, source, &cfg);
             (run.output, Some(run.seconds), run.per_rank_trace)
         }
@@ -432,7 +538,8 @@ fn run_algorithm_traced(
             .with_codec(wire.codec)
             .with_sieve(wire.sieve)
             .with_trace(observe.trace)
-            .with_verify(observe.verify);
+            .with_verify(observe.verify)
+            .with_faults(faults);
             let run = bfs2d_run(g, source, &cfg);
             (run.output, Some(run.seconds), run.per_rank_trace)
         }
@@ -464,9 +571,13 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
         trace: trace.is_some(),
         verify: args.opt_bool("verify", false)?,
     };
+    let faults = fault_plan_from_args(args, observe.verify)?;
     let t0 = Instant::now();
-    let (out, _, traces) =
-        run_algorithm_traced(&g, &algorithm, ranks, threads, source, wire, observe)?;
+    let (out, _, traces) = run_reporting_faults(&faults, || {
+        run_algorithm_traced(
+            &g, &algorithm, ranks, threads, source, wire, observe, faults,
+        )
+    })?;
     let secs = t0.elapsed().as_secs_f64();
     if args.opt_str("validate", "true") == "true" {
         validate_bfs(&g, source, &out.parents, out.levels())
@@ -503,17 +614,25 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
         trace: trace.is_some(),
         verify: args.opt_bool("verify", false)?,
     };
+    let faults = fault_plan_from_args(args, observe.verify)?;
     // Each sampled root runs in its own World with its own stats and trace
     // sink: `benchmark_bfs_detailed` keeps the per-search instrumentation
     // namespaced by source, and the distributed runners' internal
     // barrier-to-barrier seconds feed the TEPS statistics (the harness
     // timer would otherwise fold World setup/teardown into search time).
-    let (report, details) = dmbfs_bfs::teps::benchmark_bfs_detailed(&g, num_sources, 5, |s| {
-        let (out, seconds, traces) =
-            run_algorithm_traced(&g, &algorithm, ranks, threads, s, wire, observe)
-                .expect("algorithm runs");
-        (out, seconds, traces)
-    });
+    let (report, details) = run_reporting_faults(&faults, || {
+        Ok(dmbfs_bfs::teps::benchmark_bfs_detailed(
+            &g,
+            num_sources,
+            5,
+            |s| {
+                let (out, seconds, traces) =
+                    run_algorithm_traced(&g, &algorithm, ranks, threads, s, wire, observe, faults)
+                        .expect("algorithm runs");
+                (out, seconds, traces)
+            },
+        ))
+    })?;
     let mut out = format!(
         "{}\nalgorithm {algorithm}: {} sources, {:.2} MTEPS aggregate, {:.2} MTEPS harmonic mean, \
          {:.1} ms mean search time",
@@ -539,12 +658,15 @@ fn cmd_components(args: &Args) -> Result<String, CliError> {
     let ranks = args.opt_u64("ranks", 4)? as usize;
     let threads = args.opt_threads()?;
     let trace = TraceOpts::from_args(args)?;
+    let verify = args.opt_bool("verify", false)?;
+    let faults = fault_plan_from_args(args, verify)?;
     let cfg = RunConfig::flat(ranks)
         .with_threads(threads)
         .with_trace(trace.is_some())
-        .with_verify(args.opt_bool("verify", false)?);
+        .with_verify(verify)
+        .with_faults(faults);
     let t0 = Instant::now();
-    let run = distributed_components_run(&g, &cfg);
+    let run = run_reporting_faults(&faults, || Ok(distributed_components_run(&g, &cfg)))?;
     let secs = t0.elapsed().as_secs_f64();
     let out = run.output;
     let mut report = format!(
@@ -587,12 +709,17 @@ fn cmd_sssp(args: &Args) -> Result<String, CliError> {
                 .ok_or_else(|| err("graph has no usable source"))?
         }
     };
+    let verify = args.opt_bool("verify", false)?;
+    let faults = fault_plan_from_args(args, verify)?;
     let cfg = RunConfig::flat(ranks)
         .with_threads(threads)
         .with_trace(trace.is_some())
-        .with_verify(args.opt_bool("verify", false)?);
+        .with_verify(verify)
+        .with_faults(faults);
     let t0 = Instant::now();
-    let run = distributed_sssp_run(&weighted, source, &cfg);
+    let run = run_reporting_faults(&faults, || {
+        Ok(distributed_sssp_run(&weighted, source, &cfg))
+    })?;
     let secs = t0.elapsed().as_secs_f64();
     let out = &run.output;
     validate_sssp(&weighted, out).map_err(|e| err(format!("validation failed: {e}")))?;
@@ -648,15 +775,18 @@ fn cmd_pagerank(args: &Args) -> Result<String, CliError> {
         .opt_str("damping", "0.85")
         .parse()
         .map_err(|_| err("--damping expects a float"))?;
+    let verify = args.opt_bool("verify", false)?;
+    let faults = fault_plan_from_args(args, verify)?;
     let cfg = PageRankConfig {
         damping,
         ..PageRankConfig::new(Grid2D::closest_square(ranks))
     }
     .with_threads(threads)
     .with_trace(trace.is_some())
-    .with_verify(args.opt_bool("verify", false)?);
+    .with_verify(verify)
+    .with_faults(faults);
     let t0 = Instant::now();
-    let run = distributed_pagerank_run(&g, &cfg);
+    let run = run_reporting_faults(&faults, || Ok(distributed_pagerank_run(&g, &cfg)))?;
     let secs = t0.elapsed().as_secs_f64();
     let out = run.output;
     let mut report = format!(
@@ -713,6 +843,383 @@ fn cmd_convert(args: &Args) -> Result<String, CliError> {
         other => return Err(err(format!("unknown target format '{other}'"))),
     }
     Ok(format!("wrote {out} ({} edges) as {to}", el.len()))
+}
+
+/// Splits a `--flag a,b,c` list, trimming and dropping empty entries.
+fn split_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// One cell of the chaos-matrix ledger: what was injected, how the run
+/// ended, and whether the failure report carried a typed root cause that
+/// named the injected rank.
+#[derive(Serialize)]
+struct ChaosCell {
+    algorithm: String,
+    kind: String,
+    rank: usize,
+    level: i64,
+    detection: String,
+    typed: bool,
+    named_rank: bool,
+    collective: Option<String>,
+    millis: f64,
+    detail: String,
+}
+
+/// The `results/chaos_matrix.json` document: sweep parameters, one row per
+/// grid cell, and the detection tallies the CI smoke job asserts on.
+#[derive(Serialize)]
+struct ChaosMatrix {
+    scale: u32,
+    edge_factor: u64,
+    ranks: usize,
+    source: u64,
+    seed: u64,
+    timeout_secs: u64,
+    delay_ms: u64,
+    total_cells: usize,
+    typed: usize,
+    named_rank: usize,
+    untyped_watchdogs: usize,
+    completed: usize,
+    typed_rate: f64,
+    cells: Vec<ChaosCell>,
+}
+
+/// How one chaos cell ended. `typed` means the panic payload was a
+/// structured report ([`InjectedFault`], [`FailStopExit`], or
+/// [`VerifyFailure`]) rather than a bare watchdog string; `named_rank`
+/// means that report pointed at the rank the fault was actually injected
+/// into.
+struct CellOutcome {
+    detection: &'static str,
+    typed: bool,
+    named_rank: bool,
+    collective: Option<String>,
+    detail: String,
+}
+
+fn first_line(s: &str) -> String {
+    s.lines().next().unwrap_or_default().to_string()
+}
+
+/// Classifies the panic payload a chaos cell died with. Mirrors the
+/// priority order of the runtime's own root-cause selection: an injected
+/// payload is the ground truth, a structured verifier diagnostic is a
+/// detection, and a bare barrier-watchdog string is an escape (the fault
+/// was only noticed by the last-resort timeout).
+fn classify_payload(payload: &(dyn std::any::Any + Send), injected: usize) -> CellOutcome {
+    if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        return CellOutcome {
+            detection: "injected-panic",
+            typed: true,
+            named_rank: f.rank == injected,
+            collective: Some(f.collective.name().to_string()),
+            detail: f.to_string(),
+        };
+    }
+    if let Some(f) = payload.downcast_ref::<FailStopExit>() {
+        return CellOutcome {
+            detection: "injected-failstop",
+            typed: true,
+            named_rank: f.0.rank == injected,
+            collective: Some(f.0.collective.name().to_string()),
+            detail: f.0.to_string(),
+        };
+    }
+    if let Some(f) = payload.downcast_ref::<VerifyFailure>() {
+        // Name the collective the group was parked in: prefer a pending op
+        // at the failure epoch, then whatever the detecting rank recorded,
+        // then any recorded op at all.
+        let collective = f
+            .pending
+            .iter()
+            .flatten()
+            .find(|op| op.epoch == f.epoch)
+            .or_else(|| {
+                f.labels
+                    .iter()
+                    .position(|&w| w == f.detected_by)
+                    .and_then(|local| f.pending.get(local).and_then(Option::as_ref))
+            })
+            .or_else(|| f.pending.iter().flatten().next())
+            .map(|op| op.kind.to_string());
+        let (detection, named_rank) = match f.kind {
+            FailureKind::Corruption => ("verify-corruption", f.corrupt_source == Some(injected)),
+            FailureKind::Watchdog => ("verify-watchdog", f.laggards().contains(&injected)),
+            FailureKind::Mismatch => ("verify-mismatch", f.laggards().contains(&injected)),
+        };
+        return CellOutcome {
+            detection,
+            typed: true,
+            named_rank,
+            collective,
+            detail: first_line(&f.to_string()),
+        };
+    }
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| {
+            payload
+                .downcast_ref::<&'static str>()
+                .map(|s| s.to_string())
+        })
+        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+    let detection = if msg.contains("collective watchdog") {
+        "watchdog-untyped"
+    } else {
+        "panic-other"
+    };
+    CellOutcome {
+        detection,
+        typed: false,
+        named_rank: false,
+        collective: None,
+        detail: first_line(&msg),
+    }
+}
+
+/// `dmbfs chaos`: sweep the deterministic fault grid — algorithm × fault
+/// kind × injected rank × BFS level — over one internally generated R-MAT
+/// instance, always under the collective verifier with a short watchdog,
+/// and ledger how every cell was detected. See docs/fault-injection.md.
+fn cmd_chaos(args: &Args) -> Result<String, CliError> {
+    let scale = args.opt_u64("scale", 12)? as u32;
+    let ef = args.opt_u64("edge-factor", 16)?;
+    let ranks = args.opt_u64("ranks", 4)? as usize;
+    if ranks < 2 {
+        return Err(err(
+            "--ranks must be at least 2: chaos injects into a peer group",
+        ));
+    }
+    let seed = args.opt_u64("seed", 1)?;
+    let timeout_secs = args.opt_u64("timeout-secs", 2)?;
+    if timeout_secs == 0 {
+        return Err(err("--timeout-secs must be positive"));
+    }
+    // Long enough that every delay fault outlives the verify watchdog, so
+    // the delayed rank is reported as the laggard instead of just slowing
+    // the run down.
+    let delay_ms = args.opt_u64("delay-ms", timeout_secs * 1000 + 500)?;
+    let out_path = args.opt_str("out", "results/chaos_matrix.json");
+
+    let algorithms = split_list(&args.opt_str("algorithms", "1d,2d"));
+    for a in &algorithms {
+        if !matches!(a.as_str(), "1d" | "2d") {
+            return Err(err(format!(
+                "--algorithms expects 1d|2d entries, got '{a}'"
+            )));
+        }
+    }
+    if algorithms.is_empty() {
+        return Err(err("--algorithms must name at least one of 1d,2d"));
+    }
+    if algorithms.iter().any(|a| a == "2d") && Grid2D::closest_square(ranks).size() != ranks {
+        return Err(err(format!(
+            "--ranks {ranks} does not factor into a 2D grid; pick a rank count the \
+             closest-square decomposition keeps whole (e.g. 4) so the injected world \
+             ranks exist in both algorithms"
+        )));
+    }
+    let kinds = split_list(&args.opt_str("kinds", "panic,failstop,delay,corrupt"));
+    for k in &kinds {
+        if !matches!(k.as_str(), "panic" | "failstop" | "delay" | "corrupt") {
+            return Err(err(format!(
+                "--kinds expects panic|failstop|delay|corrupt entries, got '{k}'"
+            )));
+        }
+    }
+    if kinds.is_empty() {
+        return Err(err("--kinds must name at least one fault kind"));
+    }
+    let default_ranks = format!("0,{}", ranks - 1);
+    let mut inject_ranks = Vec::new();
+    for t in split_list(&args.opt_str("inject-ranks", &default_ranks)) {
+        let r: usize = t
+            .parse()
+            .map_err(|_| err(format!("--inject-ranks expects rank numbers, got '{t}'")))?;
+        if r >= ranks {
+            return Err(err(format!(
+                "--inject-ranks {r} out of range (P = {ranks})"
+            )));
+        }
+        if !inject_ranks.contains(&r) {
+            inject_ranks.push(r);
+        }
+    }
+    let mut levels = Vec::new();
+    for t in split_list(&args.opt_str("levels", "1,2")) {
+        let l: i64 = t
+            .parse()
+            .map_err(|_| err(format!("--levels expects level numbers, got '{t}'")))?;
+        levels.push(l);
+    }
+    if inject_ranks.is_empty() || levels.is_empty() {
+        return Err(err("--inject-ranks and --levels must be non-empty"));
+    }
+
+    let mut el = rmat(&RmatConfig::graph500_ef(scale, ef, seed));
+    el.canonicalize_undirected();
+    let perm = RandomPermutation::new(el.num_vertices, seed ^ 0xD5BF);
+    el = perm.apply_edge_list(&el);
+    let g = CsrGraph::from_edge_list(&el);
+    let source = sample_sources(&g, 1, 7)
+        .first()
+        .copied()
+        .ok_or_else(|| err("generated graph has no usable source"))?;
+
+    let timeout = Duration::from_secs(timeout_secs);
+    let total = algorithms.len() * kinds.len() * inject_ranks.len() * levels.len();
+    let mut report = String::new();
+    writeln!(
+        report,
+        "chaos: R-MAT scale {scale} (edge factor {ef}), {ranks} ranks, source {source}"
+    )
+    .unwrap();
+    writeln!(
+        report,
+        "grid: {} algorithm(s) x {} kind(s) x {} rank(s) x {} level(s) = {total} cells, \
+         verify watchdog {timeout_secs} s",
+        algorithms.len(),
+        kinds.len(),
+        inject_ranks.len(),
+        levels.len(),
+    )
+    .unwrap();
+
+    // Every cell deliberately kills one rank, so the default panic hook
+    // would print a banner per cell; silence it for the sweep and restore
+    // it afterwards.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut cells: Vec<ChaosCell> = Vec::new();
+    let mut cell_idx = 0u64;
+    for alg in &algorithms {
+        for kind_s in &kinds {
+            for &inj_rank in &inject_ranks {
+                for &level in &levels {
+                    cell_idx += 1;
+                    let kind = match kind_s.as_str() {
+                        "panic" => FaultKind::Panic,
+                        "failstop" => FaultKind::FailStop,
+                        "delay" => FaultKind::Delay { millis: delay_ms },
+                        _ => FaultKind::CorruptWire {
+                            seed: seed ^ cell_idx.wrapping_mul(0x9E37_79B9),
+                        },
+                    };
+                    let plan = FaultPlan::none().with_fault(FaultSpec {
+                        rank: inj_rank,
+                        trigger: FaultTrigger::AtLevel(level),
+                        collective: None,
+                        kind,
+                    });
+                    let t0 = Instant::now();
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if alg == "1d" {
+                            let cfg = Bfs1dConfig::flat(ranks)
+                                .with_verify(true)
+                                .with_verify_timeout(timeout)
+                                .with_faults(plan);
+                            bfs1d_run(&g, source, &cfg).output
+                        } else {
+                            let cfg = Bfs2dConfig::flat(Grid2D::closest_square(ranks))
+                                .with_verify(true)
+                                .with_verify_timeout(timeout)
+                                .with_faults(plan);
+                            bfs2d_run(&g, source, &cfg).output
+                        }
+                    }));
+                    let millis = t0.elapsed().as_secs_f64() * 1e3;
+                    let outcome = match &result {
+                        Ok(_) => CellOutcome {
+                            detection: "completed",
+                            typed: false,
+                            named_rank: false,
+                            collective: None,
+                            detail: "run finished; the scheduled fault never fired".to_string(),
+                        },
+                        Err(payload) => classify_payload(payload.as_ref(), inj_rank),
+                    };
+                    writeln!(
+                        report,
+                        "  {alg:>2} {kind_s:<8} r{inj_rank} level{level} -> {:<18} \
+                         [{}{}] {millis:.0} ms",
+                        outcome.detection,
+                        if outcome.named_rank {
+                            "rank named"
+                        } else {
+                            "rank NOT named"
+                        },
+                        match &outcome.collective {
+                            Some(c) => format!(", {c}"),
+                            None => String::new(),
+                        },
+                    )
+                    .unwrap();
+                    cells.push(ChaosCell {
+                        algorithm: alg.clone(),
+                        kind: kind_s.clone(),
+                        rank: inj_rank,
+                        level,
+                        detection: outcome.detection.to_string(),
+                        typed: outcome.typed,
+                        named_rank: outcome.named_rank,
+                        collective: outcome.collective,
+                        millis,
+                        detail: outcome.detail,
+                    });
+                }
+            }
+        }
+    }
+    std::panic::set_hook(prev_hook);
+
+    let typed = cells.iter().filter(|c| c.typed).count();
+    let named_rank = cells.iter().filter(|c| c.named_rank).count();
+    let untyped_watchdogs = cells
+        .iter()
+        .filter(|c| c.detection == "watchdog-untyped")
+        .count();
+    let completed = cells.iter().filter(|c| c.detection == "completed").count();
+    let matrix = ChaosMatrix {
+        scale,
+        edge_factor: ef,
+        ranks,
+        source,
+        seed,
+        timeout_secs,
+        delay_ms,
+        total_cells: cells.len(),
+        typed,
+        named_rank,
+        untyped_watchdogs,
+        completed,
+        typed_rate: typed as f64 / cells.len().max(1) as f64,
+        cells,
+    };
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string_pretty(&matrix)
+        .map_err(|e| err(format!("ledger serialization failed: {e:?}")))?;
+    std::fs::write(&out_path, json)?;
+    writeln!(
+        report,
+        "detection: {typed}/{} typed, {named_rank}/{} named the injected rank; \
+         {untyped_watchdogs} untyped watchdog(s), {completed} never-fired cell(s)",
+        matrix.total_cells, matrix.total_cells,
+    )
+    .unwrap();
+    writeln!(report, "ledger: {out_path}").unwrap();
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -1250,6 +1757,115 @@ mod tests {
             let bad = run(&args(&[cmd, file_s, "--trace-format", "jsonl"]));
             assert!(bad.unwrap_err().0.contains("requires --trace"), "{cmd}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bfs_fault_flag_reports_the_injected_rank() {
+        let dir = tmpdir();
+        let file = dir.join("fault.bin");
+        let file_s = file.to_str().unwrap();
+        run(&args(&[
+            "generate", "--model", "rmat", "--scale", "8", "--out", file_s,
+        ]))
+        .unwrap();
+
+        // An injected panic surfaces as a readable error naming the rank.
+        let e = run(&args(&[
+            "bfs",
+            file_s,
+            "--algorithm",
+            "1d",
+            "--ranks",
+            "4",
+            "--fault",
+            "panic@r2:op3",
+        ]))
+        .unwrap_err()
+        .0;
+        assert!(e.contains("fault detected"), "{e}");
+        assert!(e.contains("injected panic at rank 2"), "{e}");
+
+        // Corrupt/failstop need the verifier's checksums and watchdog.
+        let e = run(&args(&[
+            "bfs",
+            file_s,
+            "--algorithm",
+            "1d",
+            "--fault",
+            "corrupt=7@r1:level1",
+        ]))
+        .unwrap_err()
+        .0;
+        assert!(e.contains("--verify"), "{e}");
+        let e = run(&args(&["components", file_s, "--fault", "failstop@r1:op4"]))
+            .unwrap_err()
+            .0;
+        assert!(e.contains("--verify"), "{e}");
+
+        // Faults are gated to distributed algorithms, like --verify.
+        let e = run(&args(&[
+            "bfs",
+            file_s,
+            "--algorithm",
+            "serial",
+            "--fault",
+            "panic@r0:op1",
+        ]))
+        .unwrap_err()
+        .0;
+        assert!(e.contains("distributed algorithm"), "{e}");
+
+        // Malformed specs are rejected at parse time.
+        assert!(run(&args(&["bfs", file_s, "--fault", "explode@r0:op1"])).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_sweep_detects_every_injected_fault() {
+        let dir = tmpdir();
+        let out = dir.join("chaos.json");
+        let out_s = out.to_str().unwrap();
+        let msg = run(&args(&[
+            "chaos",
+            "--scale",
+            "8",
+            "--ranks",
+            "4",
+            "--algorithms",
+            "1d",
+            "--kinds",
+            "panic,corrupt",
+            "--inject-ranks",
+            "1",
+            "--levels",
+            "1",
+            "--timeout-secs",
+            "1",
+            "--out",
+            out_s,
+        ]))
+        .unwrap();
+        assert!(msg.contains("2/2 typed"), "{msg}");
+        assert!(msg.contains("0 untyped watchdog(s)"), "{msg}");
+
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(v["typed"] == 2i64, "{v:?}");
+        assert!(v["named_rank"] == 2i64, "{v:?}");
+        assert!(v["untyped_watchdogs"] == 0i64, "{v:?}");
+        assert!(v["typed_rate"] == 1.0, "{v:?}");
+        assert!(v["cells"][0]["detection"] == "injected-panic", "{v:?}");
+        assert!(v["cells"][1]["detection"] == "verify-corruption", "{v:?}");
+
+        // Flag validation.
+        assert!(run(&args(&["chaos", "--kinds", "meteor"])).is_err());
+        assert!(run(&args(&["chaos", "--ranks", "1"])).is_err());
+        assert!(run(&args(&["chaos", "--inject-ranks", "9"])).is_err());
+        assert!(run(&args(&["chaos", "--algorithms", "3d"])).is_err());
+        assert!(run(&args(&["chaos", "--timeout-secs", "0"])).is_err());
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,6 +1,7 @@
 //! Communicator handles and typed collectives.
 
 use crate::barrier::{Poison, PoisonBarrier};
+use crate::fault::{corrupt_site, fnv1a64, FaultInjector, FaultPlan};
 use crate::stats::{CommEvent, CommStats, LevelTiming, Pattern};
 use crate::verify::{CollectiveKind, Fingerprint, VerifyBoard};
 use dmbfs_trace::{CollectiveTag, RankTrace, SpanKind, TraceSink};
@@ -102,6 +103,11 @@ pub struct Comm {
     /// Send`; the lock is uncontended — every handle sharing it belongs to
     /// the same rank thread.
     tracer: RefCell<Option<Arc<Mutex<TraceSink>>>>,
+    /// Armed fault injector, shared with sub-communicators split off this
+    /// handle (same sharing rationale as `tracer`). `None` — one borrow
+    /// and one branch per collective — unless [`Comm::arm_faults`] armed a
+    /// non-empty plan.
+    fault: RefCell<Option<Arc<FaultInjector>>>,
     /// Thread that created the handle; collectives must run on it.
     owner: ThreadId,
     /// Per-handle collective counter feeding verifier fingerprints: the
@@ -131,6 +137,7 @@ impl Comm {
             rank,
             stats: RefCell::new(CommStats::default()),
             tracer: RefCell::new(None),
+            fault: RefCell::new(None),
             owner: std::thread::current().id(),
             verify_epoch: Cell::new(0),
         }
@@ -166,6 +173,74 @@ impl Comm {
                     location,
                 },
             );
+        }
+    }
+
+    /// Arms a deterministic fault plan on this rank: subsequent
+    /// collectives on this handle — and on sub-communicators split off it —
+    /// consult the injector (see the `fault` module). The rank recorded in
+    /// injected payloads is this handle's rank, so arm the **world**
+    /// communicator before splitting (`dmbfs_runtime::run_ranks` does).
+    /// An empty plan is never armed and the per-collective hook stays one
+    /// `Option` check.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        *self.fault.borrow_mut() = Some(FaultInjector::new(plan, self.rank));
+    }
+
+    /// Whether a fault plan is armed on this handle.
+    pub fn faults_armed(&self) -> bool {
+        self.fault.borrow().is_some()
+    }
+
+    /// Fault hook at the top of every collective, **before** the verifier
+    /// rendezvous — so a delayed or fail-stopped rank is late *to* the
+    /// rendezvous and the verify watchdog names it, matching how real MPI
+    /// tools observe stragglers and dead processes. No-op (one `Option`
+    /// check) when no plan is armed.
+    #[inline]
+    #[track_caller]
+    fn fault_enter(&self, kind: CollectiveKind) {
+        let inj = self.fault.borrow().as_ref().cloned();
+        if let Some(inj) = inj {
+            inj.on_collective(kind, Location::caller());
+        }
+    }
+
+    /// The corruption half of the fault hook: called by the wire
+    /// collectives with `has_payload` = "some non-empty outbound buffer is
+    /// destined to another rank". Returns the seed when an armed corrupt
+    /// fault fires here.
+    fn corruption_seed(&self, kind: CollectiveKind, has_payload: bool) -> Option<u64> {
+        self.fault
+            .borrow()
+            .as_ref()
+            .and_then(|inj| inj.corrupt_seed(kind, has_payload))
+    }
+
+    /// Checksum of one outbound wire payload — taken only when the
+    /// verifier is on (the option is shared state, so every rank agrees),
+    /// and always *before* any corrupt fault flips a byte: the receiver's
+    /// end-to-end check exists to catch exactly that flip.
+    fn wire_checksum(&self, bytes: &[u8]) -> Option<u64> {
+        self.shared.verify.as_ref().map(|_| fnv1a64(bytes))
+    }
+
+    /// Receiver-side end-to-end check of one wire payload read from local
+    /// rank `source`. Raises a structured [`crate::VerifyFailure`] (kind
+    /// `Corruption`, naming the source's world rank) when the bytes do not
+    /// match the sender's pre-corruption checksum.
+    fn check_wire(&self, bytes: &[u8], sum: Option<u64>, source: usize) {
+        let Some(sum) = sum else { return };
+        if fnv1a64(bytes) != sum {
+            let board = self
+                .shared
+                .verify
+                .as_ref()
+                .expect("wire checksums are only taken when the verifier is on");
+            board.raise_corruption(self.rank, self.verify_epoch.get().saturating_sub(1), source);
         }
     }
 
@@ -252,10 +327,15 @@ impl Comm {
     }
 
     /// Tag subsequent spans — including collective spans from shared
-    /// sub-communicators — with this BFS level.
+    /// sub-communicators — with this BFS level. An armed fault injector
+    /// reads the same level stream, which is what makes `level`-triggered
+    /// faults line up with the trace timeline.
     pub fn trace_enter_level(&self, level: i64) {
         if let Some(t) = self.tracer.borrow().as_ref() {
             t.lock().set_level(level);
+        }
+        if let Some(inj) = self.fault.borrow().as_ref() {
+            inj.set_level(level);
         }
     }
 
@@ -356,6 +436,7 @@ impl Comm {
     #[track_caller]
     pub fn barrier(&self) {
         self.assert_owner();
+        self.fault_enter(CollectiveKind::Barrier);
         self.verify_enter(
             CollectiveKind::Barrier,
             TypeId::of::<()>(),
@@ -389,6 +470,7 @@ impl Comm {
     #[track_caller]
     pub fn alltoallv<T: Clone + Send + Sync + 'static>(&self, bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(bufs.len(), self.size(), "need one buffer per rank");
+        self.fault_enter(CollectiveKind::Alltoallv);
         self.verify_enter(
             CollectiveKind::Alltoallv,
             TypeId::of::<T>(),
@@ -424,6 +506,7 @@ impl Comm {
     /// (Algorithm 3 line 6) runs this on the processor-column communicator.
     #[track_caller]
     pub fn allgatherv<T: Clone + Send + Sync + 'static>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
+        self.fault_enter(CollectiveKind::Allgatherv);
         self.verify_enter(
             CollectiveKind::Allgatherv,
             TypeId::of::<T>(),
@@ -468,6 +551,7 @@ impl Comm {
         mine: T,
         op: impl Fn(T, T) -> T,
     ) -> T {
+        self.fault_enter(CollectiveKind::Allreduce);
         self.verify_enter(
             CollectiveKind::Allreduce,
             TypeId::of::<T>(),
@@ -506,6 +590,7 @@ impl Comm {
             self.rank == root,
             "exactly the root must supply the broadcast value"
         );
+        self.fault_enter(CollectiveKind::Broadcast);
         self.verify_enter(
             CollectiveKind::Broadcast,
             TypeId::of::<T>(),
@@ -534,6 +619,7 @@ impl Comm {
     #[track_caller]
     pub fn gather<T: Clone + Send + Sync + 'static>(&self, root: usize, mine: T) -> Option<Vec<T>> {
         assert!(root < self.size());
+        self.fault_enter(CollectiveKind::Gather);
         self.verify_enter(
             CollectiveKind::Gather,
             TypeId::of::<T>(),
@@ -572,6 +658,7 @@ impl Comm {
         mine: Vec<T>,
     ) -> Option<Vec<Vec<T>>> {
         assert!(root < self.size());
+        self.fault_enter(CollectiveKind::Gatherv);
         self.verify_enter(
             CollectiveKind::Gatherv,
             TypeId::of::<T>(),
@@ -623,6 +710,7 @@ impl Comm {
         if let Some(ref b) = bufs {
             assert_eq!(b.len(), self.size(), "need one buffer per rank");
         }
+        self.fault_enter(CollectiveKind::Scatterv);
         self.verify_enter(
             CollectiveKind::Scatterv,
             TypeId::of::<T>(),
@@ -668,6 +756,7 @@ impl Comm {
         init: T,
         op: impl Fn(T, T) -> T,
     ) -> T {
+        self.fault_enter(CollectiveKind::Exscan);
         self.verify_enter(
             CollectiveKind::Exscan,
             TypeId::of::<T>(),
@@ -697,6 +786,7 @@ impl Comm {
         op: impl Fn(T, T) -> T,
     ) -> T {
         assert_eq!(mine.len(), self.size(), "need one contribution per rank");
+        self.fault_enter(CollectiveKind::ReduceScatter);
         self.verify_enter(
             CollectiveKind::ReduceScatter,
             TypeId::of::<T>(),
@@ -734,6 +824,7 @@ impl Comm {
         data: Vec<T>,
     ) -> Vec<T> {
         assert!(partner < self.size());
+        self.fault_enter(CollectiveKind::Sendrecv);
         self.verify_enter(
             CollectiveKind::Sendrecv,
             TypeId::of::<T>(),
@@ -774,6 +865,7 @@ impl Comm {
     #[track_caller]
     pub fn alltoallv_wire(&self, bufs: Vec<WireBuf>) -> Vec<WireBuf> {
         assert_eq!(bufs.len(), self.size(), "need one buffer per rank");
+        self.fault_enter(CollectiveKind::AlltoallvWire);
         self.verify_enter(
             CollectiveKind::AlltoallvWire,
             TypeId::of::<WireBuf>(),
@@ -781,6 +873,7 @@ impl Comm {
             Location::caller(),
         );
         let start = Instant::now();
+        let mut bufs = bufs;
         let (mut bytes_out, mut wire_out) = (0u64, 0u64);
         for (j, b) in bufs.iter().enumerate() {
             if j != self.rank {
@@ -788,13 +881,33 @@ impl Comm {
                 wire_out += b.wire_bytes();
             }
         }
-        self.deposit(bufs);
+        // End-to-end checksums (verifier on only), taken before any armed
+        // corrupt fault flips a byte in an off-rank buffer.
+        let sums: Option<Vec<u64>> = self
+            .shared
+            .verify
+            .as_ref()
+            .map(|_| bufs.iter().map(|b| fnv1a64(&b.bytes)).collect());
+        let eligible = |j: usize, b: &WireBuf| j != self.rank && !b.bytes.is_empty();
+        let has_payload = bufs.iter().enumerate().any(|(j, b)| eligible(j, b));
+        if let Some(seed) = self.corruption_seed(CollectiveKind::AlltoallvWire, has_payload) {
+            let b = bufs
+                .iter_mut()
+                .enumerate()
+                .find(|(j, b)| eligible(*j, b))
+                .map(|(_, b)| b)
+                .expect("has_payload checked");
+            let (i, mask) = corrupt_site(seed, b.bytes.len());
+            b.bytes[i] ^= mask;
+        }
+        self.deposit((bufs, sums));
         self.shared.barrier.wait();
         let mut recv: Vec<WireBuf> = Vec::with_capacity(self.size());
         let (mut bytes_in, mut wire_in) = (0u64, 0u64);
         for j in 0..self.size() {
-            let theirs = self.read::<Vec<WireBuf>>(j);
-            let mine = theirs[self.rank].clone();
+            let theirs = self.read::<(Vec<WireBuf>, Option<Vec<u64>>)>(j);
+            let mine = theirs.0[self.rank].clone();
+            self.check_wire(&mine.bytes, theirs.1.as_ref().map(|s| s[self.rank]), j);
             if j != self.rank {
                 bytes_in += mine.logical_bytes;
                 wire_in += mine.wire_bytes();
@@ -817,6 +930,7 @@ impl Comm {
     /// encoded payload. See [`Comm::alltoallv_wire`] for the accounting.
     #[track_caller]
     pub fn allgatherv_wire(&self, mine: WireBuf) -> Vec<WireBuf> {
+        self.fault_enter(CollectiveKind::AllgathervWire);
         self.verify_enter(
             CollectiveKind::AllgathervWire,
             TypeId::of::<WireBuf>(),
@@ -824,20 +938,28 @@ impl Comm {
             Location::caller(),
         );
         let start = Instant::now();
+        let mut mine = mine;
         let peers = self.size() as u64 - 1;
         let bytes_out = mine.logical_bytes * peers;
         let wire_out = mine.wire_bytes() * peers;
-        self.deposit(mine);
+        let sum = self.wire_checksum(&mine.bytes);
+        let has_payload = peers > 0 && !mine.bytes.is_empty();
+        if let Some(seed) = self.corruption_seed(CollectiveKind::AllgathervWire, has_payload) {
+            let (i, mask) = corrupt_site(seed, mine.bytes.len());
+            mine.bytes[i] ^= mask;
+        }
+        self.deposit((mine, sum));
         self.shared.barrier.wait();
         let mut all: Vec<WireBuf> = Vec::with_capacity(self.size());
         let (mut bytes_in, mut wire_in) = (0u64, 0u64);
         for j in 0..self.size() {
-            let theirs = self.read::<WireBuf>(j);
+            let theirs = self.read::<(WireBuf, Option<u64>)>(j);
+            self.check_wire(&theirs.0.bytes, theirs.1, j);
             if j != self.rank {
-                bytes_in += theirs.logical_bytes;
-                wire_in += theirs.wire_bytes();
+                bytes_in += theirs.0.logical_bytes;
+                wire_in += theirs.0.wire_bytes();
             }
-            all.push((*theirs).clone());
+            all.push(theirs.0.clone());
         }
         self.shared.barrier.wait();
         self.record_wire(
@@ -856,6 +978,7 @@ impl Comm {
     #[track_caller]
     pub fn sendrecv_wire(&self, partner: usize, data: WireBuf) -> WireBuf {
         assert!(partner < self.size());
+        self.fault_enter(CollectiveKind::SendrecvWire);
         self.verify_enter(
             CollectiveKind::SendrecvWire,
             TypeId::of::<WireBuf>(),
@@ -863,20 +986,28 @@ impl Comm {
             Location::caller(),
         );
         let start = Instant::now();
+        let mut data = data;
         let (bytes_out, wire_out) = if partner == self.rank {
             (0, 0)
         } else {
             (data.logical_bytes, data.wire_bytes())
         };
-        self.deposit((partner, data));
+        let sum = self.wire_checksum(&data.bytes);
+        let has_payload = partner != self.rank && !data.bytes.is_empty();
+        if let Some(seed) = self.corruption_seed(CollectiveKind::SendrecvWire, has_payload) {
+            let (i, mask) = corrupt_site(seed, data.bytes.len());
+            data.bytes[i] ^= mask;
+        }
+        self.deposit((partner, data, sum));
         self.shared.barrier.wait();
-        let theirs = self.read::<(usize, WireBuf)>(partner);
+        let theirs = self.read::<(usize, WireBuf, Option<u64>)>(partner);
         assert_eq!(
             theirs.0, self.rank,
             "sendrecv partner mismatch: rank {} expected partner {} to point back",
             self.rank, partner
         );
         let received = theirs.1.clone();
+        self.check_wire(&received.bytes, theirs.2, partner);
         let (bytes_in, wire_in) = if partner == self.rank {
             (0, 0)
         } else {
@@ -904,6 +1035,7 @@ impl Comm {
     /// expand phase.
     #[track_caller]
     pub fn split(&self, color: u64, key: u64) -> Comm {
+        self.fault_enter(CollectiveKind::Split);
         self.verify_enter(
             CollectiveKind::Split,
             TypeId::of::<()>(),
@@ -928,7 +1060,7 @@ impl Comm {
             // board (new group id, same timeout) and every member receives
             // it with the shared state, so sub-communicator collectives are
             // cross-checked exactly like world ones.
-            let child_verify = self.shared.verify.as_ref().map(|b| b.child(members.len()));
+            let child_verify = self.shared.verify.as_ref().map(|b| b.child(&members));
             Some(Shared::new_with_verify(
                 members.len(),
                 self.shared.poison.clone(),
@@ -946,8 +1078,11 @@ impl Comm {
         self.record(Pattern::Broadcast, 0, 0, start);
 
         let child = Comm::new(group_shared, my_group_rank);
-        // Sub-communicator collectives record into the parent's trace.
+        // Sub-communicator collectives record into the parent's trace and
+        // consult the parent's fault injector (which keeps counting ops and
+        // reporting the world rank).
         *child.tracer.borrow_mut() = self.tracer.borrow().clone();
+        *child.fault.borrow_mut() = self.fault.borrow().clone();
         child
     }
 }

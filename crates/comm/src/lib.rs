@@ -36,6 +36,12 @@
 //!   cross-checked across ranks at rendezvous, and mismatches or stuck
 //!   rendezvous raise one structured [`VerifyFailure`] naming every rank's
 //!   pending operation — see `docs/verification.md`.
+//! * [`Comm::arm_faults`] arms a deterministic [`FaultPlan`]: a seeded
+//!   schedule that makes a chosen rank panic, exit silently (fail-stop),
+//!   delay a collective, or corrupt an outbound wire buffer at a chosen
+//!   (rank, op/level, collective) site — so the detection machinery above
+//!   can be *exercised*, not just trusted. See the [`fault`] module and
+//!   `docs/fault-injection.md`.
 //!
 //! What this deliberately does **not** model in-process: network latency and
 //! bandwidth (that is `dmbfs-model`'s job, driven by the recorded events)
@@ -47,11 +53,16 @@
 pub mod algorithms;
 mod barrier;
 mod comm;
+pub mod fault;
 mod stats;
 mod verify;
 mod world;
 
 pub use comm::{Comm, WireBuf};
+pub use fault::{
+    fault_disabled_hook_cost, FailStopExit, FaultKind, FaultPlan, FaultSpec, FaultTrigger,
+    InjectedFault,
+};
 pub use stats::{CommEvent, CommStats, LevelTiming, Pattern};
 pub use verify::{
     disabled_hook_cost as verify_disabled_hook_cost, CollectiveKind, FailureKind, PendingOp,

@@ -67,6 +67,35 @@ pub enum CollectiveKind {
     Split,
 }
 
+impl std::str::FromStr for CollectiveKind {
+    type Err = String;
+
+    /// Inverse of [`CollectiveKind::name`] — used by the fault-plan grammar
+    /// (`coll=<name>`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        const ALL: [CollectiveKind; 15] = [
+            CollectiveKind::Barrier,
+            CollectiveKind::Alltoallv,
+            CollectiveKind::AlltoallvWire,
+            CollectiveKind::Allgatherv,
+            CollectiveKind::AllgathervWire,
+            CollectiveKind::Allreduce,
+            CollectiveKind::Broadcast,
+            CollectiveKind::Gather,
+            CollectiveKind::Gatherv,
+            CollectiveKind::Scatterv,
+            CollectiveKind::Exscan,
+            CollectiveKind::ReduceScatter,
+            CollectiveKind::Sendrecv,
+            CollectiveKind::SendrecvWire,
+            CollectiveKind::Split,
+        ];
+        ALL.into_iter().find(|k| k.name() == s).ok_or_else(|| {
+            format!("unknown collective `{s}` (expected e.g. barrier, allreduce, alltoallv_wire)")
+        })
+    }
+}
+
 impl CollectiveKind {
     /// Stable lowercase name used in diagnostics.
     pub fn name(&self) -> &'static str {
@@ -152,6 +181,10 @@ pub enum FailureKind {
     /// The watchdog fired: some rank never arrived at the rendezvous
     /// within the configured timeout.
     Watchdog,
+    /// A wire payload failed its end-to-end checksum at the receiver —
+    /// the bytes changed between the sender's deposit and the receiver's
+    /// read (see the fault-injection layer's `corrupt` kind).
+    Corruption,
 }
 
 /// The structured diagnostic the verifier raises (as a panic payload via
@@ -175,10 +208,36 @@ pub struct VerifyFailure {
     /// The rank that raised this diagnostic (every stuck rank raises an
     /// identical one).
     pub detected_by: usize,
-    /// Every rank's most recent recorded operation, indexed by rank;
-    /// `None` for a rank that never entered any collective on this
-    /// communicator.
+    /// Every rank's most recent recorded operation, indexed by *local*
+    /// rank within the group; `None` for a rank that never entered any
+    /// collective on this communicator. The `rank` inside each
+    /// [`PendingOp`] is already mapped to a **world** rank via
+    /// [`VerifyFailure::labels`].
     pub pending: Vec<Option<PendingOp>>,
+    /// World rank of each local rank in the group (identity for the world
+    /// communicator; the split-ancestry mapping for sub-communicators), so
+    /// diagnostics from row/column boards still name global ranks.
+    pub labels: Vec<usize>,
+    /// For [`FailureKind::Corruption`]: the world rank whose outbound
+    /// payload failed its checksum.
+    pub corrupt_source: Option<usize>,
+}
+
+impl VerifyFailure {
+    /// World ranks that had not reached the failing epoch when the
+    /// diagnostic was taken — for a watchdog, the ranks the rendezvous was
+    /// waiting on (absent or lagging). Empty for a mismatch.
+    pub fn laggards(&self) -> Vec<usize> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| match op {
+                None => true,
+                Some(op) => op.epoch != self.epoch,
+            })
+            .map(|(local, _)| self.labels.get(local).copied().unwrap_or(local))
+            .collect()
+    }
 }
 
 impl fmt::Display for VerifyFailure {
@@ -196,12 +255,23 @@ impl fmt::Display for VerifyFailure {
                  rendezvous never completed — some rank sat out the collective",
                 self.group, self.group_size, self.epoch
             )?,
+            FailureKind::Corruption => writeln!(
+                f,
+                "wire corruption on communicator group {} ({} ranks) at op #{}: \
+                 payload from rank {} failed its end-to-end checksum",
+                self.group,
+                self.group_size,
+                self.epoch,
+                self.corrupt_source
+                    .map_or_else(|| "<unknown>".into(), |r| r.to_string()),
+            )?,
         }
-        for (rank, op) in self.pending.iter().enumerate() {
+        for (local, op) in self.pending.iter().enumerate() {
+            let world = self.labels.get(local).copied().unwrap_or(local);
             match op {
                 Some(op) if op.epoch == self.epoch => writeln!(f, "  {op}")?,
                 Some(op) => writeln!(f, "  {op} [not yet at op #{}]", self.epoch)?,
-                None => writeln!(f, "  rank {rank}: no collective issued")?,
+                None => writeln!(f, "  rank {world}: no collective issued")?,
             }
         }
         write!(f, "  (detected by rank {})", self.detected_by)
@@ -270,6 +340,8 @@ pub(crate) struct VerifyBoard {
     config: VerifyConfig,
     world: Arc<VerifyWorld>,
     poison: Arc<Poison>,
+    /// World rank of each local rank (identity for the world board).
+    labels: Vec<usize>,
     state: Mutex<Vec<Slot>>,
     cvar: Condvar,
 }
@@ -282,23 +354,36 @@ impl VerifyBoard {
         world: Arc<VerifyWorld>,
         poison: Arc<Poison>,
     ) -> Arc<Self> {
+        Self::with_labels((0..size).collect(), group, config, world, poison)
+    }
+
+    fn with_labels(
+        labels: Vec<usize>,
+        group: u64,
+        config: VerifyConfig,
+        world: Arc<VerifyWorld>,
+        poison: Arc<Poison>,
+    ) -> Arc<Self> {
         Arc::new(Self {
             group,
             config,
             world,
             poison,
-            state: Mutex::new(vec![Slot::default(); size]),
+            state: Mutex::new(vec![Slot::default(); labels.len()]),
+            labels,
             cvar: Condvar::new(),
         })
     }
 
-    /// A fresh board for a sub-communicator of `size` ranks, with a newly
-    /// allocated group id. Called by the split leader; members receive the
-    /// board through the leader's shared state.
-    pub(crate) fn child(&self, size: usize) -> Arc<Self> {
+    /// A fresh board for a sub-communicator whose local rank `i` is this
+    /// board's local rank `members[i]`, with a newly allocated group id.
+    /// Called by the split leader; members receive the board through the
+    /// leader's shared state. Labels compose through nested splits, so a
+    /// column-of-row board still names world ranks.
+    pub(crate) fn child(&self, members: &[usize]) -> Arc<Self> {
         let group = self.world.next_group.fetch_add(1, Ordering::Relaxed);
-        Self::new(
-            size,
+        Self::with_labels(
+            members.iter().map(|&m| self.labels[m]).collect(),
             group,
             self.config,
             self.world.clone(),
@@ -318,13 +403,13 @@ impl VerifyBoard {
             group: self.group,
             group_size: slots.len(),
             epoch,
-            detected_by: rank,
+            detected_by: self.labels[rank],
             pending: slots
                 .iter()
                 .enumerate()
                 .map(|(r, s)| {
                     s.latest.map(|f| PendingOp {
-                        rank: r,
+                        rank: self.labels[r],
                         kind: f.kind.name(),
                         type_name: f.type_name,
                         epoch: f.epoch,
@@ -332,7 +417,23 @@ impl VerifyBoard {
                     })
                 })
                 .collect(),
+            labels: self.labels.clone(),
+            corrupt_source: None,
         }
+    }
+
+    /// Raises a [`FailureKind::Corruption`] diagnostic: the payload `rank`
+    /// read from local rank `source` at collective counter `epoch` failed
+    /// its end-to-end checksum. Poisons the world so blocked peers unwind.
+    pub(crate) fn raise_corruption(&self, rank: usize, epoch: u64, source: usize) -> ! {
+        let mut failure = {
+            let slots = self.state.lock();
+            self.snapshot(&slots, FailureKind::Corruption, epoch, rank)
+        };
+        failure.corrupt_source = Some(self.labels[source]);
+        self.poison.set();
+        self.cvar.notify_all();
+        std::panic::panic_any(failure);
     }
 
     /// Records `fp` for `rank` and blocks until every rank of the group
@@ -515,10 +616,69 @@ mod tests {
             VerifyWorld::new(),
             Arc::new(Poison::default()),
         );
-        let a = board.child(2);
-        let b = board.child(2);
+        let a = board.child(&[0, 1]);
+        let b = board.child(&[2, 3]);
         assert_ne!(a.group, b.group);
         assert_ne!(a.group, 0);
+        assert_eq!(b.labels, vec![2, 3]);
+        let nested = b.child(&[1]);
+        assert_eq!(nested.labels, vec![3], "labels compose through splits");
+    }
+
+    #[test]
+    fn corruption_failure_names_the_source_world_rank() {
+        let board = VerifyBoard::with_labels(
+            vec![4, 6],
+            3,
+            VerifyConfig::default(),
+            VerifyWorld::new(),
+            Arc::new(Poison::default()),
+        );
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            board.raise_corruption(0, 5, 1)
+        }));
+        let failure = caught
+            .expect_err("raise_corruption panics")
+            .downcast::<VerifyFailure>()
+            .expect("payload is a VerifyFailure");
+        assert_eq!(failure.kind, FailureKind::Corruption);
+        assert_eq!(failure.corrupt_source, Some(6), "local 1 maps to world 6");
+        assert_eq!(failure.detected_by, 4, "local 0 maps to world 4");
+        assert!(failure.to_string().contains("payload from rank 6"));
+    }
+
+    #[test]
+    fn laggards_name_absent_and_lagging_world_ranks() {
+        // Local 0 (world 1) is at the failing epoch; local 1 (world 3)
+        // lags at an earlier one; local 2 (world 5) never arrived.
+        let failure = VerifyFailure {
+            kind: FailureKind::Watchdog,
+            group: 2,
+            group_size: 3,
+            epoch: 4,
+            detected_by: 1,
+            pending: vec![
+                Some(PendingOp {
+                    rank: 1,
+                    kind: "barrier",
+                    type_name: "()",
+                    epoch: 4,
+                    location: "here".into(),
+                }),
+                Some(PendingOp {
+                    rank: 3,
+                    kind: "barrier",
+                    type_name: "()",
+                    epoch: 2,
+                    location: "there".into(),
+                }),
+                None,
+            ],
+            labels: vec![1, 3, 5],
+            corrupt_source: None,
+        };
+        assert_eq!(failure.laggards(), vec![3, 5]);
+        assert!(failure.to_string().contains("rank 5: no collective issued"));
     }
 
     #[test]

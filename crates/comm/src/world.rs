@@ -2,7 +2,8 @@
 
 use crate::barrier::Poison;
 use crate::comm::{Comm, Shared};
-use crate::verify::{VerifyBoard, VerifyConfig, VerifyFailure, VerifyWorld};
+use crate::fault::{FailStopExit, InjectedFault};
+use crate::verify::{FailureKind, VerifyBoard, VerifyConfig, VerifyFailure, VerifyWorld};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -89,7 +90,12 @@ impl World {
                     scope.spawn(move || {
                         let comm = Comm::new(shared, rank);
                         let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
-                        if result.is_err() {
+                        // An injected fail-stop is a *silent* death: the
+                        // rank vanishes without poisoning the world, so
+                        // peers learn of it only by timing out (the verify
+                        // watchdog, or the barrier watchdog) — exactly a
+                        // fail-stopped MPI process.
+                        if result.as_ref().is_err_and(|e| !e.is::<FailStopExit>()) {
                             poison.set();
                         }
                         result
@@ -122,11 +128,23 @@ impl World {
     }
 }
 
-/// Returns the panic payload to re-raise, if any. Prefers a structured
-/// [`VerifyFailure`], then any payload that is not the sympathetic
-/// "communicator poisoned" panic, so the root cause surfaces instead of a
-/// secondary symptom. If some ranks succeeded we still fail the whole run:
-/// a partial world result is never meaningful.
+/// Returns the panic payload to re-raise, if any. Priority order, so the
+/// root cause surfaces instead of a secondary symptom:
+///
+/// 1. a typed [`InjectedFault`] — the fault *was* the experiment;
+/// 2. a [`VerifyFailure`] that is not a watchdog (mismatch/corruption are
+///    direct evidence, a watchdog is circumstantial);
+/// 3. the watchdog [`VerifyFailure`] naming the fewest laggards — when a
+///    stall cascades across sub-communicators (2D row/column), the board
+///    closest to the dead rank blames the smallest set;
+/// 4. any other payload that is neither a poison echo nor a silent
+///    [`FailStopExit`];
+/// 5. a [`FailStopExit`] (peers' reports explain the run better, but if
+///    nothing else surfaced it is still the truth);
+/// 6. the sympathetic "communicator poisoned" panic.
+///
+/// If some ranks succeeded we still fail the whole run: a partial world
+/// result is never meaningful.
 fn pick_root_cause(
     panics: Vec<Box<dyn std::any::Any + Send>>,
 ) -> Option<Box<dyn std::any::Any + Send>> {
@@ -138,19 +156,37 @@ fn pick_root_cause(
             .or_else(|| payload.downcast_ref::<String>().cloned());
         msg.is_some_and(|m| m.contains("communicator poisoned"))
     }
+    let mut best_watchdog: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
     let mut fallback = None;
+    let mut fail_stop = None;
     let mut poison_echo = None;
     for payload in panics {
-        if payload.is::<VerifyFailure>() {
+        if payload.is::<InjectedFault>() {
             return Some(payload);
         }
-        if is_poison_echo(payload.as_ref()) {
+        if let Some(failure) = payload.downcast_ref::<VerifyFailure>() {
+            if failure.kind != FailureKind::Watchdog {
+                return Some(payload);
+            }
+            let laggards = failure.laggards().len();
+            if best_watchdog.as_ref().is_none_or(|(n, _)| laggards < *n) {
+                best_watchdog = Some((laggards, payload));
+            }
+            continue;
+        }
+        if payload.is::<FailStopExit>() {
+            fail_stop.get_or_insert(payload);
+        } else if is_poison_echo(payload.as_ref()) {
             poison_echo.get_or_insert(payload);
         } else {
             fallback.get_or_insert(payload);
         }
     }
-    fallback.or(poison_echo)
+    best_watchdog
+        .map(|(_, p)| p)
+        .or(fallback)
+        .or(fail_stop)
+        .or(poison_echo)
 }
 
 #[cfg(test)]

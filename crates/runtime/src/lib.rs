@@ -8,8 +8,8 @@
 //! so the algorithm crates only provide their per-rank closure:
 //!
 //! * [`RunConfig`] — the unified execution configuration (ranks, threads
-//!   per rank, wire codec, sieve, tracing, collective verification) every
-//!   driver accepts.
+//!   per rank, wire codec, sieve, tracing, collective verification, fault
+//!   injection) every driver accepts.
 //! * [`run_ranks`] — the generic harness: rank spawn via the in-process
 //!   world, tracer attach, pool construction, and the stats/trace/seconds
 //!   harvest, returning a [`DistRun`].
@@ -33,7 +33,14 @@ use dmbfs_trace::{RankTrace, SpanKind, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
 use std::str::FromStr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+// Re-exported (rather than merely used) so algorithm crates and the CLI can
+// build and inspect fault plans against the runtime surface alone.
+pub use dmbfs_comm::{
+    fault_disabled_hook_cost, FailStopExit, FaultKind, FaultPlan, FaultSpec, FaultTrigger,
+    InjectedFault,
+};
 
 /// Which wire encoding a frontier exchange uses.
 ///
@@ -122,6 +129,15 @@ pub struct RunConfig {
     /// diagnostic instead of deadlocking. Strictly an observer: the
     /// computed result is bit-identical either way.
     pub verify: bool,
+    /// Deterministic fault-injection schedule (see [`FaultPlan`] and
+    /// `docs/fault-injection.md`). Empty by default; an empty plan is never
+    /// armed, so the per-collective cost stays one `Option` check.
+    pub faults: FaultPlan,
+    /// Overrides the verifier's watchdog timeout (`None` = the
+    /// `DMBFS_VERIFY_TIMEOUT_SECS` default). Only meaningful with
+    /// [`RunConfig::verify`]; the chaos harness uses short timeouts so a
+    /// fail-stopped rank is reported in seconds, not minutes.
+    pub verify_timeout: Option<Duration>,
 }
 
 impl RunConfig {
@@ -134,6 +150,8 @@ impl RunConfig {
             sieve: true,
             trace: false,
             verify: false,
+            faults: FaultPlan::none(),
+            verify_timeout: None,
         }
     }
 
@@ -174,6 +192,26 @@ impl RunConfig {
     /// Enables or disables the collective-matching verifier.
     pub fn with_verify(mut self, verify: bool) -> Self {
         self.verify = verify;
+        self
+    }
+
+    /// Replaces the fault-injection schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Adds one fault to the schedule (at most
+    /// [`dmbfs_comm::fault::MAX_FAULTS`]).
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.faults = self.faults.with_fault(spec);
+        self
+    }
+
+    /// Overrides the verifier's watchdog timeout (see
+    /// [`RunConfig::verify_timeout`]).
+    pub fn with_verify_timeout(mut self, timeout: Duration) -> Self {
+        self.verify_timeout = Some(timeout);
         self
     }
 
@@ -328,6 +366,12 @@ where
     // a zero (`Instant` is `Copy`; each rank closure gets its own copy).
     let epoch = Instant::now();
     let rank_body = |comm: &Comm| {
+        // Arm faults first, on the world communicator: the injected rank id
+        // must be the world rank, and sub-communicator splits inside the
+        // body inherit the armed injector (like the tracer below).
+        if !cfg.faults.is_empty() {
+            comm.arm_faults(cfg.faults);
+        }
         if cfg.trace {
             comm.set_tracer(TraceSink::new(comm.rank(), epoch));
         }
@@ -366,7 +410,11 @@ where
         }
     };
     let harvests: Vec<Harvest<T>> = if cfg.verify {
-        World::run_verified(cfg.ranks, VerifyConfig::default(), rank_body)
+        let vcfg = match cfg.verify_timeout {
+            Some(t) => VerifyConfig::with_timeout(t),
+            None => VerifyConfig::default(),
+        };
+        World::run_verified(cfg.ranks, vcfg, rank_body)
     } else {
         World::run(cfg.ranks, rank_body)
     };
@@ -542,6 +590,8 @@ mod tests {
                 sieve: false,
                 trace: true,
                 verify: false,
+                faults: FaultPlan::none(),
+                verify_timeout: None,
             }
         );
         assert_eq!(
@@ -575,6 +625,52 @@ mod tests {
             verified.per_rank_stats.len(),
             "stats harvest is unaffected"
         );
+    }
+
+    #[test]
+    fn injected_panic_surfaces_as_a_typed_payload() {
+        let cfg = RunConfig::flat(4).with_fault("panic@r2:op1".parse().unwrap());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_ranks(&cfg, |ctx| {
+                for _ in 0..4 {
+                    ctx.comm().barrier();
+                }
+            })
+        }))
+        .expect_err("an injected panic must fail the run");
+        let fault = err
+            .downcast::<InjectedFault>()
+            .expect("root cause is the typed InjectedFault, not a poison echo");
+        assert_eq!(fault.rank, 2);
+        assert_eq!(fault.op, 1);
+        assert_eq!(fault.kind, FaultKind::Panic);
+    }
+
+    #[test]
+    fn fail_stop_under_verify_is_reported_by_the_watchdog() {
+        let cfg = RunConfig::flat(3)
+            .with_fault("failstop@r1:op2".parse().unwrap())
+            .with_verify(true)
+            .with_verify_timeout(Duration::from_millis(300));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_ranks(&cfg, |ctx| {
+                for _ in 0..4 {
+                    ctx.comm().barrier();
+                }
+            })
+        }))
+        .expect_err("peers must time out on the dead rank");
+        let failure = err
+            .downcast::<dmbfs_comm::VerifyFailure>()
+            .expect("the verify watchdog report explains a fail-stop");
+        assert_eq!(failure.laggards(), vec![1], "the dead rank is named");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_never_armed() {
+        assert!(RunConfig::flat(2).faults.is_empty());
+        let run = run_ranks(&RunConfig::flat(2), |ctx| ctx.comm().faults_armed());
+        assert_eq!(run.per_rank, vec![false, false]);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate relative markdown links across the repository's docs.
+
+Scans every tracked ``*.md`` file (repo root, docs/, results/, crates/)
+for inline markdown links and checks that relative targets exist on disk.
+External links (http/https/mailto) and pure in-page anchors are skipped;
+a ``path#anchor`` target is checked for the path only.
+
+Usage: python3 scripts/check_doc_links.py [repo-root]
+Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+# Inline markdown links: [text](target). Ignores fenced code by stripping
+# backtick spans first, which is enough for this repository's docs.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`[^`]*`")
+FENCE = re.compile(r"^(```|~~~)")
+
+SCAN_DIRS = [".", "docs", "results", "scripts"]
+SKIP_DIRS = {"target", "third_party", ".git", "node_modules"}
+
+
+def md_files(root):
+    for base in SCAN_DIRS:
+        top = os.path.join(root, base)
+        if not os.path.isdir(top):
+            continue
+        if base == ".":
+            for name in sorted(os.listdir(top)):
+                if name.endswith(".md"):
+                    yield os.path.join(top, name)
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            for name in sorted(filenames):
+                if name.endswith(".md"):
+                    yield os.path.join(dirpath, name)
+    crates = os.path.join(root, "crates")
+    if os.path.isdir(crates):
+        for dirpath, dirnames, filenames in os.walk(crates):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            for name in sorted(filenames):
+                if name.endswith(".md"):
+                    yield os.path.join(dirpath, name)
+
+
+def links_in(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK.finditer(CODE_SPAN.sub("", line)):
+                yield lineno, match.group(1)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = []
+    checked = 0
+    for path in md_files(root):
+        for lineno, target in links_in(path):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+            checked += 1
+            if not os.path.exists(resolved):
+                broken.append(
+                    f"{os.path.relpath(path, root)}:{lineno}: broken link -> {target}"
+                )
+    if broken:
+        print("\n".join(broken))
+        print(f"\n{len(broken)} broken link(s) out of {checked} checked")
+        return 1
+    print(f"all {checked} relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
