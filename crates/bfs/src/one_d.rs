@@ -19,6 +19,7 @@ use dmbfs_graph::{CsrGraph, VertexId};
 use dmbfs_runtime::{run_ranks, scatter_block};
 use dmbfs_trace::{RankTrace, SpanKind};
 use rayon::prelude::*;
+use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::Instant;
 
@@ -71,11 +72,20 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
     let ranks = cfg.ranks;
     let codec = cfg.codec;
     let sieve = cfg.sieve;
+    let overlap = cfg.overlap;
 
     let run = run_ranks(cfg, |ctx| {
         let local = extract_1d(g, ranks, ctx.rank());
         let (levels, parents, num_levels, codec_levels) = ctx.timed(source, || {
-            rank_bfs(ctx.comm(), &local, source, ctx.pool(), codec, sieve)
+            rank_bfs(
+                ctx.comm(),
+                &local,
+                source,
+                ctx.pool(),
+                codec,
+                sieve,
+                overlap,
+            )
         });
         (local.range.start, levels, parents, num_levels, codec_levels)
     });
@@ -107,6 +117,7 @@ fn rank_bfs(
     pool: Option<&rayon::ThreadPool>,
     codec: Codec,
     sieve: bool,
+    overlap: Option<NonZeroUsize>,
 ) -> (Vec<i64>, Vec<i64>, u32, Vec<LevelCodecStats>) {
     let p = comm.size();
     let nloc = local.count();
@@ -134,51 +145,79 @@ fn rank_bfs(
         let level_t = comm.trace_start();
         let level_start = Instant::now();
         let comm_before = comm.comm_wall();
-        // Lines 13–19: enumerate adjacencies into per-destination buffers.
-        let pack_t = comm.trace_start();
-        let send = match pool {
-            Some(pool) => {
-                let batch_t = comm.trace_start();
-                let send = pool.install(|| pack_parallel(local, &frontier, p));
-                comm.trace_span(SpanKind::TaskBatch, batch_t, frontier.len() as u64);
-                send
-            }
-            None => pack_serial(local, &frontier, p),
-        };
-        comm.trace_span(SpanKind::Pack, pack_t, frontier.len() as u64);
-        // Line 21: the all-to-all exchange of (target, parent) pairs —
-        // either the plain typed collective or the codec pipeline
-        // (dedup → sieve → encode → exchange → decode).
-        let exchange_t = comm.trace_start();
-        let recv = if codec == Codec::Off {
-            comm.alltoallv(send)
-        } else {
-            let (bufs, stats) = encode_exchange(
-                comm,
-                local,
-                send,
-                codec,
-                visited_sieve.as_ref(),
-                level,
-                pool,
-            );
-            codec_levels.push(stats);
-            bufs
-        };
-        let received: u64 = recv.iter().map(|b| b.len() as u64).sum();
-        comm.trace_span(SpanKind::Exchange, exchange_t, received);
-        // Lines 23–28: owners claim newly visited vertices.
-        let unpack_t = comm.trace_start();
-        let next = match pool {
-            Some(pool) => {
-                let batch_t = comm.trace_start();
-                let next = pool.install(|| unpack_parallel(local, &recv, &levels, &parents, level));
-                comm.trace_span(SpanKind::TaskBatch, batch_t, received);
+        let next = match overlap.filter(|_| codec != Codec::Off) {
+            // The chunked double-buffered pipeline: pack + sieve + encode
+            // chunk c+1 while chunk c is in flight on the nonblocking
+            // exchange, decoding/unpacking completed chunks as they land.
+            // `Codec::Off` has no wire buffers to pipeline, so it always
+            // takes the blocking path below.
+            Some(k) => {
+                let (next, stats) = overlapped_level(
+                    comm,
+                    local,
+                    &frontier,
+                    codec,
+                    visited_sieve.as_ref(),
+                    level,
+                    pool,
+                    k.get(),
+                    &levels,
+                    &parents,
+                );
+                codec_levels.push(stats);
                 next
             }
-            None => unpack_serial(local, &recv, &levels, &parents, level),
+            None => {
+                // Lines 13–19: enumerate adjacencies into per-destination
+                // buffers.
+                let pack_t = comm.trace_start();
+                let send = match pool {
+                    Some(pool) => {
+                        let batch_t = comm.trace_start();
+                        let send = pool.install(|| pack_parallel(local, &frontier, p));
+                        comm.trace_span(SpanKind::TaskBatch, batch_t, frontier.len() as u64);
+                        send
+                    }
+                    None => pack_serial(local, &frontier, p),
+                };
+                comm.trace_span(SpanKind::Pack, pack_t, frontier.len() as u64);
+                // Line 21: the all-to-all exchange of (target, parent)
+                // pairs — either the plain typed collective or the codec
+                // pipeline (dedup → sieve → encode → exchange → decode).
+                let exchange_t = comm.trace_start();
+                let recv = if codec == Codec::Off {
+                    comm.alltoallv(send)
+                } else {
+                    let (bufs, stats) = encode_exchange(
+                        comm,
+                        local,
+                        send,
+                        codec,
+                        visited_sieve.as_ref(),
+                        level,
+                        pool,
+                    );
+                    codec_levels.push(stats);
+                    bufs
+                };
+                let received: u64 = recv.iter().map(|b| b.len() as u64).sum();
+                comm.trace_span(SpanKind::Exchange, exchange_t, received);
+                // Lines 23–28: owners claim newly visited vertices.
+                let unpack_t = comm.trace_start();
+                let next = match pool {
+                    Some(pool) => {
+                        let batch_t = comm.trace_start();
+                        let next = pool
+                            .install(|| unpack_parallel(local, &recv, &levels, &parents, level));
+                        comm.trace_span(SpanKind::TaskBatch, batch_t, received);
+                        next
+                    }
+                    None => unpack_serial(local, &recv, &levels, &parents, level),
+                };
+                comm.trace_span(SpanKind::Unpack, unpack_t, next.len() as u64);
+                next
+            }
         };
-        comm.trace_span(SpanKind::Unpack, unpack_t, next.len() as u64);
         // Global termination test.
         let global_next = comm.allreduce(next.len() as u64, |a, b| a + b);
         // Attribute the level's wall time: everything outside collectives
@@ -281,6 +320,150 @@ fn encode_exchange(
     let decoded: u64 = recv.iter().map(|b| b.len() as u64).sum();
     comm.trace_span(SpanKind::Decode, decode_t, decoded);
     (recv, stats)
+}
+
+/// One level of the chunked, double-buffered overlap pipeline: the
+/// frontier is split into `k` contiguous chunks; while chunk `c`'s wire
+/// buffers are in flight on the nonblocking [`Comm::ialltoallv_wire`],
+/// chunk `c + 1` is packed, deduplicated, sieved, and encoded, and each
+/// completed chunk is decoded and unpacked as it lands. Every rank runs
+/// exactly `k` start/wait pairs per level — chunks may be empty, but the
+/// collective schedule stays symmetric across ranks.
+///
+/// Bit-identity with the blocking path: the sieve is only *read*
+/// ([`Sieve::contains`]) while chunks are in flight and marked
+/// ([`Sieve::set`]) once at the end of the level, so chunk boundaries
+/// never change which pairs are dropped; and the receiver's claim /
+/// max-parent merge (see [`unpack_serial`]) is order-independent, so
+/// delivering a level's pairs in `k` batches leaves the parent tree
+/// unchanged. A vertex targeted from two chunks is sent twice (the
+/// blocking path's whole-level dedup would have collapsed it) — extra
+/// wire bytes, never a different tree.
+#[allow(clippy::too_many_arguments)]
+fn overlapped_level(
+    comm: &Comm,
+    local: &Local1d,
+    frontier: &[VertexId],
+    codec: Codec,
+    sieve: Option<&Sieve>,
+    level: i64,
+    pool: Option<&rayon::ThreadPool>,
+    k: usize,
+    levels: &[AtomicI64],
+    parents: &[AtomicI64],
+) -> (Vec<VertexId>, LevelCodecStats) {
+    let p = comm.size();
+    let mut stats = LevelCodecStats {
+        level: level as usize,
+        ..Default::default()
+    };
+    // Targets shipped this level, marked in the sieve only after the last
+    // chunk (deduplicated first, so a target shipped from two chunks never
+    // counts a spurious sieve hit at marking time).
+    let mut sent: Vec<u64> = Vec::new();
+
+    let encode_chunk =
+        |c: usize, stats: &mut LevelCodecStats, sent: &mut Vec<u64>| -> Vec<WireBuf> {
+            let (lo, hi) = (c * frontier.len() / k, (c + 1) * frontier.len() / k);
+            let chunk = &frontier[lo..hi];
+            let pack_t = comm.trace_start();
+            let send = match pool {
+                Some(pool) => pool.install(|| pack_parallel(local, chunk, p)),
+                None => pack_serial(local, chunk, p),
+            };
+            comm.trace_span(SpanKind::Pack, pack_t, chunk.len() as u64);
+            let encode_one = |j: usize, mut pairs: Vec<(u64, u64)>| -> (WireBuf, Vec<u64>, u64) {
+                pairs.sort_unstable();
+                pairs.dedup_by(|a, b| {
+                    if a.0 == b.0 {
+                        b.1 = a.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                let mut dropped = 0u64;
+                if let Some(s) = sieve {
+                    let before = pairs.len();
+                    pairs.retain(|&(t, _)| !s.contains(t as usize));
+                    dropped = (before - pairs.len()) as u64;
+                    s.count_hits(dropped);
+                }
+                let targets: Vec<u64> = pairs.iter().map(|&(t, _)| t).collect();
+                (
+                    encode_pairs(&pairs, local.block.range(j), codec),
+                    targets,
+                    dropped,
+                )
+            };
+            let encode_t = comm.trace_start();
+            let encoded: Vec<(WireBuf, Vec<u64>, u64)> = match pool {
+                Some(pool) => pool.install(|| {
+                    send.into_par_iter()
+                        .enumerate()
+                        .map(|(j, pairs)| encode_one(j, pairs))
+                        .collect()
+                }),
+                None => send
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, pairs)| encode_one(j, pairs))
+                    .collect(),
+            };
+            let mut bufs: Vec<WireBuf> = Vec::with_capacity(encoded.len());
+            let mut chunk_hits = 0u64;
+            for (j, (buf, targets, dropped)) in encoded.into_iter().enumerate() {
+                stats.sieve_hits += dropped;
+                chunk_hits += dropped;
+                if j != comm.rank() {
+                    stats.note(&buf);
+                }
+                sent.extend(targets);
+                bufs.push(buf);
+            }
+            comm.trace_span(SpanKind::Encode, encode_t, chunk_hits);
+            bufs
+        };
+
+    let decode_unpack = |wire: Vec<WireBuf>, next: &mut Vec<VertexId>| {
+        let decode_t = comm.trace_start();
+        let recv: Vec<Vec<(u64, u64)>> = match pool {
+            Some(pool) => pool.install(|| wire.par_iter().map(decode_pairs).collect()),
+            None => wire.iter().map(decode_pairs).collect(),
+        };
+        let decoded: u64 = recv.iter().map(|b| b.len() as u64).sum();
+        comm.trace_span(SpanKind::Decode, decode_t, decoded);
+        let unpack_t = comm.trace_start();
+        let claimed = match pool {
+            Some(pool) => pool.install(|| unpack_parallel(local, &recv, levels, parents, level)),
+            None => unpack_serial(local, &recv, levels, parents, level),
+        };
+        comm.trace_span(SpanKind::Unpack, unpack_t, claimed.len() as u64);
+        next.extend(claimed);
+    };
+
+    let mut next: Vec<VertexId> = Vec::new();
+    let mut pending = comm.ialltoallv_wire(encode_chunk(0, &mut stats, &mut sent));
+    for c in 1..k {
+        // Encode chunk c while chunk c - 1 is in flight, then rotate the
+        // double buffer: collect c - 1, launch c, unpack c - 1 while c
+        // flies.
+        let bufs = encode_chunk(c, &mut stats, &mut sent);
+        let wire = pending.wait();
+        pending = comm.ialltoallv_wire(bufs);
+        decode_unpack(wire, &mut next);
+    }
+    let wire = pending.wait();
+    decode_unpack(wire, &mut next);
+
+    if let Some(s) = sieve {
+        sent.sort_unstable();
+        sent.dedup();
+        for &t in &sent {
+            s.set(t as usize);
+        }
+    }
+    (next, stats)
 }
 
 /// Serial buffer packing (flat variant).
@@ -520,5 +703,55 @@ mod tests {
         let g = CsrGraph::from_edge_list(&path(3));
         let out = bfs1d(&g, 0, &Bfs1dConfig::flat(6));
         assert_eq!(out.levels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn overlapped_runs_are_bit_identical_to_blocking() {
+        let g = rmat_graph(9, 11);
+        let baseline = bfs1d(&g, 2, &Bfs1dConfig::flat(4));
+        for k in [1usize, 2, 3, 8] {
+            let cfg = Bfs1dConfig::flat(4).with_overlap(std::num::NonZeroUsize::new(k));
+            let out = bfs1d(&g, 2, &cfg);
+            assert_eq!(out.parents, baseline.parents, "k = {k}");
+            assert_eq!(out.levels, baseline.levels, "k = {k}");
+        }
+        // Overlap composes with the hybrid pool and with sieving off.
+        let hybrid = bfs1d(
+            &g,
+            2,
+            &Bfs1dConfig::hybrid(3, 2)
+                .with_sieve(false)
+                .with_overlap(std::num::NonZeroUsize::new(2)),
+        );
+        assert_eq!(hybrid.levels, baseline.levels);
+    }
+
+    #[test]
+    fn overlapped_run_records_exchange_pairs_per_level() {
+        let g = rmat_graph(8, 2);
+        let k = 2u32;
+        let run = bfs1d_run(
+            &g,
+            0,
+            &Bfs1dConfig::flat(4)
+                .with_overlap(std::num::NonZeroUsize::new(k as usize))
+                .with_trace(true),
+        );
+        for t in &run.per_rank_trace {
+            let count = |kind| t.spans.iter().filter(|s| s.kind == kind).count() as u32;
+            assert_eq!(count(SpanKind::ExchangeStart), k * run.num_levels);
+            assert_eq!(count(SpanKind::ExchangeWait), k * run.num_levels);
+            assert_eq!(count(SpanKind::Exchange), 0, "no blocking exchange ran");
+        }
+        // Each rank records k alltoallv-pattern events per level, each with
+        // exposed wall and a (possibly zero) hidden window.
+        for stats in &run.per_rank_stats {
+            let a2a = stats
+                .events
+                .iter()
+                .filter(|e| e.pattern == Pattern::Alltoallv)
+                .count() as u32;
+            assert_eq!(a2a, k * run.num_levels);
+        }
     }
 }

@@ -107,6 +107,7 @@ impl PageRankConfig {
             verify: self.verify,
             faults: self.faults,
             verify_timeout: self.verify_timeout,
+            overlap: None,
         }
     }
 }

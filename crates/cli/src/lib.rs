@@ -44,6 +44,7 @@ use dmbfs_trace::RankTrace;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
 /// A parsed command line: subcommand plus `--key value` options.
@@ -169,11 +170,11 @@ USAGE:
   dmbfs bfs FILE [--algorithm serial|shared|direction|1d|2d] [--ranks P]
                  [--threads T] [--source V] [--validate true]
                  [--codec off|raw|varint|bitmap|adaptive] [--sieve true|false]
-                 [--verify true|false] [--fault SPEC[;SPEC]]
+                 [--overlap N] [--verify true|false] [--fault SPEC[;SPEC]]
                  [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs teps FILE [--algorithm ...] [--ranks P] [--threads T] [--sources N]
-                  [--codec ...] [--sieve ...] [--verify true|false]
-                  [--fault SPEC[;SPEC]]
+                  [--codec ...] [--sieve ...] [--overlap N]
+                  [--verify true|false] [--fault SPEC[;SPEC]]
                   [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs components FILE [--ranks P] [--threads T] [--verify true|false]
                         [--fault SPEC[;SPEC]]
@@ -189,8 +190,8 @@ USAGE:
   dmbfs convert FILE --to bin|mm --out FILE
   dmbfs chaos [--scale S] [--edge-factor E] [--ranks P] [--seed X]
               [--algorithms 1d,2d] [--kinds panic,failstop,delay,corrupt]
-              [--inject-ranks R,R] [--levels L,L] [--timeout-secs T]
-              [--delay-ms MS] [--out FILE]
+              [--inject-ranks R,R] [--levels L,L] [--overlaps 0,2]
+              [--timeout-secs T] [--delay-ms MS] [--out FILE]
   dmbfs help
 
 Fault SPEC grammar (also the DMBFS_FAULTS environment variable):
@@ -292,6 +293,10 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
 struct WireOpts {
     codec: Codec,
     sieve: bool,
+    /// `--overlap N`: split each frontier exchange into N chunks on a
+    /// double-buffered nonblocking pipeline. `None` keeps the blocking
+    /// exchange. Ignored under `--codec off` (no wire path to overlap).
+    overlap: Option<NonZeroUsize>,
 }
 
 impl WireOpts {
@@ -301,7 +306,23 @@ impl WireOpts {
             .parse::<Codec>()
             .map_err(err)?;
         let sieve = args.opt_bool("sieve", true)?;
-        Ok(Self { codec, sieve })
+        let overlap = match args.options.get("overlap") {
+            Some(v) => {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| err("--overlap expects a positive chunk count"))?;
+                Some(
+                    NonZeroUsize::new(n)
+                        .ok_or_else(|| err("--overlap expects a positive chunk count"))?,
+                )
+            }
+            None => None,
+        };
+        Ok(Self {
+            codec,
+            sieve,
+            overlap,
+        })
     }
 }
 
@@ -522,6 +543,7 @@ fn run_algorithm_traced(
             }
             .with_codec(wire.codec)
             .with_sieve(wire.sieve)
+            .with_overlap(wire.overlap)
             .with_trace(observe.trace)
             .with_verify(observe.verify)
             .with_faults(faults);
@@ -537,6 +559,7 @@ fn run_algorithm_traced(
             }
             .with_codec(wire.codec)
             .with_sieve(wire.sieve)
+            .with_overlap(wire.overlap)
             .with_trace(observe.trace)
             .with_verify(observe.verify)
             .with_faults(faults);
@@ -863,6 +886,9 @@ struct ChaosCell {
     kind: String,
     rank: usize,
     level: i64,
+    /// Exchange pipeline depth the cell ran under: 0 = blocking
+    /// `alltoallv_wire`, k ≥ 1 = `--overlap k` nonblocking pipeline.
+    overlap: usize,
     detection: String,
     typed: bool,
     named_rank: bool,
@@ -986,9 +1012,10 @@ fn classify_payload(payload: &(dyn std::any::Any + Send), injected: usize) -> Ce
 }
 
 /// `dmbfs chaos`: sweep the deterministic fault grid — algorithm × fault
-/// kind × injected rank × BFS level — over one internally generated R-MAT
-/// instance, always under the collective verifier with a short watchdog,
-/// and ledger how every cell was detected. See docs/fault-injection.md.
+/// kind × injected rank × BFS level × exchange-pipeline depth — over one
+/// internally generated R-MAT instance, always under the collective
+/// verifier with a short watchdog, and ledger how every cell was detected.
+/// See docs/fault-injection.md.
 fn cmd_chaos(args: &Args) -> Result<String, CliError> {
     let scale = args.opt_u64("scale", 12)? as u32;
     let ef = args.opt_u64("edge-factor", 16)?;
@@ -1063,6 +1090,23 @@ fn cmd_chaos(args: &Args) -> Result<String, CliError> {
     if inject_ranks.is_empty() || levels.is_empty() {
         return Err(err("--inject-ranks and --levels must be non-empty"));
     }
+    // Pipeline-depth slices: 0 = blocking exchange, k = `--overlap k`.
+    // The default sweeps both so every fault kind is exercised at the
+    // nonblocking start site as well as the blocking collective.
+    let mut overlaps = Vec::new();
+    for t in split_list(&args.opt_str("overlaps", "0,2")) {
+        let k: usize = t.parse().map_err(|_| {
+            err(format!(
+                "--overlaps expects chunk counts (0 = blocking), got '{t}'"
+            ))
+        })?;
+        if !overlaps.contains(&k) {
+            overlaps.push(k);
+        }
+    }
+    if overlaps.is_empty() {
+        return Err(err("--overlaps must name at least one pipeline depth"));
+    }
 
     let mut el = rmat(&RmatConfig::graph500_ef(scale, ef, seed));
     el.canonicalize_undirected();
@@ -1075,7 +1119,7 @@ fn cmd_chaos(args: &Args) -> Result<String, CliError> {
         .ok_or_else(|| err("generated graph has no usable source"))?;
 
     let timeout = Duration::from_secs(timeout_secs);
-    let total = algorithms.len() * kinds.len() * inject_ranks.len() * levels.len();
+    let total = algorithms.len() * kinds.len() * inject_ranks.len() * levels.len() * overlaps.len();
     let mut report = String::new();
     writeln!(
         report,
@@ -1084,12 +1128,13 @@ fn cmd_chaos(args: &Args) -> Result<String, CliError> {
     .unwrap();
     writeln!(
         report,
-        "grid: {} algorithm(s) x {} kind(s) x {} rank(s) x {} level(s) = {total} cells, \
-         verify watchdog {timeout_secs} s",
+        "grid: {} algorithm(s) x {} kind(s) x {} rank(s) x {} level(s) x {} overlap(s) \
+         = {total} cells, verify watchdog {timeout_secs} s",
         algorithms.len(),
         kinds.len(),
         inject_ranks.len(),
         levels.len(),
+        overlaps.len(),
     )
     .unwrap();
 
@@ -1104,76 +1149,82 @@ fn cmd_chaos(args: &Args) -> Result<String, CliError> {
         for kind_s in &kinds {
             for &inj_rank in &inject_ranks {
                 for &level in &levels {
-                    cell_idx += 1;
-                    let kind = match kind_s.as_str() {
-                        "panic" => FaultKind::Panic,
-                        "failstop" => FaultKind::FailStop,
-                        "delay" => FaultKind::Delay { millis: delay_ms },
-                        _ => FaultKind::CorruptWire {
-                            seed: seed ^ cell_idx.wrapping_mul(0x9E37_79B9),
-                        },
-                    };
-                    let plan = FaultPlan::none().with_fault(FaultSpec {
-                        rank: inj_rank,
-                        trigger: FaultTrigger::AtLevel(level),
-                        collective: None,
-                        kind,
-                    });
-                    let t0 = Instant::now();
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        if alg == "1d" {
-                            let cfg = Bfs1dConfig::flat(ranks)
-                                .with_verify(true)
-                                .with_verify_timeout(timeout)
-                                .with_faults(plan);
-                            bfs1d_run(&g, source, &cfg).output
-                        } else {
-                            let cfg = Bfs2dConfig::flat(Grid2D::closest_square(ranks))
-                                .with_verify(true)
-                                .with_verify_timeout(timeout)
-                                .with_faults(plan);
-                            bfs2d_run(&g, source, &cfg).output
-                        }
-                    }));
-                    let millis = t0.elapsed().as_secs_f64() * 1e3;
-                    let outcome = match &result {
-                        Ok(_) => CellOutcome {
-                            detection: "completed",
-                            typed: false,
-                            named_rank: false,
+                    for &ov in &overlaps {
+                        cell_idx += 1;
+                        let kind = match kind_s.as_str() {
+                            "panic" => FaultKind::Panic,
+                            "failstop" => FaultKind::FailStop,
+                            "delay" => FaultKind::Delay { millis: delay_ms },
+                            _ => FaultKind::CorruptWire {
+                                seed: seed ^ cell_idx.wrapping_mul(0x9E37_79B9),
+                            },
+                        };
+                        let plan = FaultPlan::none().with_fault(FaultSpec {
+                            rank: inj_rank,
+                            trigger: FaultTrigger::AtLevel(level),
                             collective: None,
-                            detail: "run finished; the scheduled fault never fired".to_string(),
-                        },
-                        Err(payload) => classify_payload(payload.as_ref(), inj_rank),
-                    };
-                    writeln!(
-                        report,
-                        "  {alg:>2} {kind_s:<8} r{inj_rank} level{level} -> {:<18} \
-                         [{}{}] {millis:.0} ms",
-                        outcome.detection,
-                        if outcome.named_rank {
-                            "rank named"
-                        } else {
-                            "rank NOT named"
-                        },
-                        match &outcome.collective {
-                            Some(c) => format!(", {c}"),
-                            None => String::new(),
-                        },
-                    )
-                    .unwrap();
-                    cells.push(ChaosCell {
-                        algorithm: alg.clone(),
-                        kind: kind_s.clone(),
-                        rank: inj_rank,
-                        level,
-                        detection: outcome.detection.to_string(),
-                        typed: outcome.typed,
-                        named_rank: outcome.named_rank,
-                        collective: outcome.collective,
-                        millis,
-                        detail: outcome.detail,
-                    });
+                            kind,
+                        });
+                        let overlap = NonZeroUsize::new(ov);
+                        let t0 = Instant::now();
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            if alg == "1d" {
+                                let cfg = Bfs1dConfig::flat(ranks)
+                                    .with_overlap(overlap)
+                                    .with_verify(true)
+                                    .with_verify_timeout(timeout)
+                                    .with_faults(plan);
+                                bfs1d_run(&g, source, &cfg).output
+                            } else {
+                                let cfg = Bfs2dConfig::flat(Grid2D::closest_square(ranks))
+                                    .with_overlap(overlap)
+                                    .with_verify(true)
+                                    .with_verify_timeout(timeout)
+                                    .with_faults(plan);
+                                bfs2d_run(&g, source, &cfg).output
+                            }
+                        }));
+                        let millis = t0.elapsed().as_secs_f64() * 1e3;
+                        let outcome = match &result {
+                            Ok(_) => CellOutcome {
+                                detection: "completed",
+                                typed: false,
+                                named_rank: false,
+                                collective: None,
+                                detail: "run finished; the scheduled fault never fired".to_string(),
+                            },
+                            Err(payload) => classify_payload(payload.as_ref(), inj_rank),
+                        };
+                        writeln!(
+                            report,
+                            "  {alg:>2} {kind_s:<8} r{inj_rank} level{level} ov{ov} -> {:<18} \
+                             [{}{}] {millis:.0} ms",
+                            outcome.detection,
+                            if outcome.named_rank {
+                                "rank named"
+                            } else {
+                                "rank NOT named"
+                            },
+                            match &outcome.collective {
+                                Some(c) => format!(", {c}"),
+                                None => String::new(),
+                            },
+                        )
+                        .unwrap();
+                        cells.push(ChaosCell {
+                            algorithm: alg.clone(),
+                            kind: kind_s.clone(),
+                            rank: inj_rank,
+                            level,
+                            overlap: ov,
+                            detection: outcome.detection.to_string(),
+                            typed: outcome.typed,
+                            named_rank: outcome.named_rank,
+                            collective: outcome.collective,
+                            millis,
+                            detail: outcome.detail,
+                        });
+                    }
                 }
             }
         }
@@ -1536,6 +1587,51 @@ mod tests {
     }
 
     #[test]
+    fn bfs_overlap_flag_runs_and_rejects_bad_values() {
+        let dir = tmpdir();
+        let file = dir.join("overlap.bin");
+        let file_s = file.to_str().unwrap();
+        run(&args(&[
+            "generate", "--model", "rmat", "--scale", "8", "--out", file_s,
+        ]))
+        .unwrap();
+        for alg in ["1d", "2d"] {
+            for k in ["1", "2", "4"] {
+                let msg = run(&args(&[
+                    "bfs",
+                    file_s,
+                    "--algorithm",
+                    alg,
+                    "--ranks",
+                    "4",
+                    "--overlap",
+                    k,
+                ]))
+                .unwrap();
+                assert!(msg.contains("validated"), "{alg} overlap {k}: {msg}");
+            }
+        }
+        // Overlapped runs still verify cleanly (split start/wait pair).
+        let msg = run(&args(&[
+            "bfs",
+            file_s,
+            "--algorithm",
+            "1d",
+            "--ranks",
+            "4",
+            "--overlap",
+            "2",
+            "--verify",
+            "true",
+        ]))
+        .unwrap();
+        assert!(msg.contains("validated"), "{msg}");
+        assert!(run(&args(&["bfs", file_s, "--overlap", "0"])).is_err());
+        assert!(run(&args(&["bfs", file_s, "--overlap", "lots"])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn bfs_verify_flag_runs_and_rejects_bad_values() {
         let dir = tmpdir();
         let file = dir.join("verify.bin");
@@ -1847,17 +1943,23 @@ mod tests {
             out_s,
         ]))
         .unwrap();
-        assert!(msg.contains("2/2 typed"), "{msg}");
+        // 2 kinds × 2 pipeline depths (the default --overlaps 0,2 slice).
+        assert!(msg.contains("4/4 typed"), "{msg}");
         assert!(msg.contains("0 untyped watchdog(s)"), "{msg}");
 
         let v: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
-        assert!(v["typed"] == 2i64, "{v:?}");
-        assert!(v["named_rank"] == 2i64, "{v:?}");
+        assert!(v["typed"] == 4i64, "{v:?}");
+        assert!(v["named_rank"] == 4i64, "{v:?}");
         assert!(v["untyped_watchdogs"] == 0i64, "{v:?}");
         assert!(v["typed_rate"] == 1.0, "{v:?}");
         assert!(v["cells"][0]["detection"] == "injected-panic", "{v:?}");
-        assert!(v["cells"][1]["detection"] == "verify-corruption", "{v:?}");
+        assert!(v["cells"][0]["overlap"] == 0i64, "{v:?}");
+        assert!(v["cells"][1]["detection"] == "injected-panic", "{v:?}");
+        assert!(v["cells"][1]["overlap"] == 2i64, "{v:?}");
+        assert!(v["cells"][2]["detection"] == "verify-corruption", "{v:?}");
+        assert!(v["cells"][3]["detection"] == "verify-corruption", "{v:?}");
+        assert!(v["cells"][3]["overlap"] == 2i64, "{v:?}");
 
         // Flag validation.
         assert!(run(&args(&["chaos", "--kinds", "meteor"])).is_err());

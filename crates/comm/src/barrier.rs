@@ -31,9 +31,9 @@ impl Poison {
     }
 }
 
-/// Watchdog limit for barrier waits, read once per process:
-/// `DMBFS_COMM_TIMEOUT_SECS` (default 300; `0` disables).
-fn watchdog_timeout() -> Option<Duration> {
+/// Watchdog limit for barrier and exchange-board waits, read once per
+/// process: `DMBFS_COMM_TIMEOUT_SECS` (default 300; `0` disables).
+pub(crate) fn watchdog_timeout() -> Option<Duration> {
     use std::sync::OnceLock;
     static LIMIT: OnceLock<Option<Duration>> = OnceLock::new();
     *LIMIT.get_or_init(|| {

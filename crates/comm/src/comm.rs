@@ -1,6 +1,7 @@
 //! Communicator handles and typed collectives.
 
 use crate::barrier::{Poison, PoisonBarrier};
+use crate::exchange::ExchangeBoard;
 use crate::fault::{corrupt_site, fnv1a64, FaultInjector, FaultPlan};
 use crate::stats::{CommEvent, CommStats, LevelTiming, Pattern};
 use crate::verify::{CollectiveKind, Fingerprint, VerifyBoard};
@@ -48,6 +49,10 @@ pub(crate) struct Shared {
     /// Collective-matching verifier board; `None` when verification is off
     /// (the default), so the per-collective cost is one `Option` check.
     pub(crate) verify: Option<Arc<VerifyBoard>>,
+    /// Barrier-free depth-2 ring board for the nonblocking exchange: a
+    /// completing `wait()` blocks only on peers' *starts*, never on their
+    /// waits (see the `exchange` module).
+    pub(crate) exchange: ExchangeBoard,
 }
 
 impl Shared {
@@ -63,6 +68,7 @@ impl Shared {
         Arc::new(Self {
             slots: (0..size).map(|_| Mutex::new(None)).collect(),
             barrier: PoisonBarrier::new(size, poison.clone()),
+            exchange: ExchangeBoard::new(size, poison.clone()),
             poison,
             verify,
         })
@@ -114,6 +120,17 @@ pub struct Comm {
     /// epoch of the next collective this rank will issue on this
     /// communicator. Unused (stays 0) when verification is off.
     verify_epoch: Cell<u64>,
+    /// True between [`Comm::ialltoallv_wire`] and the matching
+    /// [`PendingExchange::wait`]. While set, no other collective may run
+    /// on this handle: the depth-2 exchange ring assumes one outstanding
+    /// exchange, and an interleaved barrier collective would let a rank
+    /// run more than one exchange ahead of a slow peer.
+    pending_exchange: Cell<bool>,
+    /// This rank's nonblocking-exchange counter on this communicator: the
+    /// epoch of the next `ialltoallv_wire` it will start, indexing the
+    /// depth-2 exchange ring. Advances identically on every rank because
+    /// the exchange is collective.
+    exchange_epoch: Cell<u64>,
 }
 
 /// The trace-side name of a collective pattern. `dmbfs-trace` is a leaf
@@ -140,6 +157,8 @@ impl Comm {
             fault: RefCell::new(None),
             owner: std::thread::current().id(),
             verify_epoch: Cell::new(0),
+            pending_exchange: Cell::new(false),
+            exchange_epoch: Cell::new(0),
         }
     }
 
@@ -253,6 +272,18 @@ impl Comm {
             "Comm collectives must be called from the rank's main thread \
              (the thread that created the handle); pool worker threads \
              must not communicate — see the threading invariant on Comm"
+        );
+    }
+
+    /// Asserts no nonblocking exchange is in flight on this handle. Every
+    /// collective entry point passes through here (via [`Comm::deposit`]
+    /// or [`Comm::barrier`]): the exchange board has one slot per rank, so
+    /// an interleaved collective would overwrite the in-flight buffers.
+    fn assert_no_inflight(&self) {
+        assert!(
+            !self.pending_exchange.get(),
+            "a nonblocking exchange is in flight on this communicator: \
+             call PendingExchange::wait() before issuing another collective"
         );
     }
 
@@ -377,6 +408,7 @@ impl Comm {
             wire_out: bytes_out,
             wire_in: bytes_in,
             wall: start.elapsed(),
+            hidden: Duration::ZERO,
         });
         self.trace_collective(pattern, bytes_out, bytes_out, start);
     }
@@ -399,6 +431,7 @@ impl Comm {
             wire_out,
             wire_in,
             wall: start.elapsed(),
+            hidden: Duration::ZERO,
         });
         self.trace_collective(pattern, bytes_out, wire_out, start);
     }
@@ -408,6 +441,7 @@ impl Comm {
     /// owner-thread invariant is enforced.
     fn deposit<T: Send + Sync + 'static>(&self, value: T) {
         self.assert_owner();
+        self.assert_no_inflight();
         *self.shared.slots[self.rank].lock() = Some(Arc::new(value));
     }
 
@@ -436,6 +470,7 @@ impl Comm {
     #[track_caller]
     pub fn barrier(&self) {
         self.assert_owner();
+        self.assert_no_inflight();
         self.fault_enter(CollectiveKind::Barrier);
         self.verify_enter(
             CollectiveKind::Barrier,
@@ -926,6 +961,99 @@ impl Comm {
         recv
     }
 
+    /// Starts a **nonblocking** wire all-to-all: deposits `bufs` (one
+    /// encoded [`WireBuf`] per destination rank) on the exchange board and
+    /// returns immediately with a [`PendingExchange`]. The caller overlaps
+    /// local work — packing, sieving, encoding the next frontier chunk —
+    /// with the in-flight exchange, then calls [`PendingExchange::wait`]
+    /// to rendezvous and collect what the peers sent.
+    ///
+    /// Observer coverage mirrors [`Comm::alltoallv_wire`]:
+    ///
+    /// * **verifier** — the pair fingerprints as two matched collectives,
+    ///   `ialltoallv_wire` at the start site and `ialltoallv_wire_wait` at
+    ///   the wait site, so a rank that dies in between shows up in the
+    ///   watchdog dump as stuck short of `wait()`;
+    /// * **faults** — injected faults fire here at the start site (where
+    ///   the buffers leave the rank); checksum corruption planted here
+    ///   trips at the receivers' `wait()`;
+    /// * **stats** — the recorded [`CommEvent`]'s `wall` is the *exposed*
+    ///   time (inside this call plus inside `wait()`) and `hidden` is the
+    ///   in-flight window between them;
+    /// * **trace** — an `ExchangeStart` span is emitted here and an
+    ///   `ExchangeWait` span at the wait, so wait-matrix analysis can
+    ///   measure how much communication the overlap hid.
+    ///
+    /// At most one exchange may be in flight per communicator, and no
+    /// other collective may run on the handle while it is (asserted): the
+    /// exchange board has one slot per rank, so an interleaved collective
+    /// would overwrite the in-flight buffers.
+    #[track_caller]
+    pub fn ialltoallv_wire(&self, bufs: Vec<WireBuf>) -> PendingExchange<'_> {
+        assert_eq!(bufs.len(), self.size(), "need one buffer per rank");
+        self.fault_enter(CollectiveKind::IalltoallvWire);
+        self.verify_enter(
+            CollectiveKind::IalltoallvWire,
+            TypeId::of::<WireBuf>(),
+            "WireBuf",
+            Location::caller(),
+        );
+        let start = Instant::now();
+        let mut bufs = bufs;
+        let (mut bytes_out, mut wire_out) = (0u64, 0u64);
+        for (j, b) in bufs.iter().enumerate() {
+            if j != self.rank {
+                bytes_out += b.logical_bytes;
+                wire_out += b.wire_bytes();
+            }
+        }
+        // End-to-end checksums (verifier on only), taken before any armed
+        // corrupt fault flips a byte — receivers check them in `wait()`.
+        let sums: Option<Vec<u64>> = self
+            .shared
+            .verify
+            .as_ref()
+            .map(|_| bufs.iter().map(|b| fnv1a64(&b.bytes)).collect());
+        let eligible = |j: usize, b: &WireBuf| j != self.rank && !b.bytes.is_empty();
+        let has_payload = bufs.iter().enumerate().any(|(j, b)| eligible(j, b));
+        if let Some(seed) = self.corruption_seed(CollectiveKind::IalltoallvWire, has_payload) {
+            let b = bufs
+                .iter_mut()
+                .enumerate()
+                .find(|(j, b)| eligible(*j, b))
+                .map(|(_, b)| b)
+                .expect("has_payload checked");
+            let (i, mask) = corrupt_site(seed, b.bytes.len());
+            b.bytes[i] ^= mask;
+        }
+        self.assert_owner();
+        self.assert_no_inflight();
+        let epoch = self.exchange_epoch.get();
+        self.exchange_epoch.set(epoch + 1);
+        self.shared
+            .exchange
+            .deposit(self.rank, epoch, Arc::new((bufs, sums)), self.size());
+        self.pending_exchange.set(true);
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.lock().exchange(
+                SpanKind::ExchangeStart,
+                CollectiveTag::Alltoallv,
+                start,
+                self.size() as u64,
+                bytes_out,
+                wire_out,
+            );
+        }
+        PendingExchange {
+            comm: self,
+            epoch,
+            start_call: start.elapsed(),
+            in_flight_since: Instant::now(),
+            bytes_out,
+            wire_out,
+        }
+    }
+
     /// Wire-aware variable all-gather: like [`Comm::allgatherv`] with an
     /// encoded payload. See [`Comm::alltoallv_wire`] for the accounting.
     #[track_caller]
@@ -1087,6 +1215,86 @@ impl Comm {
     }
 }
 
+/// An in-flight nonblocking wire exchange started by
+/// [`Comm::ialltoallv_wire`]. The outbound buffers are already deposited
+/// on the exchange ring; call [`PendingExchange::wait`] to collect what
+/// the peers sent. Dropping the handle without waiting leaves the
+/// communicator unusable (the next collective asserts), mirroring a
+/// leaked `MPI_Request`.
+#[must_use = "a started exchange must be completed: call .wait() to collect the received buffers"]
+pub struct PendingExchange<'a> {
+    comm: &'a Comm,
+    /// Ring epoch of this exchange on the communicator's exchange board.
+    epoch: u64,
+    /// Wall time spent inside the start call — the exposed half of start,
+    /// charged to the recorded event's `wall` together with the wait call.
+    start_call: Duration,
+    /// When the start call returned: the beginning of the in-flight window
+    /// whose length `wait()` reports as overlap-hidden communication.
+    in_flight_since: Instant,
+    bytes_out: u64,
+    wire_out: u64,
+}
+
+impl PendingExchange<'_> {
+    /// Completes the exchange: collects `recv[j]` = the buffer rank `j`
+    /// addressed to this rank, blocking only until each peer has
+    /// **started** the matching exchange (deposited its buffers) — never
+    /// on the peers' own waits — and checks end-to-end wire checksums
+    /// (verifier on). Records one [`CommEvent`] whose `wall` is the
+    /// exposed time (inside the start call plus inside this call) and
+    /// whose `hidden` is the in-flight window between them, and emits the
+    /// `ExchangeWait` span.
+    #[track_caller]
+    pub fn wait(self) -> Vec<WireBuf> {
+        let comm = self.comm;
+        comm.assert_owner();
+        let entered = Instant::now();
+        let hidden = entered.duration_since(self.in_flight_since);
+        comm.fault_enter(CollectiveKind::IalltoallvWireWait);
+        comm.verify_enter(
+            CollectiveKind::IalltoallvWireWait,
+            TypeId::of::<WireBuf>(),
+            "WireBuf",
+            Location::caller(),
+        );
+        let mut recv: Vec<WireBuf> = Vec::with_capacity(comm.size());
+        let (mut bytes_in, mut wire_in) = (0u64, 0u64);
+        for j in 0..comm.size() {
+            let theirs = comm.shared.exchange.collect(j, self.epoch);
+            let mine = theirs.0[comm.rank].clone();
+            comm.check_wire(&mine.bytes, theirs.1.as_ref().map(|s| s[comm.rank]), j);
+            if j != comm.rank {
+                bytes_in += mine.logical_bytes;
+                wire_in += mine.wire_bytes();
+            }
+            recv.push(mine);
+        }
+        comm.pending_exchange.set(false);
+        comm.stats.borrow_mut().events.push(CommEvent {
+            pattern: Pattern::Alltoallv,
+            group_size: comm.size(),
+            bytes_out: self.bytes_out,
+            bytes_in,
+            wire_out: self.wire_out,
+            wire_in,
+            wall: self.start_call + entered.elapsed(),
+            hidden,
+        });
+        if let Some(t) = comm.tracer.borrow().as_ref() {
+            t.lock().exchange(
+                SpanKind::ExchangeWait,
+                CollectiveTag::Alltoallv,
+                entered,
+                comm.size() as u64,
+                bytes_in,
+                wire_in,
+            );
+        }
+        recv
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1146,5 +1354,115 @@ mod tests {
             comm.take_trace()
         });
         assert!(out.iter().all(|t| t.is_none()));
+    }
+
+    #[test]
+    fn nonblocking_exchange_matches_blocking_results() {
+        let out = World::run(3, |comm| {
+            let bufs: Vec<WireBuf> = (0..3)
+                .map(|j| WireBuf::new(vec![comm.rank() as u8; j + 1], 16 * (j as u64 + 1)))
+                .collect();
+            let blocking = comm.alltoallv_wire(bufs.clone());
+            let overlapped = comm.ialltoallv_wire(bufs).wait();
+            assert_eq!(overlapped, blocking);
+            let stats = comm.take_stats();
+            assert_eq!(stats.num_calls(), 2, "one blocking + one overlapped event");
+            let (b, o) = (&stats.events[0], &stats.events[1]);
+            assert_eq!(b.pattern, Pattern::Alltoallv);
+            assert_eq!(o.pattern, Pattern::Alltoallv);
+            assert_eq!(b.bytes_out, o.bytes_out);
+            assert_eq!(b.bytes_in, o.bytes_in);
+            assert_eq!(b.wire_out, o.wire_out);
+            assert_eq!(b.wire_in, o.wire_in);
+            assert_eq!(
+                b.hidden,
+                Duration::ZERO,
+                "blocking collectives hide nothing"
+            );
+            overlapped
+        });
+        // Every rank received one buffer per peer with the sender's id.
+        for (rank, recv) in out.iter().enumerate() {
+            for (j, b) in recv.iter().enumerate() {
+                assert_eq!(b.bytes, vec![j as u8; rank + 1]);
+                assert_eq!(b.logical_bytes, 16 * (rank as u64 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn nonblocking_exchange_records_hidden_window() {
+        let stats = World::run(2, |comm| {
+            let bufs = vec![WireBuf::new(vec![9], 8), WireBuf::new(vec![9], 8)];
+            let pending = comm.ialltoallv_wire(bufs);
+            std::thread::sleep(Duration::from_millis(20));
+            pending.wait();
+            comm.take_stats()
+        });
+        for s in &stats {
+            assert_eq!(s.num_calls(), 1);
+            assert!(
+                s.events[0].hidden >= Duration::from_millis(10),
+                "the in-flight sleep must show up as hidden time, got {:?}",
+                s.events[0].hidden
+            );
+            assert_eq!(s.hidden_total(), s.events[0].hidden);
+        }
+    }
+
+    #[test]
+    fn nonblocking_exchange_emits_start_and_wait_spans() {
+        let epoch = Instant::now();
+        let traces = World::run(2, |comm| {
+            comm.set_tracer(TraceSink::new(comm.rank(), epoch));
+            comm.trace_enter_level(1);
+            let bufs = vec![WireBuf::new(vec![1, 2], 32), WireBuf::new(vec![3, 4], 32)];
+            let recv = comm.ialltoallv_wire(bufs).wait();
+            assert_eq!(recv.len(), 2);
+            comm.take_trace().expect("tracer was attached")
+        });
+        for t in &traces {
+            let kinds: Vec<SpanKind> = t.spans.iter().map(|s| s.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![SpanKind::ExchangeStart, SpanKind::ExchangeWait],
+                "an overlapped exchange traces as a start/wait pair, not a Collective"
+            );
+            let (start, wait) = (t.spans[0], t.spans[1]);
+            assert_eq!(start.pattern, CollectiveTag::Alltoallv);
+            assert_eq!(wait.pattern, CollectiveTag::Alltoallv);
+            assert_eq!(start.level, 1);
+            assert_eq!(wait.level, 1);
+            assert_eq!(start.detail, 2, "group size");
+            assert_eq!(start.bytes, 32, "start carries outbound logical bytes");
+            assert_eq!(start.wire, 2, "start carries outbound wire bytes");
+            assert_eq!(wait.bytes, 32, "wait carries inbound logical bytes");
+            assert_eq!(wait.wire, 2, "wait carries inbound wire bytes");
+            assert!(
+                wait.start_ns >= start.end_ns,
+                "wait begins after start returns"
+            );
+        }
+    }
+
+    #[test]
+    fn collectives_assert_while_an_exchange_is_in_flight() {
+        World::run(2, |comm| {
+            let bufs = vec![WireBuf::default(), WireBuf::default()];
+            let pending = comm.ialltoallv_wire(bufs);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                comm.allreduce(1u64, |a, b| a + b)
+            }))
+            .expect_err("a collective during an in-flight exchange must assert");
+            let msg = err
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| err.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(msg.contains("in flight"), "unexpected panic message: {msg}");
+            pending.wait();
+            // After wait() the handle is usable again.
+            assert_eq!(comm.allreduce(1u64, |a, b| a + b), 2);
+        });
     }
 }

@@ -37,9 +37,12 @@
 //! the 0-based BFS level as published by `Comm::trace_enter_level` and
 //! fires at the first eligible collective with current level ≥ L. Corrupt
 //! faults only fire at wire collectives (`alltoallv_wire`,
-//! `allgatherv_wire`, `sendrecv_wire`) carrying a non-empty outbound
-//! payload, and stay armed until one passes; detection requires the
-//! collective-matching verifier, which checksums wire payloads end to end.
+//! `ialltoallv_wire`, `allgatherv_wire`, `sendrecv_wire`) carrying a
+//! non-empty outbound payload, and stay armed until one passes; detection
+//! requires the collective-matching verifier, which checksums wire
+//! payloads end to end. For the nonblocking `ialltoallv_wire` the fault
+//! fires at the *start* site (where the buffers are deposited); the
+//! checksum trips at the receivers' `wait()`.
 
 use crate::verify::CollectiveKind;
 use std::fmt;
@@ -217,7 +220,8 @@ impl FromStr for FaultSpec {
                 if !is_wire(c) {
                     return Err(format!(
                         "fault spec `{s}`: corrupt faults only fire at wire collectives \
-                         (alltoallv_wire|allgatherv_wire|sendrecv_wire), not `{}`",
+                         (alltoallv_wire|ialltoallv_wire|allgatherv_wire|sendrecv_wire), \
+                         not `{}`",
                         c.name()
                     ));
                 }
@@ -238,6 +242,7 @@ pub(crate) fn is_wire(kind: CollectiveKind) -> bool {
     matches!(
         kind,
         CollectiveKind::AlltoallvWire
+            | CollectiveKind::IalltoallvWire
             | CollectiveKind::AllgathervWire
             | CollectiveKind::SendrecvWire
     )
@@ -559,6 +564,7 @@ mod tests {
             "delay=750@r1:level2:coll=allreduce",
             "corrupt=42@r3:level1",
             "corrupt=7@r0:op5:coll=alltoallv_wire",
+            "corrupt=3@r1:level2:coll=ialltoallv_wire",
             "panic@r0:level1;delay=100@r2:level2",
         ] {
             let plan: FaultPlan = s.parse().unwrap_or_else(|e| panic!("`{s}`: {e}"));

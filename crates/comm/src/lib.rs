@@ -43,22 +43,38 @@
 //!   can be *exercised*, not just trusted. See the [`fault`] module and
 //!   `docs/fault-injection.md`.
 //!
+//! * [`Comm::ialltoallv_wire`] is the one **nonblocking** collective: it
+//!   deposits the outbound buffers and returns a [`PendingExchange`] so the
+//!   caller can overlap local work (packing/encoding the next frontier
+//!   chunk) with the in-flight exchange before collecting the results in
+//!   [`PendingExchange::wait`]. The start/wait pair stays a first-class
+//!   citizen of every observer above: the verifier fingerprints it as two
+//!   matched collectives (so the watchdog names ranks stuck in `wait()`),
+//!   faults fire at the start site with checksums tripping at the wait,
+//!   stats split exposed vs overlap-hidden wall time, and the trace emits
+//!   `ExchangeStart`/`ExchangeWait` spans.
+//!
 //! What this deliberately does **not** model in-process: network latency and
-//! bandwidth (that is `dmbfs-model`'s job, driven by the recorded events)
-//! and MPI progress/overlap semantics (the paper's algorithms use blocking
-//! collectives only).
+//! bandwidth (that is `dmbfs-model`'s job, driven by the recorded events).
+//! Overlap is modeled only at the granularity the BFS pipeline needs — one
+//! in-flight exchange per communicator, rendezvousing on a barrier-free
+//! depth-2 ring where a `wait()` blocks only until each peer has *started*
+//! the matching exchange (deposited its buffers), never on the peers' own
+//! waits — so pipelined chunks genuinely absorb encode-time skew instead
+//! of multiplying barrier count. There is no asynchronous progress thread.
 
 #![warn(missing_docs)]
 
 pub mod algorithms;
 mod barrier;
 mod comm;
+mod exchange;
 pub mod fault;
 mod stats;
 mod verify;
 mod world;
 
-pub use comm::{Comm, WireBuf};
+pub use comm::{Comm, PendingExchange, WireBuf};
 pub use fault::{
     fault_disabled_hook_cost, FailStopExit, FaultKind, FaultPlan, FaultSpec, FaultTrigger,
     InjectedFault,

@@ -95,6 +95,7 @@ mod tests {
             wire_out: bytes,
             wire_in: bytes,
             wall: Duration::ZERO,
+            hidden: Duration::ZERO,
         }
     }
 

@@ -32,6 +32,7 @@ use dmbfs_comm::{Comm, CommStats, VerifyConfig, World};
 use dmbfs_trace::{RankTrace, SpanKind, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
+use std::num::NonZeroUsize;
 use std::str::FromStr;
 use std::time::{Duration, Instant};
 
@@ -138,6 +139,14 @@ pub struct RunConfig {
     /// [`RunConfig::verify`]; the chaos harness uses short timeouts so a
     /// fail-stopped rank is reported in seconds, not minutes.
     pub verify_timeout: Option<Duration>,
+    /// Comm/compute overlap: `Some(k)` splits each level's frontier
+    /// exchange into `k` chunks moved through a double-buffered pipeline on
+    /// the nonblocking `ialltoallv_wire` — while chunk `i` is in flight,
+    /// the rank packs and encodes chunk `i + 1`. `None` (the default) keeps
+    /// the single blocking exchange. Parent trees are bit-identical either
+    /// way; only meaningful with a codec (ignored under [`Codec::Off`],
+    /// which has no wire buffers to pipeline).
+    pub overlap: Option<NonZeroUsize>,
 }
 
 impl RunConfig {
@@ -152,6 +161,7 @@ impl RunConfig {
             verify: false,
             faults: FaultPlan::none(),
             verify_timeout: None,
+            overlap: None,
         }
     }
 
@@ -212,6 +222,13 @@ impl RunConfig {
     /// [`RunConfig::verify_timeout`]).
     pub fn with_verify_timeout(mut self, timeout: Duration) -> Self {
         self.verify_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the comm/compute overlap chunk count (see
+    /// [`RunConfig::overlap`]); `None` disables the pipeline.
+    pub fn with_overlap(mut self, overlap: Option<NonZeroUsize>) -> Self {
+        self.overlap = overlap;
         self
     }
 
@@ -592,7 +609,15 @@ mod tests {
                 verify: false,
                 faults: FaultPlan::none(),
                 verify_timeout: None,
+                overlap: None,
             }
+        );
+        assert_eq!(
+            RunConfig::flat(2)
+                .with_overlap(NonZeroUsize::new(4))
+                .overlap
+                .map(NonZeroUsize::get),
+            Some(4)
         );
         assert_eq!(
             RunConfig::hybrid(8, 4)

@@ -62,6 +62,14 @@ pub enum SpanKind {
     Mask,
     /// One collective call on a communicator (emitted by `dmbfs-comm`).
     Collective,
+    /// Start half of a nonblocking exchange (`ialltoallv_wire`): the time
+    /// spent depositing outbound buffers. The matching wait half is
+    /// [`SpanKind::ExchangeWait`]; the gap between the two is comm the
+    /// overlap pipeline hid under compute.
+    ExchangeStart,
+    /// Wait half of a nonblocking exchange: the exposed time blocked in
+    /// `PendingExchange::wait()` collecting peers' buffers.
+    ExchangeWait,
     /// One batch handed to the per-rank work-stealing pool.
     TaskBatch,
 }
@@ -83,6 +91,8 @@ impl SpanKind {
             SpanKind::FoldPhase => "fold",
             SpanKind::Mask => "mask",
             SpanKind::Collective => "collective",
+            SpanKind::ExchangeStart => "exchange_start",
+            SpanKind::ExchangeWait => "exchange_wait",
             SpanKind::TaskBatch => "task_batch",
         }
     }
@@ -91,7 +101,7 @@ impl SpanKind {
     pub fn category(self) -> &'static str {
         match self {
             SpanKind::Search | SpanKind::Level => "bfs",
-            SpanKind::Collective => "comm",
+            SpanKind::Collective | SpanKind::ExchangeStart | SpanKind::ExchangeWait => "comm",
             SpanKind::TaskBatch => "pool",
             _ => "phase",
         }
@@ -318,6 +328,35 @@ impl TraceSink {
         }
     }
 
+    /// Close one half of a nonblocking exchange ([`SpanKind::ExchangeStart`]
+    /// or [`SpanKind::ExchangeWait`]) covering `start..now`, carrying the
+    /// pattern and logical/wire byte counts like a collective span. No-op
+    /// when disabled.
+    pub fn exchange(
+        &mut self,
+        kind: SpanKind,
+        pattern: CollectiveTag,
+        start: Instant,
+        group_size: u64,
+        bytes: u64,
+        wire: u64,
+    ) {
+        if self.active.is_some() {
+            let start_ns = self.ns_of(start);
+            let end_ns = self.now_ns();
+            self.push_record(SpanRecord {
+                kind,
+                pattern,
+                start_ns,
+                end_ns,
+                level: NO_LEVEL,
+                detail: group_size,
+                bytes,
+                wire,
+            });
+        }
+    }
+
     /// Insert a record, stamping it with the current level. The ring
     /// overwrites oldest-first once full.
     fn push_record(&mut self, mut rec: SpanRecord) {
@@ -453,6 +492,39 @@ mod tests {
         assert_eq!(s.pattern, CollectiveTag::Alltoallv);
         assert_eq!(s.start_ns, 0, "pre-epoch instants clamp to 0");
         assert_eq!((s.detail, s.bytes, s.wire), (16, 1000, 250));
+    }
+
+    #[test]
+    fn exchange_spans_carry_kind_pattern_and_bytes() {
+        let mut sink = TraceSink::new(2, Instant::now());
+        sink.set_level(4);
+        let t0 = Instant::now();
+        sink.exchange(
+            SpanKind::ExchangeStart,
+            CollectiveTag::Alltoallv,
+            t0,
+            8,
+            640,
+            80,
+        );
+        sink.exchange(
+            SpanKind::ExchangeWait,
+            CollectiveTag::Alltoallv,
+            t0,
+            8,
+            0,
+            0,
+        );
+        let t = sink.drain();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].kind, SpanKind::ExchangeStart);
+        assert_eq!(t.spans[1].kind, SpanKind::ExchangeWait);
+        for s in &t.spans {
+            assert_eq!(s.pattern, CollectiveTag::Alltoallv);
+            assert_eq!(s.level, 4);
+            assert_eq!(s.detail, 8);
+        }
+        assert_eq!((t.spans[0].bytes, t.spans[0].wire), (640, 80));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-// Fixture: seeded `collective-symmetry` violations (lines 5, 7, 12).
+// Fixture: seeded `collective-symmetry` violations (lines 5, 7, 12, 20, 23).
 
 pub fn lopsided(comm: &Comm, x: u64) {
     if comm.rank() == 0 {
@@ -11,5 +11,15 @@ pub fn lopsided(comm: &Comm, x: u64) {
         _ => {
             comm.gatherv(&[x], 0);
         }
+    }
+}
+
+pub fn lopsided_pipeline(comm: &Comm, bufs: Vec<WireBuf>) {
+    let pending = comm.ialltoallv_wire(bufs);
+    if comm.rank() == 0 {
+        let _ = pending.wait();
+    }
+    if comm.rank() == 1 {
+        let _ = comm.ialltoallv_wire(bufs).wait();
     }
 }
