@@ -108,8 +108,11 @@ pub fn direction_optimizing_bfs_with(
     // re-entry exponentially. On the low-diameter graphs the optimization
     // targets, bottom-up wins immediately and the backoff never engages;
     // on adversarial community-chained graphs it caps the damage at one
-    // exploratory round per backoff step.
-    let mut alpha_eff = cfg.alpha;
+    // exploratory round per backoff step. Floored at 1 (the hardest legal
+    // threshold): repeated losses must never drive the divisor to 0, which
+    // would silently disable bottom-up for the rest of the traversal even
+    // when a frontier's edges outnumber everything unexplored.
+    let mut alpha_eff = cfg.alpha.max(1);
 
     while !frontier.is_empty() {
         // Heuristic switches (evaluated on the frontier entering the
@@ -129,7 +132,7 @@ pub fn direction_optimizing_bfs_with(
         if !bottom_up
             && cfg.alpha > 0
             && growing
-            && frontier_edges > unexplored / alpha_eff.max(1)
+            && frontier_edges > unexplored / alpha_eff
             && unvisited < frontier_edges
         {
             bottom_up = true;
@@ -187,7 +190,9 @@ pub fn direction_optimizing_bfs_with(
         if bottom_up && examined > frontier_edges {
             // The round lost; shrink alpha so the switch condition
             // (m_f > m_unexplored / alpha) becomes much harder to satisfy.
-            alpha_eff /= 8;
+            // The floor keeps `frontier_edges > unexplored` as the re-entry
+            // condition of last resort instead of reaching alpha_eff == 0.
+            alpha_eff = (alpha_eff / 8).max(1);
             bottom_up = false;
         }
 
@@ -312,6 +317,43 @@ mod tests {
             baseline
         );
         assert_eq!(run.output.levels, serial_bfs(&g, 0).levels);
+    }
+
+    #[test]
+    fn backoff_floors_alpha_and_allows_reentry() {
+        // Regression for the `alpha_eff /= 8` underflow: with a huge alpha
+        // every community boundary fires a losing bottom-up round and a
+        // backoff. Enough communities drive an unfloored divisor through
+        // u64::MAX / 8^22 to 0, which would make the switch condition
+        // `frontier_edges > unexplored / 0` unsatisfiable (panic or, with
+        // a max(1) bandage at the use site, a silently frozen threshold).
+        // With the floor the divisor bottoms out at 1 and the traversal
+        // both stays correct and keeps re-entering bottom-up.
+        let mut el = dmbfs_graph::gen::webcrawl(&dmbfs_graph::gen::WebCrawlConfig {
+            num_communities: 30,
+            community_size: 60,
+            intra_degree: 12,
+            bridges: 2,
+            seed: 8,
+        });
+        el.canonicalize_undirected();
+        let g = CsrGraph::from_edge_list(&el);
+        let cfg = DirectionConfig {
+            alpha: u64::MAX,
+            beta: 24,
+        };
+        let run = direction_optimizing_bfs_with(&g, 0, &cfg);
+        assert_eq!(run.output.levels, serial_bfs(&g, 0).levels);
+        let bottom_up_rounds = run
+            .steps
+            .iter()
+            .filter(|s| s.direction == Direction::BottomUp)
+            .count();
+        assert!(
+            bottom_up_rounds >= 2,
+            "bottom-up must re-enter after backoffs, got {bottom_up_rounds} rounds: {:?}",
+            run.steps
+        );
     }
 
     #[test]

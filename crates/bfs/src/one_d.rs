@@ -9,14 +9,16 @@
 //! due to the distributed graph scenario: creating the message buffers of
 //! cumulative size O(m) and the All-to-all communication step."
 
+use crate::direction::DirectionConfig;
 use crate::distribute::{extract_1d, Local1d};
 use crate::frontier_codec::{
-    decode_pairs, encode_pairs, merge_level_stats, Codec, LevelCodecStats, Sieve,
+    decode_pairs, decode_set, encode_pairs, encode_set, merge_level_stats, Codec, LevelCodecStats,
+    Sieve,
 };
 use crate::{BfsOutput, UNREACHED};
-use dmbfs_comm::{Comm, CommStats, LevelTiming, WireBuf};
+use dmbfs_comm::{Comm, CommStats, LevelDirection, LevelTiming, WireBuf};
 use dmbfs_graph::{CsrGraph, VertexId};
-use dmbfs_runtime::{run_ranks, scatter_block};
+use dmbfs_runtime::{run_ranks, scatter_block, DirectionMode};
 use dmbfs_trace::{RankTrace, SpanKind};
 use rayon::prelude::*;
 use std::num::NonZeroUsize;
@@ -48,6 +50,18 @@ pub struct Dist1dRun {
     pub per_rank_trace: Vec<RankTrace>,
 }
 
+impl Dist1dRun {
+    /// The per-level direction schedule, read from rank 0's level timings.
+    /// Identical on every rank: the decision is a pure function of
+    /// allreduced global counts.
+    pub fn level_directions(&self) -> Vec<LevelDirection> {
+        self.per_rank_stats
+            .first()
+            .map(|s| s.level_timings.iter().map(|t| t.direction).collect())
+            .unwrap_or_default()
+    }
+}
+
 /// Runs the 1D algorithm and returns the assembled result only.
 ///
 /// # Examples
@@ -73,6 +87,7 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
     let codec = cfg.codec;
     let sieve = cfg.sieve;
     let overlap = cfg.overlap;
+    let direction = cfg.direction;
 
     let run = run_ranks(cfg, |ctx| {
         let local = extract_1d(g, ranks, ctx.rank());
@@ -85,6 +100,7 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
                 codec,
                 sieve,
                 overlap,
+                direction,
             )
         });
         (local.range.start, levels, parents, num_levels, codec_levels)
@@ -109,7 +125,11 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
     }
 }
 
-/// The per-rank level loop of Algorithm 2.
+/// The per-rank level loop of Algorithm 2, or — under
+/// [`DirectionMode::Hybrid`] / [`DirectionMode::BottomUp`] — the
+/// direction-optimizing variant that swaps the frontier exchange for a
+/// bitmap broadcast plus owner-side scan on bottom-up levels.
+#[allow(clippy::too_many_arguments)]
 fn rank_bfs(
     comm: &Comm,
     local: &Local1d,
@@ -118,8 +138,8 @@ fn rank_bfs(
     codec: Codec,
     sieve: bool,
     overlap: Option<NonZeroUsize>,
+    direction: DirectionMode,
 ) -> (Vec<i64>, Vec<i64>, u32, Vec<LevelCodecStats>) {
-    let p = comm.size();
     let nloc = local.count();
     let levels: Vec<AtomicI64> = (0..nloc).map(|_| AtomicI64::new(UNREACHED)).collect();
     let parents: Vec<AtomicI64> = (0..nloc).map(|_| AtomicI64::new(UNREACHED)).collect();
@@ -139,85 +159,46 @@ fn rank_bfs(
         (sieve && codec != Codec::Off).then(|| Sieve::new(local.block.domain() as usize));
     let mut codec_levels: Vec<LevelCodecStats> = Vec::new();
 
+    if direction != DirectionMode::TopDown {
+        let (num_levels, codec_levels) = hybrid_loop(
+            comm,
+            local,
+            frontier,
+            pool,
+            codec,
+            visited_sieve.as_ref(),
+            overlap,
+            direction,
+            &levels,
+            &parents,
+        );
+        return (
+            levels.into_iter().map(AtomicI64::into_inner).collect(),
+            parents.into_iter().map(AtomicI64::into_inner).collect(),
+            num_levels,
+            codec_levels,
+        );
+    }
+
     let mut level: i64 = 1;
     loop {
         comm.trace_enter_level(level - 1);
         let level_t = comm.trace_start();
         let level_start = Instant::now();
         let comm_before = comm.comm_wall();
-        let next = match overlap.filter(|_| codec != Codec::Off) {
-            // The chunked double-buffered pipeline: pack + sieve + encode
-            // chunk c+1 while chunk c is in flight on the nonblocking
-            // exchange, decoding/unpacking completed chunks as they land.
-            // `Codec::Off` has no wire buffers to pipeline, so it always
-            // takes the blocking path below.
-            Some(k) => {
-                let (next, stats) = overlapped_level(
-                    comm,
-                    local,
-                    &frontier,
-                    codec,
-                    visited_sieve.as_ref(),
-                    level,
-                    pool,
-                    k.get(),
-                    &levels,
-                    &parents,
-                );
-                codec_levels.push(stats);
-                next
-            }
-            None => {
-                // Lines 13–19: enumerate adjacencies into per-destination
-                // buffers.
-                let pack_t = comm.trace_start();
-                let send = match pool {
-                    Some(pool) => {
-                        let batch_t = comm.trace_start();
-                        let send = pool.install(|| pack_parallel(local, &frontier, p));
-                        comm.trace_span(SpanKind::TaskBatch, batch_t, frontier.len() as u64);
-                        send
-                    }
-                    None => pack_serial(local, &frontier, p),
-                };
-                comm.trace_span(SpanKind::Pack, pack_t, frontier.len() as u64);
-                // Line 21: the all-to-all exchange of (target, parent)
-                // pairs — either the plain typed collective or the codec
-                // pipeline (dedup → sieve → encode → exchange → decode).
-                let exchange_t = comm.trace_start();
-                let recv = if codec == Codec::Off {
-                    comm.alltoallv(send)
-                } else {
-                    let (bufs, stats) = encode_exchange(
-                        comm,
-                        local,
-                        send,
-                        codec,
-                        visited_sieve.as_ref(),
-                        level,
-                        pool,
-                    );
-                    codec_levels.push(stats);
-                    bufs
-                };
-                let received: u64 = recv.iter().map(|b| b.len() as u64).sum();
-                comm.trace_span(SpanKind::Exchange, exchange_t, received);
-                // Lines 23–28: owners claim newly visited vertices.
-                let unpack_t = comm.trace_start();
-                let next = match pool {
-                    Some(pool) => {
-                        let batch_t = comm.trace_start();
-                        let next = pool
-                            .install(|| unpack_parallel(local, &recv, &levels, &parents, level));
-                        comm.trace_span(SpanKind::TaskBatch, batch_t, received);
-                        next
-                    }
-                    None => unpack_serial(local, &recv, &levels, &parents, level),
-                };
-                comm.trace_span(SpanKind::Unpack, unpack_t, next.len() as u64);
-                next
-            }
-        };
+        let next = top_down_level(
+            comm,
+            local,
+            &frontier,
+            codec,
+            visited_sieve.as_ref(),
+            overlap,
+            level,
+            pool,
+            &levels,
+            &parents,
+            &mut codec_levels,
+        );
         // Global termination test.
         let global_next = comm.allreduce(next.len() as u64, |a, b| a + b);
         // Attribute the level's wall time: everything outside collectives
@@ -227,6 +208,7 @@ fn rank_bfs(
             level: (level - 1) as u32,
             compute: level_start.elapsed().saturating_sub(comm_spent),
             comm: comm_spent,
+            direction: LevelDirection::TopDown,
         });
         comm.trace_span(SpanKind::Level, level_t, frontier.len() as u64);
         if global_next == 0 {
@@ -243,6 +225,345 @@ fn rank_bfs(
         level as u32,
         codec_levels,
     )
+}
+
+/// One top-down level: pack the frontier's adjacencies by owner, exchange
+/// (blocking or through the overlap pipeline), and let owners claim the
+/// newly visited vertices. Returns the local slice of the next frontier.
+#[allow(clippy::too_many_arguments)]
+fn top_down_level(
+    comm: &Comm,
+    local: &Local1d,
+    frontier: &[VertexId],
+    codec: Codec,
+    visited_sieve: Option<&Sieve>,
+    overlap: Option<NonZeroUsize>,
+    level: i64,
+    pool: Option<&rayon::ThreadPool>,
+    levels: &[AtomicI64],
+    parents: &[AtomicI64],
+    codec_levels: &mut Vec<LevelCodecStats>,
+) -> Vec<VertexId> {
+    let p = comm.size();
+    match overlap.filter(|_| codec != Codec::Off) {
+        // The chunked double-buffered pipeline: pack + sieve + encode
+        // chunk c+1 while chunk c is in flight on the nonblocking
+        // exchange, decoding/unpacking completed chunks as they land.
+        // `Codec::Off` has no wire buffers to pipeline, so it always
+        // takes the blocking path below.
+        Some(k) => {
+            let (next, stats) = overlapped_level(
+                comm,
+                local,
+                frontier,
+                codec,
+                visited_sieve,
+                level,
+                pool,
+                k.get(),
+                levels,
+                parents,
+            );
+            codec_levels.push(stats);
+            next
+        }
+        None => {
+            // Lines 13–19: enumerate adjacencies into per-destination
+            // buffers.
+            let pack_t = comm.trace_start();
+            let send = match pool {
+                Some(pool) => {
+                    let batch_t = comm.trace_start();
+                    let send = pool.install(|| pack_parallel(local, frontier, p));
+                    comm.trace_span(SpanKind::TaskBatch, batch_t, frontier.len() as u64);
+                    send
+                }
+                None => pack_serial(local, frontier, p),
+            };
+            comm.trace_span(SpanKind::Pack, pack_t, frontier.len() as u64);
+            // Line 21: the all-to-all exchange of (target, parent)
+            // pairs — either the plain typed collective or the codec
+            // pipeline (dedup → sieve → encode → exchange → decode).
+            let exchange_t = comm.trace_start();
+            let recv = if codec == Codec::Off {
+                comm.alltoallv(send)
+            } else {
+                let (bufs, stats) =
+                    encode_exchange(comm, local, send, codec, visited_sieve, level, pool);
+                codec_levels.push(stats);
+                bufs
+            };
+            let received: u64 = recv.iter().map(|b| b.len() as u64).sum();
+            comm.trace_span(SpanKind::Exchange, exchange_t, received);
+            // Lines 23–28: owners claim newly visited vertices.
+            let unpack_t = comm.trace_start();
+            let next = match pool {
+                Some(pool) => {
+                    let batch_t = comm.trace_start();
+                    let next =
+                        pool.install(|| unpack_parallel(local, &recv, levels, parents, level));
+                    comm.trace_span(SpanKind::TaskBatch, batch_t, received);
+                    next
+                }
+                None => unpack_serial(local, &recv, levels, parents, level),
+            };
+            comm.trace_span(SpanKind::Unpack, unpack_t, next.len() as u64);
+            next
+        }
+    }
+}
+
+/// The direction-optimizing level loop (Buluç–Beamer–Madduri,
+/// arXiv:1705.04590 §4 adapted to the 1D partition): each level runs
+/// either the top-down exchange of Algorithm 2 or a distributed bottom-up
+/// step — the global frontier is allgathered as a bitmap and every
+/// locally-owned unvisited vertex probes its in-neighbors against it,
+/// claiming a parent on the first hit.
+///
+/// The αβ switch replicates `crate::direction` exactly, but every input
+/// (frontier size, frontier out-edges, edges examined, explored edges) is
+/// a *global* count carried by one `[u64; 3]` allreduce per level, so all
+/// ranks compute the identical decision and the collective schedule stays
+/// symmetric with no extra broadcast. Level arrays therefore match the
+/// serial oracle; bottom-up parents are the first hit in CSR adjacency
+/// order, deterministic across rank counts.
+#[allow(clippy::too_many_arguments)]
+fn hybrid_loop(
+    comm: &Comm,
+    local: &Local1d,
+    mut frontier: Vec<VertexId>,
+    pool: Option<&rayon::ThreadPool>,
+    codec: Codec,
+    visited_sieve: Option<&Sieve>,
+    overlap: Option<NonZeroUsize>,
+    direction: DirectionMode,
+    levels: &[AtomicI64],
+    parents: &[AtomicI64],
+) -> (u32, Vec<LevelCodecStats>) {
+    let dir_cfg = DirectionConfig::default();
+    let n_global = local.block.domain();
+    let mut codec_levels: Vec<LevelCodecStats> = Vec::new();
+    let add3 = |a: [u64; 3], b: [u64; 3]| [a[0] + b[0], a[1] + b[1], a[2] + b[2]];
+    let out_edges =
+        |f: &[VertexId]| -> u64 { f.iter().map(|&u| local.neighbors(u).len() as u64).sum() };
+
+    // Seed the global heuristic state: one allreduce folds the edge total
+    // and the source frontier's size/out-edges together.
+    let [total_edges, mut gfrontier, mut gfrontier_edges] = comm.allreduce(
+        [
+            local.num_local_edges() as u64,
+            frontier.len() as u64,
+            out_edges(&frontier),
+        ],
+        add3,
+    );
+    let mut explored_edges = gfrontier_edges;
+    let mut reached = gfrontier;
+    let mut prev_gfrontier = 0u64;
+    let mut bottom_up = false;
+    let mut alpha_eff = dir_cfg.alpha.max(1);
+    let mut level: i64 = 1;
+    loop {
+        comm.trace_enter_level(level - 1);
+        let level_t = comm.trace_start();
+        let level_start = Instant::now();
+        let comm_before = comm.comm_wall();
+        // The per-level decision — identical on every rank because all of
+        // its inputs are allreduced global counts (see `crate::direction`
+        // for the heuristic's rationale).
+        match direction {
+            DirectionMode::BottomUp => bottom_up = true,
+            DirectionMode::Hybrid => {
+                let unexplored = total_edges.saturating_sub(explored_edges);
+                let growing = gfrontier > prev_gfrontier;
+                let unvisited = n_global - reached;
+                if !bottom_up
+                    && dir_cfg.alpha > 0
+                    && growing
+                    && gfrontier_edges > unexplored / alpha_eff
+                    && unvisited < gfrontier_edges
+                {
+                    bottom_up = true;
+                } else if bottom_up && dir_cfg.beta > 0 && gfrontier * dir_cfg.beta < n_global {
+                    bottom_up = false;
+                }
+            }
+            DirectionMode::TopDown => unreachable!("handled by the plain loop"),
+        }
+        prev_gfrontier = gfrontier;
+        let dir = if bottom_up {
+            LevelDirection::BottomUp
+        } else {
+            LevelDirection::TopDown
+        };
+        let dir_t = comm.trace_start();
+        comm.trace_span(SpanKind::Direction, dir_t, dir.tag());
+
+        let (next, examined_local) = if bottom_up {
+            let (next, examined) = bottom_up_level(
+                comm,
+                local,
+                &mut frontier,
+                level,
+                pool,
+                levels,
+                parents,
+                &mut codec_levels,
+            );
+            (next, examined)
+        } else {
+            // A top-down level examines every out-edge of the frontier —
+            // exactly this rank's packed adjacencies.
+            let examined = out_edges(&frontier);
+            let next = top_down_level(
+                comm,
+                local,
+                &frontier,
+                codec,
+                visited_sieve,
+                overlap,
+                level,
+                pool,
+                levels,
+                parents,
+                &mut codec_levels,
+            );
+            (next, examined)
+        };
+
+        // Termination test + heuristic refresh in one collective: the next
+        // frontier's global size and out-edges, and the level's globally
+        // examined edges (for the adaptive backoff).
+        let [gnext, gnext_edges, gexamined] =
+            comm.allreduce([next.len() as u64, out_edges(&next), examined_local], add3);
+        explored_edges += gnext_edges;
+        reached += gnext;
+        if bottom_up && gexamined > gfrontier_edges {
+            // The round lost (same rule and floor as `crate::direction`):
+            // raise the re-entry bar and fall back to top-down.
+            alpha_eff = (alpha_eff / 8).max(1);
+            bottom_up = false;
+        }
+        let comm_spent = comm.comm_wall() - comm_before;
+        comm.push_level_timing(LevelTiming {
+            level: (level - 1) as u32,
+            compute: level_start.elapsed().saturating_sub(comm_spent),
+            comm: comm_spent,
+            direction: dir,
+        });
+        comm.trace_span(SpanKind::Level, level_t, frontier.len() as u64);
+        if gnext == 0 {
+            comm.trace_enter_level(dmbfs_trace::NO_LEVEL);
+            break;
+        }
+        gfrontier = gnext;
+        gfrontier_edges = gnext_edges;
+        frontier = next;
+        level += 1;
+    }
+    (level as u32, codec_levels)
+}
+
+/// One distributed bottom-up level. The rank's frontier slice (owned
+/// vertices at distance `level - 1`) travels as a [`Codec::Bitmap`]
+/// `encode_set` payload through one `allgatherv_wire`; the decoded slices
+/// form the global frontier bitmap, and the owner-side scan claims every
+/// locally-owned unvisited vertex whose adjacency hits the bitmap — first
+/// hit in CSR order, so parents are deterministic for any rank count.
+/// Returns the next local frontier and the number of edges examined.
+#[allow(clippy::too_many_arguments)]
+fn bottom_up_level(
+    comm: &Comm,
+    local: &Local1d,
+    frontier: &mut [VertexId],
+    level: i64,
+    pool: Option<&rayon::ThreadPool>,
+    levels: &[AtomicI64],
+    parents: &[AtomicI64],
+    codec_levels: &mut Vec<LevelCodecStats>,
+) -> (Vec<VertexId>, u64) {
+    // The set encoder wants sorted-unique vertices; claims arrive once per
+    // vertex, so sorting suffices.
+    frontier.sort_unstable();
+    let broadcast_t = comm.trace_start();
+    let mine = encode_set(frontier, local.range.clone(), Codec::Bitmap);
+    let mut stats = LevelCodecStats {
+        level: level as usize,
+        ..Default::default()
+    };
+    stats.note(&mine);
+    codec_levels.push(stats);
+    let slices = comm.allgatherv_wire(mine);
+    // Assemble the global frontier bitmap (one bit per vertex of the
+    // domain) from the decoded per-rank slices.
+    let domain = local.block.domain() as usize;
+    let mut bits = vec![0u64; domain.div_ceil(64)];
+    let mut global_frontier = 0u64;
+    for buf in &slices {
+        for v in decode_set(buf) {
+            bits[(v / 64) as usize] |= 1 << (v % 64);
+            global_frontier += 1;
+        }
+    }
+    comm.trace_span(SpanKind::BitmapBroadcast, broadcast_t, global_frontier);
+
+    // Owner-side scan: each unvisited owned vertex probes its adjacency
+    // against the bitmap, exiting at the first hit. Rows are independent
+    // (each claims only its own vertex), so the hybrid pool splits the
+    // owned range with no synchronization beyond the atomic stores.
+    let scan_t = comm.trace_start();
+    let in_frontier = |u: VertexId| bits[(u / 64) as usize] >> (u % 64) & 1 == 1;
+    let scan_one = |i: usize, next: &mut Vec<VertexId>, examined: &mut u64| {
+        if levels[i].load(Ordering::Relaxed) != UNREACHED {
+            return;
+        }
+        let v = local.to_global(i);
+        for &u in local.neighbors(v) {
+            *examined += 1;
+            if in_frontier(u) {
+                levels[i].store(level, Ordering::Relaxed);
+                parents[i].store(u as i64, Ordering::Relaxed);
+                next.push(v);
+                break;
+            }
+        }
+    };
+    let (next, examined) = match pool {
+        Some(pool) => {
+            let batch_t = comm.trace_start();
+            let out = pool.install(|| {
+                (0..local.count())
+                    .into_par_iter()
+                    .with_min_len(64)
+                    .fold(
+                        || (Vec::new(), 0u64),
+                        |(mut next, mut examined), i| {
+                            scan_one(i, &mut next, &mut examined);
+                            (next, examined)
+                        },
+                    )
+                    .reduce(
+                        || (Vec::new(), 0u64),
+                        |(mut a, ae), (mut b, be)| {
+                            a.append(&mut b);
+                            (a, ae + be)
+                        },
+                    )
+            });
+            comm.trace_span(SpanKind::TaskBatch, batch_t, local.count() as u64);
+            out
+        }
+        None => {
+            let mut next = Vec::new();
+            let mut examined = 0u64;
+            for i in 0..local.count() {
+                scan_one(i, &mut next, &mut examined);
+            }
+            (next, examined)
+        }
+    };
+    comm.trace_span(SpanKind::BottomUpScan, scan_t, examined);
+    (next, examined)
 }
 
 /// The codec pipeline around the all-to-all: per destination, sort the
@@ -703,6 +1024,131 @@ mod tests {
         let g = CsrGraph::from_edge_list(&path(3));
         let out = bfs1d(&g, 0, &Bfs1dConfig::flat(6));
         assert_eq!(out.levels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hybrid_direction_matches_serial_oracle_and_schedule() {
+        let g = rmat_graph(11, 7);
+        let expected = serial_bfs(&g, 0);
+        let serial_dir = crate::direction::direction_optimizing_bfs(&g, 0);
+        for p in [1, 3, 4] {
+            let cfg = Bfs1dConfig::flat(p).with_direction(DirectionMode::Hybrid);
+            let run = bfs1d_run(&g, 0, &cfg);
+            assert_eq!(run.output.levels, expected.levels, "p = {p}");
+            validate_bfs(&g, 0, &run.output.parents, &run.output.levels).unwrap();
+            // The distributed heuristic consumes the same (now allreduced)
+            // counts as the serial one, so the schedules must agree level
+            // for level.
+            let dirs = run.level_directions();
+            let serial_dirs: Vec<LevelDirection> = serial_dir
+                .steps
+                .iter()
+                .map(|s| match s.direction {
+                    crate::direction::Direction::TopDown => LevelDirection::TopDown,
+                    crate::direction::Direction::BottomUp => LevelDirection::BottomUp,
+                })
+                .collect();
+            assert_eq!(dirs, serial_dirs, "p = {p}");
+            assert!(
+                dirs.contains(&LevelDirection::BottomUp),
+                "R-MAT peak levels should trigger bottom-up: {dirs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_bottom_up_is_deterministic_across_rank_counts() {
+        let g = rmat_graph(9, 4);
+        let expected = serial_bfs(&g, 3);
+        let baseline = bfs1d_run(
+            &g,
+            3,
+            &Bfs1dConfig::flat(1).with_direction(DirectionMode::BottomUp),
+        );
+        assert_eq!(baseline.output.levels, expected.levels);
+        validate_bfs(&g, 3, &baseline.output.parents, &baseline.output.levels).unwrap();
+        assert!(baseline
+            .level_directions()
+            .iter()
+            .all(|&d| d == LevelDirection::BottomUp));
+        for p in [2, 5, 8] {
+            let cfg = Bfs1dConfig::flat(p).with_direction(DirectionMode::BottomUp);
+            let run = bfs1d_run(&g, 3, &cfg);
+            // Bottom-up parents are the first hit in CSR adjacency order —
+            // identical whatever the rank count.
+            assert_eq!(run.output.parents, baseline.output.parents, "p = {p}");
+            assert_eq!(run.output.levels, expected.levels, "p = {p}");
+        }
+        // The hybrid pool scans the same vertices with the same probe
+        // order, so threading changes nothing either.
+        let hybrid = bfs1d_run(
+            &g,
+            3,
+            &Bfs1dConfig::hybrid(3, 2).with_direction(DirectionMode::BottomUp),
+        );
+        assert_eq!(hybrid.output.parents, baseline.output.parents);
+    }
+
+    #[test]
+    fn hybrid_levels_tag_directions_in_timings_and_trace() {
+        let g = rmat_graph(10, 7);
+        let cfg = Bfs1dConfig::flat(4)
+            .with_direction(DirectionMode::Hybrid)
+            .with_trace(true);
+        let run = bfs1d_run(&g, 0, &cfg);
+        let dirs = run.level_directions();
+        assert_eq!(dirs.len() as u32, run.num_levels);
+        assert!(dirs.contains(&LevelDirection::BottomUp));
+        // Every rank records the identical schedule.
+        for stats in &run.per_rank_stats {
+            let rank_dirs: Vec<LevelDirection> =
+                stats.level_timings.iter().map(|t| t.direction).collect();
+            assert_eq!(rank_dirs, dirs);
+        }
+        for t in &run.per_rank_trace {
+            // One Direction span per level, detail = the direction tag.
+            let spans: Vec<_> = t
+                .spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Direction)
+                .collect();
+            assert_eq!(spans.len() as u32, run.num_levels);
+            for s in &spans {
+                assert_eq!(
+                    LevelDirection::from_tag(s.detail),
+                    dirs[s.level as usize],
+                    "trace tag matches the recorded schedule"
+                );
+            }
+            // Bottom-up levels carry the broadcast + scan phase spans.
+            let bu_levels = dirs
+                .iter()
+                .filter(|&&d| d == LevelDirection::BottomUp)
+                .count();
+            let count = |k| t.spans.iter().filter(|s| s.kind == k).count();
+            assert_eq!(count(SpanKind::BitmapBroadcast), bu_levels);
+            assert_eq!(count(SpanKind::BottomUpScan), bu_levels);
+        }
+    }
+
+    #[test]
+    fn hybrid_composes_with_codec_sieve_and_overlap() {
+        let g = rmat_graph(9, 11);
+        let expected = serial_bfs(&g, 2);
+        for codec in [Codec::Off, Codec::Adaptive] {
+            for overlap in [None, std::num::NonZeroUsize::new(2)] {
+                let cfg = Bfs1dConfig::flat(4)
+                    .with_direction(DirectionMode::Hybrid)
+                    .with_codec(codec)
+                    .with_overlap(overlap);
+                let run = bfs1d_run(&g, 2, &cfg);
+                assert_eq!(
+                    run.output.levels, expected.levels,
+                    "codec {codec:?}, overlap {overlap:?}"
+                );
+                validate_bfs(&g, 2, &run.output.parents, &run.output.levels).unwrap();
+            }
+        }
     }
 
     #[test]

@@ -108,6 +108,7 @@ impl PageRankConfig {
             faults: self.faults,
             verify_timeout: self.verify_timeout,
             overlap: None,
+            direction: dmbfs_runtime::DirectionMode::TopDown,
         }
     }
 }

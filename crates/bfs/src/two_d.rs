@@ -205,6 +205,9 @@ impl Bfs2dConfig {
             faults: self.faults,
             verify_timeout: self.verify_timeout,
             overlap: self.overlap,
+            // The 2D SpMSV driver has no bottom-up step; its runtime view
+            // is always top-down.
+            direction: dmbfs_runtime::DirectionMode::TopDown,
         }
     }
 }
@@ -608,6 +611,7 @@ impl RankState {
                 level: (level - 1) as u32,
                 compute: level_start.elapsed().saturating_sub(comm_spent),
                 comm: comm_spent,
+                direction: Default::default(),
             });
             comm.trace_span(SpanKind::Level, level_t, frontier.len() as u64);
             if total == 0 {

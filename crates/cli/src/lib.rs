@@ -12,9 +12,9 @@
 //!   weighted instances.
 //! * `convert` — binary ↔ Matrix Market.
 //! * `chaos` — sweep the deterministic fault grid (algorithm × fault kind
-//!   × rank × level) under the collective verifier and ledger whether each
-//!   injected fault was detected with a typed root-cause report — see
-//!   `docs/fault-injection.md`.
+//!   × rank × level × overlap × direction) under the collective verifier
+//!   and ledger whether each injected fault was detected with a typed
+//!   root-cause report — see `docs/fault-injection.md`.
 //!
 //! The argument grammar is deliberately tiny (`--key value` pairs after a
 //! subcommand); everything is also available as a library call for tests.
@@ -38,7 +38,8 @@ use dmbfs_graph::stats::{approx_diameter, degree_stats};
 use dmbfs_graph::weighted::{attach_uniform_weights, WeightedCsr};
 use dmbfs_graph::{io, CsrGraph, EdgeList, Grid2D, RandomPermutation};
 use dmbfs_runtime::{
-    FailStopExit, FaultKind, FaultPlan, FaultSpec, FaultTrigger, InjectedFault, RunConfig,
+    DirectionMode, FailStopExit, FaultKind, FaultPlan, FaultSpec, FaultTrigger, InjectedFault,
+    RunConfig,
 };
 use dmbfs_trace::RankTrace;
 use serde::Serialize;
@@ -170,10 +171,11 @@ USAGE:
   dmbfs bfs FILE [--algorithm serial|shared|direction|1d|2d] [--ranks P]
                  [--threads T] [--source V] [--validate true]
                  [--codec off|raw|varint|bitmap|adaptive] [--sieve true|false]
-                 [--overlap N] [--verify true|false] [--fault SPEC[;SPEC]]
+                 [--overlap N] [--direction topdown|bottomup|hybrid (1d only)]
+                 [--verify true|false] [--fault SPEC[;SPEC]]
                  [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs teps FILE [--algorithm ...] [--ranks P] [--threads T] [--sources N]
-                  [--codec ...] [--sieve ...] [--overlap N]
+                  [--codec ...] [--sieve ...] [--overlap N] [--direction ...]
                   [--verify true|false] [--fault SPEC[;SPEC]]
                   [--trace FILE] [--trace-format chrome|jsonl]
   dmbfs components FILE [--ranks P] [--threads T] [--verify true|false]
@@ -191,6 +193,7 @@ USAGE:
   dmbfs chaos [--scale S] [--edge-factor E] [--ranks P] [--seed X]
               [--algorithms 1d,2d] [--kinds panic,failstop,delay,corrupt]
               [--inject-ranks R,R] [--levels L,L] [--overlaps 0,2]
+              [--directions topdown,hybrid (hybrid: 1d only)]
               [--timeout-secs T] [--delay-ms MS] [--out FILE]
   dmbfs help
 
@@ -297,6 +300,10 @@ struct WireOpts {
     /// double-buffered nonblocking pipeline. `None` keeps the blocking
     /// exchange. Ignored under `--codec off` (no wire path to overlap).
     overlap: Option<NonZeroUsize>,
+    /// `--direction topdown|bottomup|hybrid`: the traversal-direction
+    /// policy of the 1D driver (the only distributed driver with a
+    /// bottom-up step). See docs/direction-optimizing.md.
+    direction: DirectionMode,
 }
 
 impl WireOpts {
@@ -304,6 +311,10 @@ impl WireOpts {
         let codec = args
             .opt_str("codec", "adaptive")
             .parse::<Codec>()
+            .map_err(err)?;
+        let direction = args
+            .opt_str("direction", "topdown")
+            .parse::<DirectionMode>()
             .map_err(err)?;
         let sieve = args.opt_bool("sieve", true)?;
         let overlap = match args.options.get("overlap") {
@@ -322,6 +333,7 @@ impl WireOpts {
             codec,
             sieve,
             overlap,
+            direction,
         })
     }
 }
@@ -497,6 +509,17 @@ fn mode_line(algorithm: &str, ranks: usize, threads: usize) -> String {
     }
 }
 
+/// The ` direction X` suffix of the bfs/teps report header. Only the 1D
+/// driver honors `--direction`, so only its header carries the tag — the
+/// other algorithms stay byte-identical to their pre-direction output.
+fn direction_note(algorithm: &str, direction: DirectionMode) -> String {
+    if algorithm == "1d" {
+        format!(" direction {}", direction.name())
+    } else {
+        String::new()
+    }
+}
+
 /// One algorithm invocation: the BFS output, the runner's own
 /// barrier-to-barrier seconds when it measures them (the distributed
 /// drivers do; the single-process variants return `None`), and the
@@ -527,6 +550,16 @@ fn run_algorithm_traced(
             "--fault requires a distributed algorithm (1d|2d), got '{algorithm}'"
         )));
     }
+    // Only the 1D driver has a distributed bottom-up step; the serial
+    // `direction` algorithm has its own heuristic and the 2D SpMSV driver
+    // is top-down by construction.
+    if wire.direction != DirectionMode::TopDown && algorithm != "1d" {
+        return Err(err(format!(
+            "--direction {} requires the 1d algorithm (only the 1D driver has a \
+             distributed bottom-up step), got '{algorithm}'",
+            wire.direction.name()
+        )));
+    }
     Ok(match algorithm {
         "serial" => (serial_bfs(g, source), None, Vec::new()),
         "shared" => (shared_bfs(g, source), None, Vec::new()),
@@ -544,6 +577,7 @@ fn run_algorithm_traced(
             .with_codec(wire.codec)
             .with_sieve(wire.sieve)
             .with_overlap(wire.overlap)
+            .with_direction(wire.direction)
             .with_trace(observe.trace)
             .with_verify(observe.verify)
             .with_faults(faults);
@@ -607,8 +641,9 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
             .map_err(|e| err(format!("validation failed: {e}")))?;
     }
     let edges = teps_edges(&g, &out);
+    let dir_note = direction_note(&algorithm, wire.direction);
     let mut report = format!(
-        "{}\nalgorithm {algorithm} source {source}: reached {} of {} vertices, depth {}, \
+        "{}\nalgorithm {algorithm}{dir_note} source {source}: reached {} of {} vertices, depth {}, \
          {} edges, {:.1} ms, {:.2} MTEPS (validated)",
         mode_line(&algorithm, ranks, threads),
         out.num_reached(),
@@ -656,9 +691,10 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
             },
         ))
     })?;
+    let dir_note = direction_note(&algorithm, wire.direction);
     let mut out = format!(
-        "{}\nalgorithm {algorithm}: {} sources, {:.2} MTEPS aggregate, {:.2} MTEPS harmonic mean, \
-         {:.1} ms mean search time",
+        "{}\nalgorithm {algorithm}{dir_note}: {} sources, {:.2} MTEPS aggregate, \
+         {:.2} MTEPS harmonic mean, {:.1} ms mean search time",
         mode_line(&algorithm, ranks, threads),
         report.runs.len(),
         report.mteps(),
@@ -889,6 +925,10 @@ struct ChaosCell {
     /// Exchange pipeline depth the cell ran under: 0 = blocking
     /// `alltoallv_wire`, k ≥ 1 = `--overlap k` nonblocking pipeline.
     overlap: usize,
+    /// Traversal-direction policy the cell ran under. Hybrid cells route
+    /// the fault through the bottom-up path's `allgatherv_wire` bitmap
+    /// broadcast instead of the top-down alltoallv exchange.
+    direction: String,
     detection: String,
     typed: bool,
     named_rank: bool,
@@ -1012,7 +1052,8 @@ fn classify_payload(payload: &(dyn std::any::Any + Send), injected: usize) -> Ce
 }
 
 /// `dmbfs chaos`: sweep the deterministic fault grid — algorithm × fault
-/// kind × injected rank × BFS level × exchange-pipeline depth — over one
+/// kind × injected rank × BFS level × exchange-pipeline depth × traversal
+/// direction — over one
 /// internally generated R-MAT instance, always under the collective
 /// verifier with a short watchdog, and ledger how every cell was detected.
 /// See docs/fault-injection.md.
@@ -1107,6 +1148,27 @@ fn cmd_chaos(args: &Args) -> Result<String, CliError> {
     if overlaps.is_empty() {
         return Err(err("--overlaps must name at least one pipeline depth"));
     }
+    // Direction slices: top-down exercises the alltoallv exchange, hybrid
+    // additionally routes levels through the bitmap-broadcast/bottom-up
+    // path, so faults landing there get detection coverage too.
+    let mut directions = Vec::new();
+    for t in split_list(&args.opt_str("directions", "topdown")) {
+        let d: DirectionMode = t.parse().map_err(err)?;
+        if !directions.contains(&d) {
+            directions.push(d);
+        }
+    }
+    if directions.is_empty() {
+        return Err(err("--directions must name at least one direction"));
+    }
+    if directions.iter().any(|&d| d != DirectionMode::TopDown)
+        && algorithms.iter().any(|a| a == "2d")
+    {
+        return Err(err(
+            "--directions beyond topdown require --algorithms 1d: only the 1D \
+             driver has a distributed bottom-up step",
+        ));
+    }
 
     let mut el = rmat(&RmatConfig::graph500_ef(scale, ef, seed));
     el.canonicalize_undirected();
@@ -1119,7 +1181,12 @@ fn cmd_chaos(args: &Args) -> Result<String, CliError> {
         .ok_or_else(|| err("generated graph has no usable source"))?;
 
     let timeout = Duration::from_secs(timeout_secs);
-    let total = algorithms.len() * kinds.len() * inject_ranks.len() * levels.len() * overlaps.len();
+    let total = algorithms.len()
+        * kinds.len()
+        * inject_ranks.len()
+        * levels.len()
+        * overlaps.len()
+        * directions.len();
     let mut report = String::new();
     writeln!(
         report,
@@ -1129,12 +1196,13 @@ fn cmd_chaos(args: &Args) -> Result<String, CliError> {
     writeln!(
         report,
         "grid: {} algorithm(s) x {} kind(s) x {} rank(s) x {} level(s) x {} overlap(s) \
-         = {total} cells, verify watchdog {timeout_secs} s",
+         x {} direction(s) = {total} cells, verify watchdog {timeout_secs} s",
         algorithms.len(),
         kinds.len(),
         inject_ranks.len(),
         levels.len(),
         overlaps.len(),
+        directions.len(),
     )
     .unwrap();
 
@@ -1150,80 +1218,87 @@ fn cmd_chaos(args: &Args) -> Result<String, CliError> {
             for &inj_rank in &inject_ranks {
                 for &level in &levels {
                     for &ov in &overlaps {
-                        cell_idx += 1;
-                        let kind = match kind_s.as_str() {
-                            "panic" => FaultKind::Panic,
-                            "failstop" => FaultKind::FailStop,
-                            "delay" => FaultKind::Delay { millis: delay_ms },
-                            _ => FaultKind::CorruptWire {
-                                seed: seed ^ cell_idx.wrapping_mul(0x9E37_79B9),
-                            },
-                        };
-                        let plan = FaultPlan::none().with_fault(FaultSpec {
-                            rank: inj_rank,
-                            trigger: FaultTrigger::AtLevel(level),
-                            collective: None,
-                            kind,
-                        });
-                        let overlap = NonZeroUsize::new(ov);
-                        let t0 = Instant::now();
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            if alg == "1d" {
-                                let cfg = Bfs1dConfig::flat(ranks)
-                                    .with_overlap(overlap)
-                                    .with_verify(true)
-                                    .with_verify_timeout(timeout)
-                                    .with_faults(plan);
-                                bfs1d_run(&g, source, &cfg).output
-                            } else {
-                                let cfg = Bfs2dConfig::flat(Grid2D::closest_square(ranks))
-                                    .with_overlap(overlap)
-                                    .with_verify(true)
-                                    .with_verify_timeout(timeout)
-                                    .with_faults(plan);
-                                bfs2d_run(&g, source, &cfg).output
-                            }
-                        }));
-                        let millis = t0.elapsed().as_secs_f64() * 1e3;
-                        let outcome = match &result {
-                            Ok(_) => CellOutcome {
-                                detection: "completed",
-                                typed: false,
-                                named_rank: false,
+                        for &dir in &directions {
+                            cell_idx += 1;
+                            let kind = match kind_s.as_str() {
+                                "panic" => FaultKind::Panic,
+                                "failstop" => FaultKind::FailStop,
+                                "delay" => FaultKind::Delay { millis: delay_ms },
+                                _ => FaultKind::CorruptWire {
+                                    seed: seed ^ cell_idx.wrapping_mul(0x9E37_79B9),
+                                },
+                            };
+                            let plan = FaultPlan::none().with_fault(FaultSpec {
+                                rank: inj_rank,
+                                trigger: FaultTrigger::AtLevel(level),
                                 collective: None,
-                                detail: "run finished; the scheduled fault never fired".to_string(),
-                            },
-                            Err(payload) => classify_payload(payload.as_ref(), inj_rank),
-                        };
-                        writeln!(
-                            report,
-                            "  {alg:>2} {kind_s:<8} r{inj_rank} level{level} ov{ov} -> {:<18} \
-                             [{}{}] {millis:.0} ms",
-                            outcome.detection,
-                            if outcome.named_rank {
-                                "rank named"
-                            } else {
-                                "rank NOT named"
-                            },
-                            match &outcome.collective {
-                                Some(c) => format!(", {c}"),
-                                None => String::new(),
-                            },
-                        )
-                        .unwrap();
-                        cells.push(ChaosCell {
-                            algorithm: alg.clone(),
-                            kind: kind_s.clone(),
-                            rank: inj_rank,
-                            level,
-                            overlap: ov,
-                            detection: outcome.detection.to_string(),
-                            typed: outcome.typed,
-                            named_rank: outcome.named_rank,
-                            collective: outcome.collective,
-                            millis,
-                            detail: outcome.detail,
-                        });
+                                kind,
+                            });
+                            let overlap = NonZeroUsize::new(ov);
+                            let t0 = Instant::now();
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if alg == "1d" {
+                                        let cfg = Bfs1dConfig::flat(ranks)
+                                            .with_overlap(overlap)
+                                            .with_direction(dir)
+                                            .with_verify(true)
+                                            .with_verify_timeout(timeout)
+                                            .with_faults(plan);
+                                        bfs1d_run(&g, source, &cfg).output
+                                    } else {
+                                        let cfg = Bfs2dConfig::flat(Grid2D::closest_square(ranks))
+                                            .with_overlap(overlap)
+                                            .with_verify(true)
+                                            .with_verify_timeout(timeout)
+                                            .with_faults(plan);
+                                        bfs2d_run(&g, source, &cfg).output
+                                    }
+                                }));
+                            let millis = t0.elapsed().as_secs_f64() * 1e3;
+                            let outcome = match &result {
+                                Ok(_) => CellOutcome {
+                                    detection: "completed",
+                                    typed: false,
+                                    named_rank: false,
+                                    collective: None,
+                                    detail: "run finished; the scheduled fault never fired"
+                                        .to_string(),
+                                },
+                                Err(payload) => classify_payload(payload.as_ref(), inj_rank),
+                            };
+                            writeln!(
+                                report,
+                                "  {alg:>2} {kind_s:<8} r{inj_rank} level{level} ov{ov} \
+                                 {:<8} -> {:<18} [{}{}] {millis:.0} ms",
+                                dir.name(),
+                                outcome.detection,
+                                if outcome.named_rank {
+                                    "rank named"
+                                } else {
+                                    "rank NOT named"
+                                },
+                                match &outcome.collective {
+                                    Some(c) => format!(", {c}"),
+                                    None => String::new(),
+                                },
+                            )
+                            .unwrap();
+                            cells.push(ChaosCell {
+                                algorithm: alg.clone(),
+                                kind: kind_s.clone(),
+                                rank: inj_rank,
+                                level,
+                                overlap: ov,
+                                direction: dir.name().to_string(),
+                                detection: outcome.detection.to_string(),
+                                typed: outcome.typed,
+                                named_rank: outcome.named_rank,
+                                collective: outcome.collective,
+                                millis,
+                                detail: outcome.detail,
+                            });
+                        }
                     }
                 }
             }
@@ -1967,6 +2042,179 @@ mod tests {
         assert!(run(&args(&["chaos", "--inject-ranks", "9"])).is_err());
         assert!(run(&args(&["chaos", "--algorithms", "3d"])).is_err());
         assert!(run(&args(&["chaos", "--timeout-secs", "0"])).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bfs_direction_flag_runs_and_is_gated_to_1d() {
+        let dir = tmpdir();
+        let file = dir.join("dir.bin");
+        let file_s = file.to_str().unwrap();
+        run(&args(&[
+            "generate", "--model", "rmat", "--scale", "9", "--out", file_s,
+        ]))
+        .unwrap();
+
+        for direction in ["topdown", "bottomup", "hybrid"] {
+            let msg = run(&args(&[
+                "bfs",
+                file_s,
+                "--algorithm",
+                "1d",
+                "--ranks",
+                "4",
+                "--direction",
+                direction,
+            ]))
+            .unwrap();
+            assert!(msg.contains("validated"), "{direction}: {msg}");
+            assert!(
+                msg.contains(&format!("algorithm 1d direction {direction}")),
+                "{direction}: {msg}"
+            );
+        }
+
+        // Hybrid composes with the rest of the exchange/observer stack.
+        let traced = dir.join("dir.jsonl");
+        let msg = run(&args(&[
+            "bfs",
+            file_s,
+            "--algorithm",
+            "1d",
+            "--ranks",
+            "4",
+            "--direction",
+            "hybrid",
+            "--overlap",
+            "2",
+            "--verify",
+            "true",
+            "--trace",
+            traced.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+        ]))
+        .unwrap();
+        assert!(msg.contains("validated"), "{msg}");
+        let traces = dmbfs_trace::from_jsonl(&std::fs::read_to_string(&traced).unwrap()).unwrap();
+        assert!(
+            traces[0]
+                .spans
+                .iter()
+                .any(|s| s.kind == dmbfs_trace::SpanKind::Direction),
+            "hybrid trace carries per-level direction spans"
+        );
+
+        // Only the 1D driver has a bottom-up step.
+        for alg in ["serial", "shared", "direction", "2d"] {
+            let e = run(&args(&[
+                "bfs",
+                file_s,
+                "--algorithm",
+                alg,
+                "--ranks",
+                "4",
+                "--direction",
+                "hybrid",
+            ]))
+            .unwrap_err()
+            .0;
+            assert!(e.contains("requires the 1d algorithm"), "{alg}: {e}");
+        }
+        // ...but an explicit --direction topdown is a no-op everywhere.
+        let msg = run(&args(&[
+            "bfs",
+            file_s,
+            "--algorithm",
+            "2d",
+            "--ranks",
+            "4",
+            "--direction",
+            "topdown",
+        ]))
+        .unwrap();
+        assert!(msg.contains("validated"), "{msg}");
+        assert!(run(&args(&["bfs", file_s, "--direction", "sideways"])).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_hybrid_direction_faults_in_bitmap_broadcast_are_typed() {
+        let dir = tmpdir();
+        let out = dir.join("chaos-dir.json");
+        let out_s = out.to_str().unwrap();
+        // Forced bottom-up from level 1 on: the first collective at
+        // level ≥ 1 is the bitmap-broadcast allgather (or the heuristic
+        // allreduce), so the injected faults land inside the bottom-up
+        // machinery rather than the alltoallv exchange.
+        let msg = run(&args(&[
+            "chaos",
+            "--scale",
+            "8",
+            "--ranks",
+            "4",
+            "--algorithms",
+            "1d",
+            "--kinds",
+            "panic,corrupt",
+            "--inject-ranks",
+            "2",
+            "--levels",
+            "1",
+            "--overlaps",
+            "0",
+            "--directions",
+            "bottomup,hybrid",
+            "--timeout-secs",
+            "1",
+            "--out",
+            out_s,
+        ]))
+        .unwrap();
+        assert!(msg.contains("4/4 typed"), "{msg}");
+        assert!(msg.contains("4/4 named the injected rank"), "{msg}");
+
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(v["typed"] == 4i64, "{v:?}");
+        assert!(v["named_rank"] == 4i64, "{v:?}");
+        let cells = match &v["cells"] {
+            serde_json::Value::Seq(cells) => cells,
+            other => panic!("cells must be an array, got {other:?}"),
+        };
+        assert_eq!(cells.len(), 4);
+        for c in cells {
+            assert!(
+                c["direction"] == "bottomup" || c["direction"] == "hybrid",
+                "{c:?}"
+            );
+            assert!(c["typed"] == true, "{c:?}");
+            assert!(c["named_rank"] == true, "{c:?}");
+        }
+        // At least one cell names the bitmap broadcast's collective.
+        assert!(
+            cells
+                .iter()
+                .any(|c| c["collective"] == "allgatherv_wire" || c["collective"] == "allgatherv"),
+            "some fault should be pinned to the bottom-up allgather: {cells:?}"
+        );
+
+        // hybrid directions are rejected when the sweep includes 2d.
+        let e = run(&args(&[
+            "chaos",
+            "--scale",
+            "8",
+            "--ranks",
+            "4",
+            "--directions",
+            "hybrid",
+        ]))
+        .unwrap_err()
+        .0;
+        assert!(e.contains("--algorithms 1d"), "{e}");
+        assert!(run(&args(&["chaos", "--directions", "sideways"])).is_err());
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -79,7 +79,7 @@ pub use fault::{
     fault_disabled_hook_cost, FailStopExit, FaultKind, FaultPlan, FaultSpec, FaultTrigger,
     InjectedFault,
 };
-pub use stats::{CommEvent, CommStats, LevelTiming, Pattern};
+pub use stats::{CommEvent, CommStats, LevelDirection, LevelTiming, Pattern};
 pub use verify::{
     disabled_hook_cost as verify_disabled_hook_cost, CollectiveKind, FailureKind, PendingOp,
     VerifyConfig, VerifyFailure,

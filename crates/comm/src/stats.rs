@@ -50,6 +50,50 @@ impl Pattern {
     }
 }
 
+/// Which traversal direction a BFS level ran in — the per-level output of
+/// the Beamer αβ heuristic, recorded alongside the level's timing so
+/// stats, traces, and the imbalance analysis can attribute cost to the
+/// direction that incurred it. Lives here (not in the algorithm crates)
+/// because [`LevelTiming`] carries it through the comm harvest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LevelDirection {
+    /// Frontier-side expansion: owners push their frontier's out-edges.
+    #[default]
+    TopDown,
+    /// Owner-side scan: unvisited vertices probe in-neighbors against the
+    /// allgathered frontier bitmap.
+    BottomUp,
+}
+
+impl LevelDirection {
+    /// Stable lowercase name (JSON output, table rows, trace details).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LevelDirection::TopDown => "topdown",
+            LevelDirection::BottomUp => "bottomup",
+        }
+    }
+
+    /// Stable numeric tag for trace-span `detail` fields (0 = top-down,
+    /// 1 = bottom-up).
+    pub fn tag(&self) -> u64 {
+        match self {
+            LevelDirection::TopDown => 0,
+            LevelDirection::BottomUp => 1,
+        }
+    }
+
+    /// Inverse of [`LevelDirection::tag`]; any nonzero tag reads as
+    /// bottom-up.
+    pub fn from_tag(tag: u64) -> Self {
+        if tag == 0 {
+            LevelDirection::TopDown
+        } else {
+            LevelDirection::BottomUp
+        }
+    }
+}
+
 /// Per-BFS-level phase breakdown for one rank: how much of the level's
 /// wall time went to local compute (expansion, SpMSV, merges, codec
 /// work) versus communication (time inside collectives, including
@@ -64,6 +108,9 @@ pub struct LevelTiming {
     pub compute: Duration,
     /// Wall time inside collectives during this level.
     pub comm: Duration,
+    /// Which direction this level ran in. Always
+    /// [`LevelDirection::TopDown`] for drivers without a bottom-up step.
+    pub direction: LevelDirection,
 }
 
 /// One collective call as seen by one rank.
@@ -255,17 +302,29 @@ mod tests {
     }
 
     #[test]
+    fn direction_tags_round_trip() {
+        assert_eq!(LevelDirection::default(), LevelDirection::TopDown);
+        for d in [LevelDirection::TopDown, LevelDirection::BottomUp] {
+            assert_eq!(LevelDirection::from_tag(d.tag()), d);
+        }
+        assert_eq!(LevelDirection::TopDown.name(), "topdown");
+        assert_eq!(LevelDirection::BottomUp.name(), "bottomup");
+    }
+
+    #[test]
     fn level_timings_aggregate_and_merge() {
         let mut a = CommStats::default();
         a.level_timings.push(LevelTiming {
             level: 0,
             compute: Duration::from_micros(30),
             comm: Duration::from_micros(10),
+            direction: LevelDirection::TopDown,
         });
         a.level_timings.push(LevelTiming {
             level: 1,
             compute: Duration::from_micros(50),
             comm: Duration::from_micros(20),
+            direction: LevelDirection::BottomUp,
         });
         assert_eq!(a.compute_total(), Duration::from_micros(80));
         assert_eq!(a.comm_total(), Duration::from_micros(30));

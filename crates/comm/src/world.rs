@@ -487,6 +487,7 @@ mod tests {
                 level: 0,
                 compute: Duration::from_micros(5),
                 comm: comm_wall,
+                direction: Default::default(),
             });
             comm.take_stats()
         });

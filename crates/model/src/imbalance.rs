@@ -85,6 +85,14 @@ pub struct ImbalanceReport {
     pub total_hidden_ns: u64,
     /// Total compute time across all ranks and levels.
     pub total_compute_ns: u64,
+    /// Per-level traversal direction (`"topdown"` / `"bottomup"`), read
+    /// from the hybrid driver's per-level `Direction` spans (detail 0 =
+    /// top-down, 1 = bottom-up). `None` for levels without a direction
+    /// span — traces from the plain drivers predate the tag, and their
+    /// levels are implicitly top-down. Lets the heatmap attribute skew to
+    /// the direction that produced it: bottom-up levels wait in the
+    /// bitmap allgather, top-down levels in the alltoallv exchange.
+    pub level_directions: Vec<Option<String>>,
 }
 
 impl ImbalanceReport {
@@ -206,6 +214,18 @@ pub fn analyze(traces: &[RankTrace]) -> ImbalanceReport {
             }
         }
     }
+    // Direction tags: any rank's Direction span works (the decision is
+    // computed from allreduced counts, so all ranks record the same tag).
+    let mut level_directions: Vec<Option<String>> = vec![None; levels];
+    for t in traces {
+        for s in &t.spans {
+            if s.kind == SpanKind::Direction && s.level >= 0 {
+                let name = if s.detail == 0 { "topdown" } else { "bottomup" };
+                level_directions[s.level as usize] = Some(name.to_string());
+            }
+        }
+    }
+
     let compute_ns: Vec<Vec<u64>> = (0..ranks)
         .map(|r| {
             (0..levels)
@@ -240,6 +260,7 @@ pub fn analyze(traces: &[RankTrace]) -> ImbalanceReport {
         critical_path_ns,
         critical_wait_ns,
         critical_compute_ns,
+        level_directions,
     }
 }
 
@@ -375,6 +396,31 @@ mod tests {
         let rep = analyze(&traces);
         assert_eq!(rep.hidden_ns, vec![vec![0]]);
         assert_eq!(rep.total_hidden_ns, 0);
+    }
+
+    #[test]
+    fn direction_spans_tag_levels_and_untagged_levels_stay_none() {
+        let mut dir_span = span(SpanKind::Direction, 1, 0, 1);
+        dir_span.detail = 1; // bottom-up
+        let traces = vec![rank(
+            0,
+            vec![
+                span(SpanKind::Direction, 0, 0, 1), // detail 0 = topdown
+                span(SpanKind::Level, 0, 0, 40),
+                dir_span,
+                span(SpanKind::Level, 1, 40, 80),
+                span(SpanKind::Level, 2, 80, 90), // no direction span
+            ],
+        )];
+        let rep = analyze(&traces);
+        assert_eq!(
+            rep.level_directions,
+            vec![
+                Some("topdown".to_string()),
+                Some("bottomup".to_string()),
+                None
+            ]
+        );
     }
 
     #[test]

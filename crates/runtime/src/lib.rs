@@ -104,6 +104,63 @@ impl FromStr for Codec {
     }
 }
 
+/// Which per-level traversal direction policy a BFS driver uses.
+///
+/// The heuristic itself lives with the algorithms (`dmbfs-bfs`'s
+/// `direction` module implements the Beamer αβ switch); the enum lives
+/// here so [`RunConfig`] can carry the choice uniformly across drivers.
+/// Drivers without a bottom-up step (the 2D driver, non-BFS algorithms)
+/// accept only [`DirectionMode::TopDown`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DirectionMode {
+    /// Classic level-synchronous top-down expansion every level.
+    #[default]
+    TopDown,
+    /// Bottom-up owner-side scan every level after the first (the first
+    /// level is always top-down: only the source is in the frontier).
+    /// Mainly useful for determinism tests and ablation floors.
+    BottomUp,
+    /// The Beamer αβ hybrid: start top-down, switch to bottom-up when the
+    /// frontier's out-edges dominate the unexplored edges (α), switch back
+    /// when the frontier shrinks relative to `n` (β), with the adaptive
+    /// α-backoff when a bottom-up level examines more edges than the
+    /// top-down bound.
+    Hybrid,
+}
+
+impl DirectionMode {
+    /// All direction policies, for ablation sweeps.
+    pub const ALL: [DirectionMode; 3] = [
+        DirectionMode::TopDown,
+        DirectionMode::BottomUp,
+        DirectionMode::Hybrid,
+    ];
+
+    /// Stable lowercase name (CLI flag values, JSON output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DirectionMode::TopDown => "topdown",
+            DirectionMode::BottomUp => "bottomup",
+            DirectionMode::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl FromStr for DirectionMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "topdown" => Ok(DirectionMode::TopDown),
+            "bottomup" => Ok(DirectionMode::BottomUp),
+            "hybrid" => Ok(DirectionMode::Hybrid),
+            other => Err(format!(
+                "unknown direction `{other}` (expected topdown|bottomup|hybrid)"
+            )),
+        }
+    }
+}
+
 /// Unified execution configuration for a distributed run — the fields every
 /// driver used to duplicate (or lack), in one place.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -147,6 +204,10 @@ pub struct RunConfig {
     /// way; only meaningful with a codec (ignored under [`Codec::Off`],
     /// which has no wire buffers to pipeline).
     pub overlap: Option<NonZeroUsize>,
+    /// Per-level traversal direction policy (see [`DirectionMode`]). Only
+    /// the BFS drivers with a bottom-up step honor it; other drivers
+    /// require the [`DirectionMode::TopDown`] default.
+    pub direction: DirectionMode,
 }
 
 impl RunConfig {
@@ -162,6 +223,7 @@ impl RunConfig {
             faults: FaultPlan::none(),
             verify_timeout: None,
             overlap: None,
+            direction: DirectionMode::TopDown,
         }
     }
 
@@ -229,6 +291,12 @@ impl RunConfig {
     /// [`RunConfig::overlap`]); `None` disables the pipeline.
     pub fn with_overlap(mut self, overlap: Option<NonZeroUsize>) -> Self {
         self.overlap = overlap;
+        self
+    }
+
+    /// Replaces the traversal direction policy (see [`DirectionMode`]).
+    pub fn with_direction(mut self, direction: DirectionMode) -> Self {
+        self.direction = direction;
         self
     }
 
@@ -610,7 +678,14 @@ mod tests {
                 faults: FaultPlan::none(),
                 verify_timeout: None,
                 overlap: None,
+                direction: DirectionMode::TopDown,
             }
+        );
+        assert_eq!(
+            RunConfig::flat(2)
+                .with_direction(DirectionMode::Hybrid)
+                .direction,
+            DirectionMode::Hybrid
         );
         assert_eq!(
             RunConfig::flat(2)
@@ -708,6 +783,19 @@ mod tests {
             assert_eq!(parsed, codec);
         }
         assert!("zstd".parse::<Codec>().is_err());
+    }
+
+    #[test]
+    fn direction_names_parse_back() {
+        for mode in DirectionMode::ALL {
+            let parsed = mode
+                .name()
+                .parse::<DirectionMode>()
+                .expect("every canonical direction name must parse back");
+            assert_eq!(parsed, mode);
+        }
+        assert!("sideways".parse::<DirectionMode>().is_err());
+        assert_eq!(DirectionMode::default(), DirectionMode::TopDown);
     }
 
     #[test]

@@ -72,6 +72,17 @@ pub enum SpanKind {
     ExchangeWait,
     /// One batch handed to the per-rank work-stealing pool.
     TaskBatch,
+    /// Direction-optimizing BFS: the per-level direction decision, emitted
+    /// once per level by the hybrid driver. `detail` is the
+    /// `LevelDirection` tag (0 = top-down, 1 = bottom-up).
+    Direction,
+    /// Direction-optimizing BFS: encode the local frontier slice as a
+    /// bitmap and allgather it into the global frontier bitmap.
+    BitmapBroadcast,
+    /// Direction-optimizing BFS: the owner-side bottom-up scan — every
+    /// locally-owned unvisited vertex probes its in-neighbors against the
+    /// allgathered frontier bitmap. `detail` is edges examined.
+    BottomUpScan,
 }
 
 impl SpanKind {
@@ -94,13 +105,16 @@ impl SpanKind {
             SpanKind::ExchangeStart => "exchange_start",
             SpanKind::ExchangeWait => "exchange_wait",
             SpanKind::TaskBatch => "task_batch",
+            SpanKind::Direction => "direction",
+            SpanKind::BitmapBroadcast => "bitmap_broadcast",
+            SpanKind::BottomUpScan => "bottom_up_scan",
         }
     }
 
     /// Chrome-trace category, used for filtering in the viewer.
     pub fn category(self) -> &'static str {
         match self {
-            SpanKind::Search | SpanKind::Level => "bfs",
+            SpanKind::Search | SpanKind::Level | SpanKind::Direction => "bfs",
             SpanKind::Collective | SpanKind::ExchangeStart | SpanKind::ExchangeWait => "comm",
             SpanKind::TaskBatch => "pool",
             _ => "phase",

@@ -53,6 +53,11 @@ fn seeded_fixture_violations_are_reported_with_rule_and_location() {
             "collective-symmetry",
         ),
         (
+            "crates/fixture/src/symmetry.rs".to_string(),
+            30,
+            "collective-symmetry",
+        ),
+        (
             "crates/fixture/src/timed.rs".to_string(),
             6,
             "timed-regions-only",
