@@ -1,0 +1,171 @@
+//! Harness-level sweep: one `results/sweep.json` ledger row per
+//! (algorithm × `RunConfig`) point, across every distributed driver that
+//! returns a `*Run` harvest — bfs-1d, bfs-2d, components, sssp, pagerank.
+//!
+//! The sweep is the cheap end-to-end regression net the ROADMAP asked
+//! for: every row carries the configuration axes, min-of-trials wall
+//! time, the wire-byte ledger (logical / wire / loaned / copied — the
+//! zero-copy split), and an output fingerprint, so two sweeps at the same
+//! scale diff cleanly. `bin/zerocopy_ablation.rs` reuses the same row
+//! machinery for the loan on/off comparison.
+//!
+//! Knobs: `DMBFS_SCALE` (default 14), `DMBFS_RESULT_DIR`.
+
+use dmbfs_bench::harness::{functional_scale, print_table, rmat_graph, write_result};
+use dmbfs_bench::sweep::{
+    bfs1d_point, bfs2d_point, components_point, pagerank_point, sssp_point, SweepPoint,
+};
+use dmbfs_bfs::pagerank::PageRankConfig;
+use dmbfs_bfs::two_d::Bfs2dConfig;
+use dmbfs_graph::components::sample_sources;
+use dmbfs_graph::gen::{rmat, RmatConfig};
+use dmbfs_graph::weighted::{attach_uniform_weights, WeightedCsr};
+use dmbfs_graph::{Grid2D, RandomPermutation};
+use dmbfs_runtime::{Codec, DirectionMode, RunConfig};
+use serde::Serialize;
+use std::num::NonZeroUsize;
+
+/// Trials per point; each row keeps its fastest trial.
+const TRIALS: usize = 3;
+
+/// The `results/sweep.json` document.
+#[derive(Serialize)]
+struct SweepDoc {
+    scale: u32,
+    edge_factor: u64,
+    source: u64,
+    trials: usize,
+    points: Vec<SweepPoint>,
+}
+
+fn main() {
+    println!("=== sweep — one ledger row per (algorithm x RunConfig) point ===");
+    let scale = functional_scale();
+    let g = rmat_graph(scale, 16, 21);
+    let source = sample_sources(&g, 1, 3)[0];
+    // Weighted twin of the same R-MAT instance for SSSP.
+    let mut el = rmat(&RmatConfig::graph500(scale, 21));
+    el.canonicalize_undirected();
+    let el = RandomPermutation::new(el.num_vertices, 9).apply_edge_list(&el);
+    let wg = WeightedCsr::from_edges(el.num_vertices, &attach_uniform_weights(&el, 255, 13));
+    let wsource = sample_sources(&wg.structure(), 1, 5)[0];
+    println!("instance: R-MAT scale {scale}, {TRIALS} trials per point");
+
+    let mut points: Vec<SweepPoint> = Vec::new();
+
+    // bfs-1d axes: codec × sieve × overlap × direction × flat/hybrid,
+    // one move away from the default per point (not the full product).
+    let base = RunConfig::flat(4).with_trace(true);
+    points.push(bfs1d_point(&g, source, &base, TRIALS));
+    points.push(bfs1d_point(
+        &g,
+        source,
+        &base.with_codec(Codec::Raw),
+        TRIALS,
+    ));
+    points.push(bfs1d_point(&g, source, &base.with_sieve(false), TRIALS));
+    points.push(bfs1d_point(
+        &g,
+        source,
+        &base.with_overlap(NonZeroUsize::new(2)),
+        TRIALS,
+    ));
+    points.push(bfs1d_point(
+        &g,
+        source,
+        &base.with_direction(DirectionMode::Hybrid),
+        TRIALS,
+    ));
+    points.push(bfs1d_point(
+        &g,
+        source,
+        &RunConfig::hybrid(2, 2).with_trace(true),
+        TRIALS,
+    ));
+
+    // bfs-2d on the closest-square grid.
+    let grid = Grid2D::new(2, 2);
+    points.push(bfs2d_point(
+        &g,
+        source,
+        &Bfs2dConfig::flat(grid).with_trace(true),
+        TRIALS,
+    ));
+
+    // components / sssp / pagerank, one default point each.
+    points.push(components_point(
+        &g,
+        &RunConfig::flat(4).with_trace(true),
+        TRIALS,
+    ));
+    points.push(sssp_point(
+        &wg,
+        wsource,
+        &RunConfig::flat(4).with_trace(true),
+        TRIALS,
+    ));
+    let mut pr = PageRankConfig::new(grid);
+    pr.trace = true;
+    points.push(pagerank_point(&g, &pr, TRIALS));
+
+    // Every 1D top-down point must agree bit-for-bit: codec, sieve,
+    // overlap, and the thread pool are all transport/scheduling axes
+    // with no license to change the parent tree. (Direction-optimizing
+    // and 2D points legitimately pick different — equally valid —
+    // parents, so they are excluded; levels equality for those is
+    // proptest territory, not the sweep's.)
+    let fp0 = points[0].output_fingerprint;
+    assert!(
+        points
+            .iter()
+            .filter(|p| p.algorithm == "bfs-1d" && p.direction == "topdown")
+            .all(|p| p.output_fingerprint == fp0),
+        "1D top-down BFS parent trees diverged across sweep points"
+    );
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.algorithm.clone(),
+                format!("{}x{}", p.ranks, p.threads_per_rank),
+                p.codec.clone(),
+                if p.sieve { "on" } else { "off" }.to_string(),
+                p.overlap.to_string(),
+                p.direction.clone(),
+                format!("{:.1}", p.seconds * 1e3),
+                p.wire_out.to_string(),
+                p.loaned_bytes.to_string(),
+                p.copied_bytes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "sweep ledger",
+        &[
+            "algorithm",
+            "p x t",
+            "codec",
+            "sieve",
+            "K",
+            "direction",
+            "wall ms",
+            "wire B",
+            "loaned B",
+            "copied B",
+        ],
+        &rows,
+    );
+
+    let path = write_result(
+        "sweep",
+        &SweepDoc {
+            scale,
+            edge_factor: 16,
+            source,
+            trials: TRIALS,
+            points,
+        },
+    );
+    println!("results written to {}", path.display());
+}

@@ -26,5 +26,6 @@
 pub mod figures;
 pub mod harness;
 pub mod scaling;
+pub mod sweep;
 
 pub use harness::*;

@@ -171,9 +171,9 @@ pub fn encode_pairs(pairs: &[(VertexId, VertexId)], range: Range<u64>, codec: Co
 }
 
 /// Decodes a [`encode_pairs`] payload back to sorted `(target, parent)`
-/// pairs.
-pub fn decode_pairs(buf: &WireBuf) -> Vec<(VertexId, VertexId)> {
-    let bytes = &buf.bytes;
+/// pairs. Takes the raw wire bytes (`WireBuf::bytes()`) so receivers can
+/// decode straight from a loaned payload without owning it.
+pub fn decode_pairs(bytes: &[u8]) -> Vec<(VertexId, VertexId)> {
     if bytes.is_empty() {
         return Vec::new();
     }
@@ -228,9 +228,10 @@ pub fn encode_set(vertices: &[VertexId], range: Range<u64>, codec: Codec) -> Wir
     WireBuf::new(out, logical)
 }
 
-/// Decodes an [`encode_set`] payload back to the sorted vertex set.
-pub fn decode_set(buf: &WireBuf) -> Vec<VertexId> {
-    let bytes = &buf.bytes;
+/// Decodes an [`encode_set`] payload back to the sorted vertex set. Takes
+/// the raw wire bytes (`WireBuf::bytes()`) so receivers can decode straight
+/// from a loaned payload without owning it.
+pub fn decode_set(bytes: &[u8]) -> Vec<VertexId> {
     if bytes.is_empty() {
         return Vec::new();
     }
@@ -394,7 +395,7 @@ impl LevelCodecStats {
         if buf.logical_bytes == 0 {
             return;
         }
-        if let Some(&tag) = buf.bytes.first() {
+        if let Some(&tag) = buf.bytes().first() {
             match tag {
                 TAG_RAW => self.chose_raw += 1,
                 TAG_VARINT => self.chose_varint += 1,
@@ -451,7 +452,7 @@ mod tests {
             Codec::Adaptive,
         ] {
             let buf = encode_pairs(&p, 100..256, codec);
-            assert_eq!(decode_pairs(&buf), p, "codec {codec:?}");
+            assert_eq!(decode_pairs(buf.bytes()), p, "codec {codec:?}");
         }
     }
 
@@ -465,7 +466,7 @@ mod tests {
             Codec::Adaptive,
         ] {
             let buf = encode_set(&s, 8..128, codec);
-            assert_eq!(decode_set(&buf), s, "codec {codec:?}");
+            assert_eq!(decode_set(buf.bytes()), s, "codec {codec:?}");
         }
     }
 
@@ -479,9 +480,9 @@ mod tests {
         ] {
             let buf = encode_pairs(&[], 0..1024, codec);
             assert_eq!(buf.logical_bytes, 0);
-            assert!(decode_pairs(&buf).is_empty());
+            assert!(decode_pairs(buf.bytes()).is_empty());
             let buf = encode_set(&[], 0..1024, codec);
-            assert!(decode_set(&buf).is_empty());
+            assert!(decode_set(buf.bytes()).is_empty());
         }
     }
 
@@ -495,7 +496,7 @@ mod tests {
         assert!(v.wire_bytes() < r.wire_bytes());
         assert!(v.wire_bytes() < b.wire_bytes());
         let a = encode_set(&sparse, 0..1_000_000, Codec::Adaptive);
-        assert_eq!(a.bytes[0], TAG_VARINT);
+        assert_eq!(a.bytes()[0], TAG_VARINT);
 
         // Dense: every vertex of a 4096 range.
         let dense: Vec<u64> = (0..4096u64).collect();
@@ -505,7 +506,7 @@ mod tests {
         assert!(b.wire_bytes() < v.wire_bytes());
         assert!(b.wire_bytes() < r.wire_bytes());
         let a = encode_set(&dense, 0..4096, Codec::Adaptive);
-        assert_eq!(a.bytes[0], TAG_BITMAP);
+        assert_eq!(a.bytes()[0], TAG_BITMAP);
     }
 
     #[test]

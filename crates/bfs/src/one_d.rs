@@ -500,7 +500,7 @@ fn bottom_up_level(
     let mut bits = vec![0u64; domain.div_ceil(64)];
     let mut global_frontier = 0u64;
     for buf in &slices {
-        for v in decode_set(buf) {
+        for v in decode_set(buf.bytes()) {
             bits[(v / 64) as usize] |= 1 << (v % 64);
             global_frontier += 1;
         }
@@ -635,8 +635,8 @@ fn encode_exchange(
     let wire = comm.alltoallv_wire(bufs);
     let decode_t = comm.trace_start();
     let recv: Vec<Vec<(u64, u64)>> = match pool {
-        Some(pool) => pool.install(|| wire.par_iter().map(decode_pairs).collect()),
-        None => wire.iter().map(decode_pairs).collect(),
+        Some(pool) => pool.install(|| wire.par_iter().map(|b| decode_pairs(b.bytes())).collect()),
+        None => wire.iter().map(|b| decode_pairs(b.bytes())).collect(),
     };
     let decoded: u64 = recv.iter().map(|b| b.len() as u64).sum();
     comm.trace_span(SpanKind::Decode, decode_t, decoded);
@@ -749,8 +749,10 @@ fn overlapped_level(
     let decode_unpack = |wire: Vec<WireBuf>, next: &mut Vec<VertexId>| {
         let decode_t = comm.trace_start();
         let recv: Vec<Vec<(u64, u64)>> = match pool {
-            Some(pool) => pool.install(|| wire.par_iter().map(decode_pairs).collect()),
-            None => wire.iter().map(decode_pairs).collect(),
+            Some(pool) => {
+                pool.install(|| wire.par_iter().map(|b| decode_pairs(b.bytes())).collect())
+            }
+            None => wire.iter().map(|b| decode_pairs(b.bytes())).collect(),
         };
         let decoded: u64 = recv.iter().map(|b| b.len() as u64).sum();
         comm.trace_span(SpanKind::Decode, decode_t, decoded);

@@ -453,7 +453,7 @@ impl RankState {
                 if partner != comm.rank() {
                     lvl.note(&buf);
                 }
-                decode_set(&comm.sendrecv_wire(partner, buf))
+                decode_set(comm.sendrecv_wire(partner, buf).bytes())
             } else {
                 self.transpose(comm, &frontier)
             };
@@ -471,7 +471,7 @@ impl RankState {
                     col_comm
                         .allgatherv_wire(buf)
                         .iter()
-                        .map(decode_set)
+                        .map(|b| decode_set(b.bytes()))
                         .collect()
                 }
                 ExpandAlgorithm::Board => col_comm.allgatherv(transposed),
@@ -560,10 +560,10 @@ impl RankState {
                             let wire = row_comm.alltoallv_wire(bufs);
                             let decode_t = comm.trace_start();
                             let out: Vec<Vec<(u64, u64)>> = match pool {
-                                Some(pool) => {
-                                    pool.install(|| wire.par_iter().map(decode_pairs).collect())
-                                }
-                                None => wire.iter().map(decode_pairs).collect(),
+                                Some(pool) => pool.install(|| {
+                                    wire.par_iter().map(|b| decode_pairs(b.bytes())).collect()
+                                }),
+                                None => wire.iter().map(|b| decode_pairs(b.bytes())).collect(),
                             };
                             let decoded: u64 = out.iter().map(|b| b.len() as u64).sum();
                             comm.trace_span(SpanKind::Decode, decode_t, decoded);
@@ -698,8 +698,10 @@ impl RankState {
         let decode_chunk = |wire: Vec<WireBuf>, decoded: &mut Vec<Vec<(u64, u64)>>| {
             let decode_t = comm.trace_start();
             let out: Vec<Vec<(u64, u64)>> = match pool {
-                Some(pool) => pool.install(|| wire.par_iter().map(decode_pairs).collect()),
-                None => wire.iter().map(decode_pairs).collect(),
+                Some(pool) => {
+                    pool.install(|| wire.par_iter().map(|b| decode_pairs(b.bytes())).collect())
+                }
+                None => wire.iter().map(|b| decode_pairs(b.bytes())).collect(),
             };
             let n: u64 = out.iter().map(|b| b.len() as u64).sum();
             comm.trace_span(SpanKind::Decode, decode_t, n);

@@ -63,7 +63,7 @@ proptest! {
         if codec != Codec::Off {
             let buf = encode_pairs(&pairs, base..base + len, codec);
             prop_assert_eq!(buf.logical_bytes, 16 * pairs.len() as u64);
-            prop_assert_eq!(decode_pairs(&buf), pairs);
+            prop_assert_eq!(decode_pairs(buf.bytes()), pairs);
         }
     }
 
@@ -76,7 +76,7 @@ proptest! {
             let set: Vec<u64> = pairs.iter().map(|&(t, _)| t).collect();
             let buf = encode_set(&set, base..base + len, codec);
             prop_assert_eq!(buf.logical_bytes, 8 * set.len() as u64);
-            prop_assert_eq!(decode_set(&buf), set);
+            prop_assert_eq!(decode_set(buf.bytes()), set);
         }
     }
 

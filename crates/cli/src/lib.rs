@@ -31,7 +31,7 @@ use dmbfs_bfs::sssp::{distributed_sssp_run, validate_sssp};
 use dmbfs_bfs::teps::teps_edges;
 use dmbfs_bfs::two_d::{bfs2d_run, Bfs2dConfig};
 use dmbfs_bfs::validate::validate_bfs;
-use dmbfs_comm::{FailureKind, VerifyFailure};
+use dmbfs_comm::{CommStats, FailureKind, VerifyFailure};
 use dmbfs_graph::components::{connected_components, sample_sources};
 use dmbfs_graph::gen::{erdos_renyi, rmat, webcrawl, RmatConfig, WebCrawlConfig};
 use dmbfs_graph::stats::{approx_diameter, degree_stats};
@@ -522,9 +522,11 @@ fn direction_note(algorithm: &str, direction: DirectionMode) -> String {
 
 /// One algorithm invocation: the BFS output, the runner's own
 /// barrier-to-barrier seconds when it measures them (the distributed
-/// drivers do; the single-process variants return `None`), and the
-/// per-rank span traces (empty unless `trace` is set).
+/// drivers do; the single-process variants return `None`), the per-rank
+/// span traces (empty unless `trace` is set), and the per-rank comm stats
+/// (empty for the single-process variants).
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::type_complexity)]
 fn run_algorithm_traced(
     g: &CsrGraph,
     algorithm: &str,
@@ -534,7 +536,15 @@ fn run_algorithm_traced(
     wire: WireOpts,
     observe: ObserverOpts,
     faults: FaultPlan,
-) -> Result<(dmbfs_bfs::BfsOutput, Option<f64>, Vec<RankTrace>), CliError> {
+) -> Result<
+    (
+        dmbfs_bfs::BfsOutput,
+        Option<f64>,
+        Vec<RankTrace>,
+        Vec<CommStats>,
+    ),
+    CliError,
+> {
     if observe.trace && !matches!(algorithm, "1d" | "2d") {
         return Err(err(format!(
             "--trace requires a distributed algorithm (1d|2d), got '{algorithm}'"
@@ -561,11 +571,12 @@ fn run_algorithm_traced(
         )));
     }
     Ok(match algorithm {
-        "serial" => (serial_bfs(g, source), None, Vec::new()),
-        "shared" => (shared_bfs(g, source), None, Vec::new()),
+        "serial" => (serial_bfs(g, source), None, Vec::new(), Vec::new()),
+        "shared" => (shared_bfs(g, source), None, Vec::new(), Vec::new()),
         "direction" => (
             dmbfs_bfs::direction::direction_optimizing_bfs(g, source).output,
             None,
+            Vec::new(),
             Vec::new(),
         ),
         "1d" => {
@@ -582,7 +593,12 @@ fn run_algorithm_traced(
             .with_verify(observe.verify)
             .with_faults(faults);
             let run = bfs1d_run(g, source, &cfg);
-            (run.output, Some(run.seconds), run.per_rank_trace)
+            (
+                run.output,
+                Some(run.seconds),
+                run.per_rank_trace,
+                run.per_rank_stats,
+            )
         }
         "2d" => {
             let grid = Grid2D::closest_square(ranks);
@@ -598,7 +614,12 @@ fn run_algorithm_traced(
             .with_verify(observe.verify)
             .with_faults(faults);
             let run = bfs2d_run(g, source, &cfg);
-            (run.output, Some(run.seconds), run.per_rank_trace)
+            (
+                run.output,
+                Some(run.seconds),
+                run.per_rank_trace,
+                run.per_rank_stats,
+            )
         }
         other => return Err(err(format!("unknown algorithm '{other}'"))),
     })
@@ -630,7 +651,7 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
     };
     let faults = fault_plan_from_args(args, observe.verify)?;
     let t0 = Instant::now();
-    let (out, _, traces) = run_reporting_faults(&faults, || {
+    let (out, _, traces, stats) = run_reporting_faults(&faults, || {
         run_algorithm_traced(
             &g, &algorithm, ranks, threads, source, wire, observe, faults,
         )
@@ -653,6 +674,18 @@ fn cmd_bfs(args: &Args) -> Result<String, CliError> {
         secs * 1e3,
         edges as f64 / secs / 1e6,
     );
+    if !stats.is_empty() {
+        let loaned: u64 = stats.iter().map(|s| s.loaned_bytes()).sum();
+        let copied: u64 = stats.iter().map(|s| s.copied_bytes()).sum();
+        report.push_str(&format!(
+            "\nwire: loaned_bytes {loaned} copied_bytes {copied} \
+             (zero-copy loan threshold: {})",
+            match dmbfs_comm::loan_threshold() {
+                Some(t) => format!("{t} B"),
+                None => "off".to_string(),
+            },
+        ));
+    }
     if let Some(trace) = trace {
         report.push('\n');
         report.push_str(&trace.write(&traces)?);
@@ -684,7 +717,7 @@ fn cmd_teps(args: &Args) -> Result<String, CliError> {
             num_sources,
             5,
             |s| {
-                let (out, seconds, traces) =
+                let (out, seconds, traces, _) =
                     run_algorithm_traced(&g, &algorithm, ranks, threads, s, wire, observe, faults)
                         .expect("algorithm runs");
                 (out, seconds, traces)

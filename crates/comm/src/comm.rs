@@ -10,33 +10,159 @@ use parking_lot::Mutex;
 use std::any::{Any, TypeId};
 use std::cell::{Cell, RefCell};
 use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
+/// Loan threshold in wire bytes: payloads at or above it are sealed into a
+/// shared loan at deposit time; smaller ones stay owned and are memcpy'd at
+/// the receiver — the shared-memory analog of MPI's eager/rendezvous split.
+/// `u64::MAX` disables loaning entirely.
+static LOAN_THRESHOLD: AtomicU64 = AtomicU64::new(DEFAULT_LOAN_THRESHOLD);
+static LOAN_THRESHOLD_INIT: std::sync::Once = std::sync::Once::new();
+
+/// Default eager/rendezvous crossover: below this many wire bytes the
+/// receiver-side memcpy is cheaper than sharing the allocation.
+pub const DEFAULT_LOAN_THRESHOLD: u64 = 256;
+
+/// The effective loan threshold: `Some(bytes)` when loaning is enabled,
+/// `None` when disabled. Reads `DMBFS_LOAN_THRESHOLD` (integer bytes, or
+/// `off` to disable) once on first use; [`set_loan_threshold`] overrides it.
+pub fn loan_threshold() -> Option<u64> {
+    LOAN_THRESHOLD_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("DMBFS_LOAN_THRESHOLD") {
+            let parsed = if v.eq_ignore_ascii_case("off") {
+                Some(u64::MAX)
+            } else {
+                v.parse::<u64>().ok()
+            };
+            if let Some(t) = parsed {
+                LOAN_THRESHOLD.store(t, Ordering::Relaxed);
+            }
+        }
+    });
+    match LOAN_THRESHOLD.load(Ordering::Relaxed) {
+        u64::MAX => None,
+        t => Some(t),
+    }
+}
+
+/// Sets the loan threshold process-wide: `Some(bytes)` enables the loan
+/// path for payloads of at least `bytes` wire bytes, `None` disables it
+/// (every payload travels copied). Benches and tests use this to A/B the
+/// zero-copy path in one process; takes precedence over the environment.
+pub fn set_loan_threshold(threshold: Option<u64>) {
+    LOAN_THRESHOLD_INIT.call_once(|| {});
+    LOAN_THRESHOLD.store(threshold.unwrap_or(u64::MAX), Ordering::Relaxed);
+}
+
+/// How a [`WireBuf`]'s bytes travel through the exchange board.
+///
+/// `Copied` is the eager path: the receiver clones the bytes out of the
+/// board (one memcpy per receiver). `Loaned` is the rendezvous path: the
+/// sender's allocation is moved (not copied) behind an `Arc` at seal time,
+/// receivers decode straight from the sender's buffer, and the loan is
+/// released when the last reference drops — which may be *after* the
+/// exchange ring retires the slot; the refcount keeps the epoch-scoped
+/// retirement safe. See `docs/zero-copy.md`.
+#[derive(Clone, Debug)]
+enum WirePayload {
+    /// Owned bytes; cloning memcpys.
+    Copied(Vec<u8>),
+    /// Sealed shared bytes; cloning bumps a refcount.
+    Loaned(Arc<Vec<u8>>),
+}
+
+impl Default for WirePayload {
+    fn default() -> Self {
+        WirePayload::Copied(Vec::new())
+    }
+}
+
 /// An encoded payload travelling through a wire-aware collective: the
 /// encoded bytes plus the logical (pre-encoding) size they stand for, so
 /// accounting can report both sides of the compression ratio.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The bytes start out owned (`Copied`); the wire collectives seal large
+/// payloads into a shared loan just before depositing them (see
+/// [`loan_threshold`]). A sealed buffer is immutable — [`WireBuf::bytes_mut`]
+/// panics on it — which is what makes handing receivers a reference into
+/// the sender's allocation sound: checksums and fault corruption always
+/// mutate *before* the seal.
+#[derive(Clone, Debug, Default)]
 pub struct WireBuf {
     /// The encoded bytes as produced by a frontier codec.
-    pub bytes: Vec<u8>,
+    payload: WirePayload,
     /// Size in bytes of the logical payload the encoding represents.
     pub logical_bytes: u64,
 }
+
+impl PartialEq for WireBuf {
+    fn eq(&self, other: &Self) -> bool {
+        // Loaned and copied buffers with the same contents are equal: the
+        // transport representation is invisible to the algorithm.
+        self.logical_bytes == other.logical_bytes && self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for WireBuf {}
 
 impl WireBuf {
     /// Wraps already-encoded bytes with their logical size.
     pub fn new(bytes: Vec<u8>, logical_bytes: u64) -> Self {
         Self {
-            bytes,
+            payload: WirePayload::Copied(bytes),
             logical_bytes,
         }
     }
 
+    /// Read access to the encoded bytes, loaned or owned.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.payload {
+            WirePayload::Copied(v) => v,
+            WirePayload::Loaned(a) => a,
+        }
+    }
+
+    /// Mutable access to the encoded bytes. Panics once the buffer is
+    /// sealed into a loan: a deposited loan is shared with every receiver,
+    /// so mutating it would race their decodes — the seal is the runtime
+    /// enforcement of "senders must not mutate after deposit".
+    pub fn bytes_mut(&mut self) -> &mut Vec<u8> {
+        match &mut self.payload {
+            WirePayload::Copied(v) => v,
+            WirePayload::Loaned(_) => panic!(
+                "WireBuf is sealed: the payload was loaned to the exchange board \
+                 and may be referenced by other ranks; mutate before the seal \
+                 (checksum -> corrupt -> seal -> deposit)"
+            ),
+        }
+    }
+
+    /// Seals the buffer for deposit: payloads at or above the loan
+    /// threshold move their allocation behind an `Arc` (no byte is
+    /// copied), so receivers share it instead of cloning it. Small or
+    /// threshold-disabled payloads stay owned. Idempotent.
+    fn seal(&mut self) {
+        if let Some(threshold) = loan_threshold() {
+            if let WirePayload::Copied(v) = &mut self.payload {
+                if v.len() as u64 >= threshold {
+                    self.payload = WirePayload::Loaned(Arc::new(std::mem::take(v)));
+                }
+            }
+        }
+    }
+
+    /// Whether the payload travels as a shared loan (sealed) rather than
+    /// an owned copy.
+    pub fn is_loaned(&self) -> bool {
+        matches!(self.payload, WirePayload::Loaned(_))
+    }
+
     /// Encoded (on-the-wire) length in bytes.
     pub fn wire_bytes(&self) -> u64 {
-        self.bytes.len() as u64
+        self.bytes().len() as u64
     }
 }
 
@@ -384,9 +510,17 @@ impl Comm {
     }
 
     /// Emit the span for one finished collective (pattern, group size,
-    /// logical and wire bytes on the send side). Called from the same two
-    /// choke points that record [`CommEvent`]s.
-    fn trace_collective(&self, pattern: Pattern, bytes: u64, wire: u64, start: Instant) {
+    /// logical and wire bytes on the send side, and how many of the wire
+    /// bytes went out as zero-copy loans). Called from the same two choke
+    /// points that record [`CommEvent`]s.
+    fn trace_collective(
+        &self,
+        pattern: Pattern,
+        bytes: u64,
+        wire: u64,
+        loaned: u64,
+        start: Instant,
+    ) {
         if let Some(t) = self.tracer.borrow().as_ref() {
             t.lock().collective(
                 collective_tag(pattern),
@@ -394,12 +528,14 @@ impl Comm {
                 self.size() as u64,
                 bytes,
                 wire,
+                loaned,
             );
         }
     }
 
     fn record(&self, pattern: Pattern, bytes_out: u64, bytes_in: u64, start: Instant) {
-        // Plain collectives put their logical payload on the wire verbatim.
+        // Plain collectives put their logical payload on the wire verbatim;
+        // only the wire collectives participate in loan accounting.
         self.stats.borrow_mut().events.push(CommEvent {
             pattern,
             group_size: self.size(),
@@ -409,8 +545,10 @@ impl Comm {
             wire_in: bytes_in,
             wall: start.elapsed(),
             hidden: Duration::ZERO,
+            loaned_out: 0,
+            copied_out: 0,
         });
-        self.trace_collective(pattern, bytes_out, bytes_out, start);
+        self.trace_collective(pattern, bytes_out, bytes_out, 0, start);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -421,6 +559,7 @@ impl Comm {
         bytes_in: u64,
         wire_out: u64,
         wire_in: u64,
+        loaned_out: u64,
         start: Instant,
     ) {
         self.stats.borrow_mut().events.push(CommEvent {
@@ -432,8 +571,10 @@ impl Comm {
             wire_in,
             wall: start.elapsed(),
             hidden: Duration::ZERO,
+            loaned_out,
+            copied_out: wire_out - loaned_out,
         });
-        self.trace_collective(pattern, bytes_out, wire_out, start);
+        self.trace_collective(pattern, bytes_out, wire_out, loaned_out, start);
     }
 
     /// First step of every data-bearing collective — which makes it the
@@ -922,8 +1063,8 @@ impl Comm {
             .shared
             .verify
             .as_ref()
-            .map(|_| bufs.iter().map(|b| fnv1a64(&b.bytes)).collect());
-        let eligible = |j: usize, b: &WireBuf| j != self.rank && !b.bytes.is_empty();
+            .map(|_| bufs.iter().map(|b| fnv1a64(b.bytes())).collect());
+        let eligible = |j: usize, b: &WireBuf| j != self.rank && !b.bytes().is_empty();
         let has_payload = bufs.iter().enumerate().any(|(j, b)| eligible(j, b));
         if let Some(seed) = self.corruption_seed(CollectiveKind::AlltoallvWire, has_payload) {
             let b = bufs
@@ -932,21 +1073,41 @@ impl Comm {
                 .find(|(j, b)| eligible(*j, b))
                 .map(|(_, b)| b)
                 .expect("has_payload checked");
-            let (i, mask) = corrupt_site(seed, b.bytes.len());
-            b.bytes[i] ^= mask;
+            let (i, mask) = corrupt_site(seed, b.bytes().len());
+            b.bytes_mut()[i] ^= mask;
+        }
+        // The sender's own bucket is moved aside locally — it never touches
+        // the exchange board (its checksum slot goes unused).
+        let own = std::mem::take(&mut bufs[self.rank]);
+        // Seal after checksum + corruption: large off-rank buffers loan
+        // their allocation to the receivers instead of being cloned out of
+        // the board (see docs/zero-copy.md for the ordering argument).
+        let mut loaned_out = 0u64;
+        for (j, b) in bufs.iter_mut().enumerate() {
+            if j != self.rank {
+                b.seal();
+                if b.is_loaned() {
+                    loaned_out += b.wire_bytes();
+                }
+            }
         }
         self.deposit((bufs, sums));
         self.shared.barrier.wait();
         let mut recv: Vec<WireBuf> = Vec::with_capacity(self.size());
         let (mut bytes_in, mut wire_in) = (0u64, 0u64);
+        let mut own = Some(own);
         for j in 0..self.size() {
-            let theirs = self.read::<(Vec<WireBuf>, Option<Vec<u64>>)>(j);
-            let mine = theirs.0[self.rank].clone();
-            self.check_wire(&mine.bytes, theirs.1.as_ref().map(|s| s[self.rank]), j);
-            if j != self.rank {
-                bytes_in += mine.logical_bytes;
-                wire_in += mine.wire_bytes();
+            if j == self.rank {
+                recv.push(own.take().expect("own bucket moved once"));
+                continue;
             }
+            let theirs = self.read::<(Vec<WireBuf>, Option<Vec<u64>>)>(j);
+            // A loaned buffer clones as a refcount bump; a copied (eager)
+            // one memcpys here, inside the collective wall.
+            let mine = theirs.0[self.rank].clone();
+            self.check_wire(mine.bytes(), theirs.1.as_ref().map(|s| s[self.rank]), j);
+            bytes_in += mine.logical_bytes;
+            wire_in += mine.wire_bytes();
             recv.push(mine);
         }
         self.shared.barrier.wait();
@@ -956,6 +1117,7 @@ impl Comm {
             bytes_in,
             wire_out,
             wire_in,
+            loaned_out,
             start,
         );
         recv
@@ -1013,8 +1175,8 @@ impl Comm {
             .shared
             .verify
             .as_ref()
-            .map(|_| bufs.iter().map(|b| fnv1a64(&b.bytes)).collect());
-        let eligible = |j: usize, b: &WireBuf| j != self.rank && !b.bytes.is_empty();
+            .map(|_| bufs.iter().map(|b| fnv1a64(b.bytes())).collect());
+        let eligible = |j: usize, b: &WireBuf| j != self.rank && !b.bytes().is_empty();
         let has_payload = bufs.iter().enumerate().any(|(j, b)| eligible(j, b));
         if let Some(seed) = self.corruption_seed(CollectiveKind::IalltoallvWire, has_payload) {
             let b = bufs
@@ -1023,16 +1185,36 @@ impl Comm {
                 .find(|(j, b)| eligible(*j, b))
                 .map(|(_, b)| b)
                 .expect("has_payload checked");
-            let (i, mask) = corrupt_site(seed, b.bytes.len());
-            b.bytes[i] ^= mask;
+            let (i, mask) = corrupt_site(seed, b.bytes().len());
+            b.bytes_mut()[i] ^= mask;
+        }
+        // Own bucket stays local (stashed on the pending handle until the
+        // wait); off-rank buffers seal after checksum + corruption so the
+        // ring hands receivers a loan instead of a copy.
+        let own = std::mem::take(&mut bufs[self.rank]);
+        let mut loaned_out = 0u64;
+        for (j, b) in bufs.iter_mut().enumerate() {
+            if j != self.rank {
+                b.seal();
+                if b.is_loaned() {
+                    loaned_out += b.wire_bytes();
+                }
+            }
         }
         self.assert_owner();
         self.assert_no_inflight();
         let epoch = self.exchange_epoch.get();
         self.exchange_epoch.set(epoch + 1);
-        self.shared
-            .exchange
-            .deposit(self.rank, epoch, Arc::new((bufs, sums)), self.size());
+        // The own bucket never round-trips through the ring, so only the
+        // size - 1 peers collect this slot; counting the depositor too
+        // would leave pending_reads stuck at 1 and the slot unretired,
+        // deadlocking the deposit two epochs later. A single-rank group
+        // has no peer readers at all — skip the board entirely.
+        if self.size() > 1 {
+            self.shared
+                .exchange
+                .deposit(self.rank, epoch, Arc::new((bufs, sums)), self.size() - 1);
+        }
         self.pending_exchange.set(true);
         if let Some(t) = self.tracer.borrow().as_ref() {
             t.lock().exchange(
@@ -1042,6 +1224,7 @@ impl Comm {
                 self.size() as u64,
                 bytes_out,
                 wire_out,
+                loaned_out,
             );
         }
         PendingExchange {
@@ -1051,6 +1234,8 @@ impl Comm {
             in_flight_since: Instant::now(),
             bytes_out,
             wire_out,
+            loaned_out,
+            own,
         }
     }
 
@@ -1070,23 +1255,32 @@ impl Comm {
         let peers = self.size() as u64 - 1;
         let bytes_out = mine.logical_bytes * peers;
         let wire_out = mine.wire_bytes() * peers;
-        let sum = self.wire_checksum(&mine.bytes);
-        let has_payload = peers > 0 && !mine.bytes.is_empty();
+        let sum = self.wire_checksum(mine.bytes());
+        let has_payload = peers > 0 && !mine.bytes().is_empty();
         if let Some(seed) = self.corruption_seed(CollectiveKind::AllgathervWire, has_payload) {
-            let (i, mask) = corrupt_site(seed, mine.bytes.len());
-            mine.bytes[i] ^= mask;
+            let (i, mask) = corrupt_site(seed, mine.bytes().len());
+            mine.bytes_mut()[i] ^= mask;
         }
+        // Seal after checksum + corruption, then keep the own contribution
+        // locally (a refcount bump once sealed) — it never round-trips
+        // through the board.
+        mine.seal();
+        let loaned_out = if mine.is_loaned() { wire_out } else { 0 };
+        let own = mine.clone();
         self.deposit((mine, sum));
         self.shared.barrier.wait();
         let mut all: Vec<WireBuf> = Vec::with_capacity(self.size());
         let (mut bytes_in, mut wire_in) = (0u64, 0u64);
+        let mut own = Some(own);
         for j in 0..self.size() {
-            let theirs = self.read::<(WireBuf, Option<u64>)>(j);
-            self.check_wire(&theirs.0.bytes, theirs.1, j);
-            if j != self.rank {
-                bytes_in += theirs.0.logical_bytes;
-                wire_in += theirs.0.wire_bytes();
+            if j == self.rank {
+                all.push(own.take().expect("own contribution moved once"));
+                continue;
             }
+            let theirs = self.read::<(WireBuf, Option<u64>)>(j);
+            self.check_wire(theirs.0.bytes(), theirs.1, j);
+            bytes_in += theirs.0.logical_bytes;
+            wire_in += theirs.0.wire_bytes();
             all.push(theirs.0.clone());
         }
         self.shared.barrier.wait();
@@ -1096,6 +1290,7 @@ impl Comm {
             bytes_in,
             wire_out,
             wire_in,
+            loaned_out,
             start,
         );
         all
@@ -1120,12 +1315,21 @@ impl Comm {
         } else {
             (data.logical_bytes, data.wire_bytes())
         };
-        let sum = self.wire_checksum(&data.bytes);
-        let has_payload = partner != self.rank && !data.bytes.is_empty();
+        let sum = self.wire_checksum(data.bytes());
+        let has_payload = partner != self.rank && !data.bytes().is_empty();
         if let Some(seed) = self.corruption_seed(CollectiveKind::SendrecvWire, has_payload) {
-            let (i, mask) = corrupt_site(seed, data.bytes.len());
-            data.bytes[i] ^= mask;
+            let (i, mask) = corrupt_site(seed, data.bytes().len());
+            data.bytes_mut()[i] ^= mask;
         }
+        // Seal after checksum + corruption: the partner's clone becomes a
+        // refcount bump for large payloads (and so does the diagonal
+        // self-exchange's round trip).
+        data.seal();
+        let loaned_out = if partner != self.rank && data.is_loaned() {
+            wire_out
+        } else {
+            0
+        };
         self.deposit((partner, data, sum));
         self.shared.barrier.wait();
         let theirs = self.read::<(usize, WireBuf, Option<u64>)>(partner);
@@ -1135,7 +1339,7 @@ impl Comm {
             self.rank, partner
         );
         let received = theirs.1.clone();
-        self.check_wire(&received.bytes, theirs.2, partner);
+        self.check_wire(received.bytes(), theirs.2, partner);
         let (bytes_in, wire_in) = if partner == self.rank {
             (0, 0)
         } else {
@@ -1148,6 +1352,7 @@ impl Comm {
             bytes_in,
             wire_out,
             wire_in,
+            loaned_out,
             start,
         );
         received
@@ -1234,6 +1439,11 @@ pub struct PendingExchange<'a> {
     in_flight_since: Instant,
     bytes_out: u64,
     wire_out: u64,
+    /// Wire bytes of the deposited buffers that sealed into loans.
+    loaned_out: u64,
+    /// The sender's own bucket, held locally until the wait instead of
+    /// round-tripping through the exchange ring.
+    own: WireBuf,
 }
 
 impl PendingExchange<'_> {
@@ -1260,13 +1470,20 @@ impl PendingExchange<'_> {
         );
         let mut recv: Vec<WireBuf> = Vec::with_capacity(comm.size());
         let (mut bytes_in, mut wire_in) = (0u64, 0u64);
+        let mut loaned_in = 0u64;
+        let mut own = Some(self.own);
         for j in 0..comm.size() {
+            if j == comm.rank {
+                recv.push(own.take().expect("own bucket moved once"));
+                continue;
+            }
             let theirs = comm.shared.exchange.collect(j, self.epoch);
             let mine = theirs.0[comm.rank].clone();
-            comm.check_wire(&mine.bytes, theirs.1.as_ref().map(|s| s[comm.rank]), j);
-            if j != comm.rank {
-                bytes_in += mine.logical_bytes;
-                wire_in += mine.wire_bytes();
+            comm.check_wire(mine.bytes(), theirs.1.as_ref().map(|s| s[comm.rank]), j);
+            bytes_in += mine.logical_bytes;
+            wire_in += mine.wire_bytes();
+            if mine.is_loaned() {
+                loaned_in += mine.wire_bytes();
             }
             recv.push(mine);
         }
@@ -1280,6 +1497,8 @@ impl PendingExchange<'_> {
             wire_in,
             wall: self.start_call + entered.elapsed(),
             hidden,
+            loaned_out: self.loaned_out,
+            copied_out: self.wire_out - self.loaned_out,
         });
         if let Some(t) = comm.tracer.borrow().as_ref() {
             t.lock().exchange(
@@ -1289,6 +1508,7 @@ impl PendingExchange<'_> {
                 comm.size() as u64,
                 bytes_in,
                 wire_in,
+                loaned_in,
             );
         }
         recv
@@ -1384,7 +1604,7 @@ mod tests {
         // Every rank received one buffer per peer with the sender's id.
         for (rank, recv) in out.iter().enumerate() {
             for (j, b) in recv.iter().enumerate() {
-                assert_eq!(b.bytes, vec![j as u8; rank + 1]);
+                assert_eq!(b.bytes(), vec![j as u8; rank + 1]);
                 assert_eq!(b.logical_bytes, 16 * (rank as u64 + 1));
             }
         }

@@ -11,9 +11,14 @@
 //! This board gives each depositor rank a private *lane* of two slots,
 //! indexed by `epoch % 2`. A deposit fills the slot for its epoch; a
 //! collect blocks until the wanted epoch appears in the depositor's lane,
-//! clones the payload, and retires the slot once all `readers` ranks have
-//! collected it. No barriers anywhere: the wait-side dependency is purely
-//! "has rank j started exchange e yet".
+//! takes an `Arc` reference to the payload (sealed `WireBuf`s inside it
+//! are loans — receivers decode straight from the sender's allocation),
+//! and retires the slot once all `readers` ranks have collected it.
+//! Retirement only drops the lane's own reference: a receiver still
+//! holding a loan keeps the bytes alive through the `Arc` refcount, which
+//! is what makes the depth-2 epoch ring safe to reuse under zero-copy.
+//! No barriers anywhere: the wait-side dependency is purely "has rank j
+//! started exchange e yet".
 //!
 //! **Why depth 2 suffices** (single outstanding exchange per communicator,
 //! enforced by `Comm::assert_no_inflight`): before rank B can deposit
@@ -90,8 +95,10 @@ impl ExchangeBoard {
     }
 
     /// Publishes `payload` as rank `rank`'s contribution to exchange
-    /// `epoch`, to be collected by `readers` ranks (the full group,
-    /// including the depositor itself).
+    /// `epoch`, to be collected by `readers` ranks — the depositor's
+    /// peers only. The depositor keeps its own bucket local (see
+    /// `PendingExchange::own`), so counting it here would leave the slot
+    /// unretired forever.
     pub(crate) fn deposit(
         &self,
         rank: usize,
@@ -186,9 +193,9 @@ mod tests {
         let reader = thread::spawn(move || b.collect(1, 0));
         thread::sleep(Duration::from_millis(30));
         board.deposit(1, 0, payload(7), 2);
-        assert_eq!(reader.join().unwrap().0[0].bytes, vec![7]);
+        assert_eq!(reader.join().unwrap().0[0].bytes(), vec![7]);
         // The slot retires only after the second reader collects it.
-        assert_eq!(board.collect(1, 0).0[0].bytes, vec![7]);
+        assert_eq!(board.collect(1, 0).0[0].bytes(), vec![7]);
         assert!(board.lanes[1].ring.lock()[0].is_none());
     }
 
@@ -198,8 +205,8 @@ mod tests {
         board.deposit(0, 0, payload(1), 1);
         board.deposit(0, 1, payload(2), 1);
         // Collected in order even though both are resident.
-        assert_eq!(board.collect(0, 0).0[0].bytes, vec![1]);
-        assert_eq!(board.collect(0, 1).0[0].bytes, vec![2]);
+        assert_eq!(board.collect(0, 0).0[0].bytes(), vec![1]);
+        assert_eq!(board.collect(0, 1).0[0].bytes(), vec![2]);
     }
 
     #[test]

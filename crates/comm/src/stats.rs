@@ -141,6 +141,14 @@ pub struct CommEvent {
     /// the overlap pipeline hid under local compute. Zero for blocking
     /// collectives.
     pub hidden: Duration,
+    /// Of `wire_out`, the bytes that travelled as a zero-copy loan
+    /// (receivers decoded straight from this rank's sealed buffer). Only
+    /// the wire collectives loan; zero for plain collectives.
+    pub loaned_out: u64,
+    /// Of `wire_out`, the bytes that travelled as an owned copy (each
+    /// receiver memcpy'd them off the exchange board) — the eager side of
+    /// the loan threshold. Only counted by the wire collectives.
+    pub copied_out: u64,
 }
 
 /// Aggregate per-rank communication statistics.
@@ -219,6 +227,18 @@ impl CommStats {
             .sum()
     }
 
+    /// Total wire bytes this rank sent as zero-copy loans (see
+    /// [`CommEvent::loaned_out`]).
+    pub fn loaned_bytes(&self) -> u64 {
+        self.events.iter().map(|e| e.loaned_out).sum()
+    }
+
+    /// Total wire bytes this rank sent as owned copies through the wire
+    /// collectives (see [`CommEvent::copied_out`]).
+    pub fn copied_bytes(&self) -> u64 {
+        self.events.iter().map(|e| e.copied_out).sum()
+    }
+
     /// Ratio of wire bytes to logical bytes sent (1.0 when nothing was
     /// compressed; `None` when no logical bytes were sent at all).
     pub fn compression_ratio(&self) -> Option<f64> {
@@ -260,6 +280,8 @@ mod tests {
             wire_in: inn,
             wall: Duration::from_micros(micros),
             hidden: Duration::ZERO,
+            loaned_out: 0,
+            copied_out: 0,
         }
     }
 
@@ -364,5 +386,21 @@ mod tests {
         };
         assert_eq!(stats.wall(), Duration::from_micros(7));
         assert_eq!(stats.hidden_total(), Duration::from_micros(40));
+    }
+
+    #[test]
+    fn loaned_and_copied_bytes_sum_independently() {
+        let mut a = ev(Pattern::Alltoallv, 1000, 1000, 5);
+        a.loaned_out = 700;
+        a.copied_out = 300;
+        let mut b = ev(Pattern::Allgatherv, 64, 64, 2);
+        b.copied_out = 64;
+        let stats = CommStats {
+            events: vec![a, b],
+            ..Default::default()
+        };
+        assert_eq!(stats.loaned_bytes(), 700);
+        assert_eq!(stats.copied_bytes(), 364);
+        assert_eq!(CommStats::default().loaned_bytes(), 0);
     }
 }

@@ -83,6 +83,19 @@ pub struct ImbalanceReport {
     pub total_exchange_exposed_ns: u64,
     /// Total overlap-hidden exchange time across all ranks and levels.
     pub total_hidden_ns: u64,
+    /// Wire bytes that crossed the exchange as zero-copy loans, summed over
+    /// the outbound sides of wire-collective spans (`Collective` with an
+    /// alltoallv/allgatherv/point-to-point pattern, plus `ExchangeStart`;
+    /// `ExchangeWait` counts the same bytes inbound and is skipped to avoid
+    /// double-counting). Together with
+    /// [`ImbalanceReport::total_copied_wire_bytes`] this attributes the
+    /// receiver-side memcpy wall the loan path removed — see
+    /// `docs/zero-copy.md`.
+    pub total_loaned_wire_bytes: u64,
+    /// Wire bytes that receivers still memcpy'd off the exchange board
+    /// (the eager/`Copied` path), over the same spans as
+    /// [`ImbalanceReport::total_loaned_wire_bytes`].
+    pub total_copied_wire_bytes: u64,
     /// Total compute time across all ranks and levels.
     pub total_compute_ns: u64,
     /// Per-level traversal direction (`"topdown"` / `"bottomup"`), read
@@ -137,6 +150,8 @@ pub fn analyze(traces: &[RankTrace]) -> ImbalanceReport {
     let mut level_ns = vec![vec![0u64; levels]; ranks];
     let mut hidden_ns = vec![vec![0u64; levels]; ranks];
     let mut total_exchange_exposed_ns = 0u64;
+    let mut total_loaned_wire_bytes = 0u64;
+    let mut total_copied_wire_bytes = 0u64;
 
     // ready_ns[level][k]: the instant the *last* rank finished its k-th
     // ExchangeStart at that level — when chunk k's data was fully
@@ -182,12 +197,23 @@ pub fn analyze(traces: &[RankTrace]) -> ImbalanceReport {
                     if s.pattern == CollectiveTag::Alltoallv {
                         total_exchange_exposed_ns += s.dur_ns();
                     }
+                    if matches!(
+                        s.pattern,
+                        CollectiveTag::Alltoallv
+                            | CollectiveTag::Allgatherv
+                            | CollectiveTag::PointToPoint
+                    ) {
+                        total_loaned_wire_bytes += s.loaned;
+                        total_copied_wire_bytes += s.wire.saturating_sub(s.loaned);
+                    }
                 }
                 // The start half is always exposed; the wait half is
                 // clipped to its late-sender share below.
                 SpanKind::ExchangeStart => {
                     wait_ns[r][l] += s.dur_ns();
                     total_exchange_exposed_ns += s.dur_ns();
+                    total_loaned_wire_bytes += s.loaned;
+                    total_copied_wire_bytes += s.wire.saturating_sub(s.loaned);
                     starts[l].push(s.end_ns);
                 }
                 SpanKind::ExchangeWait => {
@@ -250,6 +276,8 @@ pub fn analyze(traces: &[RankTrace]) -> ImbalanceReport {
         total_wait_ns: wait_ns.iter().flatten().sum(),
         total_exchange_exposed_ns,
         total_hidden_ns: hidden_ns.iter().flatten().sum(),
+        total_loaned_wire_bytes,
+        total_copied_wire_bytes,
         total_compute_ns: compute_ns.iter().flatten().sum(),
         wait_ns,
         hidden_ns,
@@ -283,6 +311,7 @@ mod tests {
             detail: 0,
             bytes: 0,
             wire: 0,
+            loaned: 0,
         }
     }
 
@@ -382,6 +411,42 @@ mod tests {
         assert_eq!(rep.total_hidden_ns, 60);
         // Everything not exposed comm is charged to the compute cell.
         assert_eq!(rep.compute_ns, vec![vec![93], vec![76]]);
+    }
+
+    #[test]
+    fn loaned_and_copied_wire_bytes_attribute_outbound_sides_only() {
+        let mut coll = span(SpanKind::Collective, 0, 10, 20); // Alltoallv pattern
+        coll.wire = 1000;
+        coll.loaned = 600;
+        let mut gather = span(SpanKind::Collective, 0, 30, 40);
+        gather.pattern = CollectiveTag::Allgatherv;
+        gather.wire = 100;
+        gather.loaned = 100;
+        let mut reduce = span(SpanKind::Collective, 0, 45, 50);
+        reduce.pattern = CollectiveTag::Allreduce;
+        reduce.wire = 64; // plain collective: never loan-attributed
+        let mut start = span(SpanKind::ExchangeStart, 0, 50, 60);
+        start.pattern = CollectiveTag::Alltoallv;
+        start.wire = 50;
+        start.loaned = 0;
+        let mut wait = span(SpanKind::ExchangeWait, 0, 60, 70);
+        wait.pattern = CollectiveTag::Alltoallv;
+        wait.wire = 50; // inbound side of the same bytes: skipped
+        wait.loaned = 50;
+        let traces = vec![rank(
+            0,
+            vec![
+                coll,
+                gather,
+                reduce,
+                start,
+                wait,
+                span(SpanKind::Level, 0, 0, 80),
+            ],
+        )];
+        let rep = analyze(&traces);
+        assert_eq!(rep.total_loaned_wire_bytes, 600 + 100);
+        assert_eq!(rep.total_copied_wire_bytes, 400 + 50);
     }
 
     #[test]

@@ -96,6 +96,8 @@ mod tests {
             wire_in: bytes,
             wall: Duration::ZERO,
             hidden: Duration::ZERO,
+            loaned_out: 0,
+            copied_out: bytes,
         }
     }
 

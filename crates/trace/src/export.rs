@@ -42,7 +42,8 @@ pub fn to_chrome_trace(traces: &[RankTrace]) -> String {
                     "level": (s.level),
                     "detail": (s.detail),
                     "bytes": (s.bytes),
-                    "wire": (s.wire)
+                    "wire": (s.wire),
+                    "loaned": (s.loaned)
                 }
             }));
         }
@@ -166,6 +167,7 @@ mod tests {
             detail: 4,
             bytes: 128,
             wire: 32,
+            loaned: 16,
         };
         vec![
             RankTrace {
@@ -205,7 +207,7 @@ mod tests {
             for key in ["name", "cat", "ts", "dur", "pid", "tid", "args"] {
                 assert!(!matches!(e[key], Value::Null), "missing field {key}");
             }
-            for key in ["level", "detail", "bytes", "wire"] {
+            for key in ["level", "detail", "bytes", "wire", "loaned"] {
                 assert!(!matches!(e["args"][key], Value::Null), "missing arg {key}");
             }
         }
@@ -236,7 +238,9 @@ mod tests {
         assert_eq!(span["rank"], 0i64);
         assert_eq!(span["kind"], "Level");
         assert_eq!(span["pattern"], "None");
-        for key in ["start_ns", "end_ns", "level", "detail", "bytes", "wire"] {
+        for key in [
+            "start_ns", "end_ns", "level", "detail", "bytes", "wire", "loaned",
+        ] {
             assert!(!matches!(span[key], Value::Null), "missing field {key}");
         }
 
@@ -256,7 +260,8 @@ mod tests {
         let mut doc = to_jsonl(&sample_traces());
         doc.push_str(concat!(
             "{\"type\":\"span\",\"rank\":9,\"kind\":\"Level\",\"pattern\":\"None\",",
-            "\"start_ns\":0,\"end_ns\":1,\"level\":0,\"detail\":0,\"bytes\":0,\"wire\":0}\n"
+            "\"start_ns\":0,\"end_ns\":1,\"level\":0,\"detail\":0,\"bytes\":0,",
+            "\"wire\":0,\"loaned\":0}\n"
         ));
         assert!(from_jsonl(&doc).is_err(), "out-of-range rank rejected");
     }

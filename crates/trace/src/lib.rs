@@ -179,6 +179,11 @@ pub struct SpanRecord {
     pub bytes: u64,
     /// Post-codec wire bytes (collective spans; 0 elsewhere).
     pub wire: u64,
+    /// Wire bytes that moved as zero-copy loans rather than receiver-side
+    /// copies (wire collective spans; 0 elsewhere). `wire - loaned` is the
+    /// memcpy'd share, which is how the imbalance report attributes the
+    /// saved copy wall — see `docs/zero-copy.md`.
+    pub loaned: u64,
 }
 
 impl SpanRecord {
@@ -311,13 +316,14 @@ impl TraceSink {
                 detail,
                 bytes: 0,
                 wire: 0,
+                loaned: 0,
             });
         }
     }
 
     /// Close a collective span covering `start..now`, carrying the pattern,
-    /// communicator group size, and logical/wire byte counts. No-op when
-    /// disabled.
+    /// communicator group size, logical/wire byte counts, and the loaned
+    /// (zero-copy) share of the wire bytes. No-op when disabled.
     pub fn collective(
         &mut self,
         pattern: CollectiveTag,
@@ -325,6 +331,7 @@ impl TraceSink {
         group_size: u64,
         bytes: u64,
         wire: u64,
+        loaned: u64,
     ) {
         if self.active.is_some() {
             let start_ns = self.ns_of(start);
@@ -338,14 +345,16 @@ impl TraceSink {
                 detail: group_size,
                 bytes,
                 wire,
+                loaned,
             });
         }
     }
 
     /// Close one half of a nonblocking exchange ([`SpanKind::ExchangeStart`]
     /// or [`SpanKind::ExchangeWait`]) covering `start..now`, carrying the
-    /// pattern and logical/wire byte counts like a collective span. No-op
-    /// when disabled.
+    /// pattern and logical/wire/loaned byte counts like a collective span.
+    /// No-op when disabled.
+    #[allow(clippy::too_many_arguments)] // the list mirrors SpanRecord's fields one-to-one
     pub fn exchange(
         &mut self,
         kind: SpanKind,
@@ -354,6 +363,7 @@ impl TraceSink {
         group_size: u64,
         bytes: u64,
         wire: u64,
+        loaned: u64,
     ) {
         if self.active.is_some() {
             let start_ns = self.ns_of(start);
@@ -367,6 +377,7 @@ impl TraceSink {
                 detail: group_size,
                 bytes,
                 wire,
+                loaned,
             });
         }
     }
@@ -437,6 +448,7 @@ mod tests {
             detail: 0,
             bytes: 0,
             wire: 0,
+            loaned: 0,
         }
     }
 
@@ -446,7 +458,7 @@ mod tests {
         assert!(!sink.is_enabled());
         assert_eq!(sink.now_ns(), 0);
         sink.span(SpanKind::Level, 0, 7);
-        sink.collective(CollectiveTag::Barrier, Instant::now(), 4, 0, 0);
+        sink.collective(CollectiveTag::Barrier, Instant::now(), 4, 0, 0, 0);
         let t = sink.drain();
         assert!(t.spans.is_empty());
         assert_eq!(t.dropped, 0);
@@ -500,12 +512,12 @@ mod tests {
     fn collective_span_carries_bytes_and_saturates_before_epoch() {
         let before = Instant::now();
         let mut sink = TraceSink::new(1, Instant::now());
-        sink.collective(CollectiveTag::Alltoallv, before, 16, 1000, 250);
+        sink.collective(CollectiveTag::Alltoallv, before, 16, 1000, 250, 200);
         let s = sink.drain().spans[0];
         assert_eq!(s.kind, SpanKind::Collective);
         assert_eq!(s.pattern, CollectiveTag::Alltoallv);
         assert_eq!(s.start_ns, 0, "pre-epoch instants clamp to 0");
-        assert_eq!((s.detail, s.bytes, s.wire), (16, 1000, 250));
+        assert_eq!((s.detail, s.bytes, s.wire, s.loaned), (16, 1000, 250, 200));
     }
 
     #[test]
@@ -520,12 +532,14 @@ mod tests {
             8,
             640,
             80,
+            64,
         );
         sink.exchange(
             SpanKind::ExchangeWait,
             CollectiveTag::Alltoallv,
             t0,
             8,
+            0,
             0,
             0,
         );
@@ -538,7 +552,10 @@ mod tests {
             assert_eq!(s.level, 4);
             assert_eq!(s.detail, 8);
         }
-        assert_eq!((t.spans[0].bytes, t.spans[0].wire), (640, 80));
+        assert_eq!(
+            (t.spans[0].bytes, t.spans[0].wire, t.spans[0].loaned),
+            (640, 80, 64)
+        );
     }
 
     #[test]
@@ -552,6 +569,7 @@ mod tests {
             detail: 8,
             bytes: 4096,
             wire: 512,
+            loaned: 448,
         };
         let back = SpanRecord::from_content(&s.to_content()).unwrap();
         assert_eq!(back, s);

@@ -3,7 +3,7 @@
 //!
 //! The lint pass is a hand-rolled lexer plus token-pattern rules — no
 //! external dependencies, so the offline vendored build keeps working. It
-//! enforces four named repo invariants (documented with examples in
+//! enforces five named repo invariants (documented with examples in
 //! `docs/verification.md`):
 //!
 //! | rule | invariant |
@@ -12,6 +12,7 @@
 //! | `no-raw-spawn`        | `thread::spawn` only in `crates/comm` + `crates/runtime` |
 //! | `timed-regions-only`  | `Instant::now` in rank closures only via `ctx.timed` |
 //! | `collective-symmetry` | no collectives inside rank-guarded branches |
+//! | `no-post-deposit-mutation` | no `bytes_mut` on payloads received from `*_wire` collectives |
 
 pub mod lexer;
 pub mod rules;

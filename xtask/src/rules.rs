@@ -1,4 +1,4 @@
-//! The four rank-safety lint rules, each a token-pattern over the lexed
+//! The five rank-safety lint rules, each a token-pattern over the lexed
 //! stream from [`crate::lexer`]. Every rule reports `file:line rule-name:
 //! message` findings; suppression is via `// lint: allow(rule-name)` on the
 //! same line or the line above (see `docs/verification.md` for the
@@ -43,6 +43,11 @@ pub const TIMED_REGIONS_ONLY: &str = "timed-regions-only";
 /// (`if rank == …` / `match rank`) — every rank of the group must reach
 /// them, or the call deadlocks the rendezvous.
 pub const COLLECTIVE_SYMMETRY: &str = "collective-symmetry";
+/// Rule: a payload received from a `*_wire` collective must not be mutated
+/// through `bytes_mut` — large payloads cross the board as `Arc` loans
+/// shared with the sender, so the runtime panics on the write; the lint
+/// catches the shape at review time (see `docs/zero-copy.md`).
+pub const NO_POST_DEPOSIT_MUTATION: &str = "no-post-deposit-mutation";
 
 /// The names of every `Comm` collective entry point; a `.name(` call on a
 /// comm-like receiver inside a rank-guarded block is asymmetric.
@@ -91,6 +96,9 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
         NO_RAW_SPAWN => !in_comm && !in_runtime,
         TIMED_REGIONS_ONLY => !in_runtime,
         COLLECTIVE_SYMMETRY => true,
+        // The comm crate is the loan machinery itself: it mutates payloads
+        // before the seal (verifier checksums, fault flips) by design.
+        NO_POST_DEPOSIT_MUTATION => !in_comm,
         _ => false,
     }
 }
@@ -109,6 +117,9 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Finding> {
     }
     if rule_applies(COLLECTIVE_SYMMETRY, path) {
         collective_symmetry(path, lexed, &mut findings);
+    }
+    if rule_applies(NO_POST_DEPOSIT_MUTATION, path) {
+        no_post_deposit_mutation(path, lexed, &mut findings);
     }
     // Drop suppressed findings, dedupe repeats on the same line, and order
     // by position for stable output.
@@ -386,6 +397,136 @@ fn receiver_plausible(toks: &[Tok], dot: usize, name: &str) -> bool {
     }
 }
 
+/// Flags `.bytes_mut(` calls on payloads that came back from a `*_wire`
+/// collective. Taint flows forward through the file: a `let` binding whose
+/// initializer contains a wire-collective call (any identifier ending in
+/// `_wire` followed by `(`) — or mentions an already-tainted binding, which
+/// carries the taint through `pending.wait()` results, `clone()`s, and
+/// `&mut recv[i]` aliases — is wire-received, and mutating it after the
+/// board crossing is the use-after-deposit shape the loan path forbids
+/// (`WireBuf::bytes_mut` panics on a sealed payload at runtime; this rule
+/// catches the pattern at review time).
+fn no_post_deposit_mutation(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.toks;
+    let mut tainted: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // `let [mut] name = <initializer> ;` — taint `name` when the
+        // initializer roots at a wire collective or a tainted binding.
+        // (Tuple/struct patterns are skipped; the receive idiom binds one
+        // name.)
+        if ident(toks.get(i)) == Some("let") {
+            let mut j = i + 1;
+            if ident(toks.get(j)) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = ident(toks.get(j)) {
+                if is_punct(toks.get(j + 1), '=') && !is_punct(toks.get(j + 2), '=') {
+                    let mut depth = 0i64;
+                    let mut k = j + 2;
+                    let mut taints = false;
+                    while k < toks.len() {
+                        match &toks[k].kind {
+                            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                                depth += 1
+                            }
+                            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                                depth -= 1
+                            }
+                            TokKind::Punct(';') if depth <= 0 => break,
+                            TokKind::Ident(s)
+                                if (s.ends_with("_wire") && is_punct(toks.get(k + 1), '('))
+                                    || tainted.iter().any(|t| t == s) =>
+                            {
+                                taints = true;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if taints && name != "_" {
+                        tainted.push(name.to_string());
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if matches!(&toks[i].kind, TokKind::Punct('.'))
+            && ident(toks.get(i + 1)) == Some("bytes_mut")
+            && is_punct(toks.get(i + 2), '(')
+            && receiver_is_wire_received(toks, i, &tainted)
+        {
+            out.push(Finding {
+                file: path.to_string(),
+                line: toks[i + 1].line,
+                rule: NO_POST_DEPOSIT_MUTATION,
+                message: "`bytes_mut` on a payload received from a wire collective — large \
+                          payloads cross the board as `Arc` loans shared with the sender \
+                          (the runtime panics on this write); mutate before the deposit, or \
+                          copy out with `bytes().to_vec()` (docs/zero-copy.md)"
+                    .to_string(),
+            });
+        }
+        i += 1;
+    }
+}
+
+/// Walks the receiver chain left from the `.` at `dot` — over `[index]`
+/// groups, `(call)` groups, and `.field` / `.method` segments — until the
+/// root identifier. True when the root is a tainted binding, or the chain
+/// itself contains a `*_wire` call (`comm.alltoallv_wire(b)[0].bytes_mut()`).
+fn receiver_is_wire_received(toks: &[Tok], dot: usize, tainted: &[String]) -> bool {
+    let mut k = dot;
+    loop {
+        if k == 0 {
+            return false;
+        }
+        match &toks[k - 1].kind {
+            TokKind::Punct(']') => match matching_open(toks, k - 1, '[', ']') {
+                Some(open) => k = open,
+                None => return false,
+            },
+            TokKind::Punct(')') => match matching_open(toks, k - 1, '(', ')') {
+                Some(open) => k = open,
+                None => return false,
+            },
+            TokKind::Ident(s) => {
+                if tainted.iter().any(|t| t == s) || s.ends_with("_wire") {
+                    return true;
+                }
+                if k >= 2 && matches!(&toks[k - 2].kind, TokKind::Punct('.')) {
+                    k -= 2; // step over `.segment` to its own receiver
+                } else {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Index of the `open_c` that matches the `close_c` at `close`, scanning
+/// backwards over nested groups.
+fn matching_open(toks: &[Tok], close: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 1usize;
+    let mut k = close;
+    while k > 0 {
+        k -= 1;
+        match &toks[k].kind {
+            TokKind::Punct(c) if *c == close_c => depth += 1,
+            TokKind::Punct(c) if *c == open_c => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,6 +691,57 @@ fn f(comm: &Comm) {
         let f = run("crates/bfs/src/lib.rs", src);
         assert_eq!(f.len(), 1, "only the unannotated call survives: {f:?}");
         assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn post_deposit_mutation_fires_on_received_payloads() {
+        // Direct: mutate an element of the received vector.
+        let src = "\
+fn f(comm: &Comm, bufs: Vec<WireBuf>) {
+    let recv = comm.alltoallv_wire(bufs);
+    recv[0].bytes_mut()[0] = 0xFF;
+}";
+        let f = run("crates/bfs/src/one_d.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].rule), (3, NO_POST_DEPOSIT_MUTATION));
+
+        // Taint flows through an alias and through a pending-exchange wait.
+        let src = "\
+fn g(comm: &Comm, bufs: Vec<WireBuf>) {
+    let pending = comm.ialltoallv_wire(bufs);
+    let recv = pending.wait();
+    let mut theirs = recv[1].clone();
+    theirs.bytes_mut().push(0);
+}";
+        let f = run("crates/bfs/src/one_d.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+
+        // Chained receive with no binding at all.
+        let src = "fn h(comm: &Comm, b: Vec<WireBuf>) { comm.allgatherv_wire(b)[0].bytes_mut(); }";
+        assert_eq!(run("crates/bfs/src/one_d.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn pre_deposit_mutation_and_comm_internals_are_clean() {
+        // Building a payload mutates freely before the collective sees it.
+        let src = "\
+fn f(comm: &Comm, mut buf: WireBuf) {
+    buf.bytes_mut().push(7);
+    let _ = comm.alltoallv_wire(vec![buf]);
+}";
+        assert!(run("crates/bfs/src/one_d.rs", src).is_empty());
+        // Reading the received bytes is always fine.
+        let src = "\
+fn g(comm: &Comm, bufs: Vec<WireBuf>) {
+    let recv = comm.alltoallv_wire(bufs);
+    decode(recv[0].bytes());
+}";
+        assert!(run("crates/bfs/src/one_d.rs", src).is_empty());
+        // The comm crate seals and fault-flips pre-deposit by design.
+        let src =
+            "fn s(recv: &mut [WireBuf]) { let r = self.alltoallv_wire(b); r[0].bytes_mut(); }";
+        assert!(run("crates/comm/src/comm.rs", src).is_empty());
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Self-test for the rank-safety lint pass: a fixture tree under
-//! `tests/fixtures/` seeds exactly one violation pattern per rule (plus a
+//! `tests/fixtures/` seeds violation patterns for every rule (plus a
 //! fully-suppressed file), and the real workspace must come back clean —
 //! the same invocation CI runs as a required job.
 
@@ -22,6 +22,16 @@ fn seeded_fixture_violations_are_reported_with_rule_and_location() {
         .map(|f| (f.file.clone(), f.line, f.rule))
         .collect();
     let expected = vec![
+        (
+            "crates/fixture/src/post_deposit.rs".to_string(),
+            5,
+            "no-post-deposit-mutation",
+        ),
+        (
+            "crates/fixture/src/post_deposit.rs".to_string(),
+            12,
+            "no-post-deposit-mutation",
+        ),
         (
             "crates/fixture/src/raw_spawn.rs".to_string(),
             4,
