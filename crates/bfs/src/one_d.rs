@@ -48,6 +48,9 @@ pub struct Dist1dRun {
     /// Per-rank span traces (index = rank); empty spans unless
     /// [`Bfs1dConfig::trace`] was set.
     pub per_rank_trace: Vec<RankTrace>,
+    /// Per-rank collective-fingerprint sequences (index = rank); empty
+    /// unless [`Bfs1dConfig::schedule_capture`] was set.
+    pub per_rank_schedule: Vec<Vec<&'static str>>,
 }
 
 impl Dist1dRun {
@@ -122,6 +125,7 @@ pub fn bfs1d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs1dConfig) -> Dist1dRun
         num_levels,
         codec_levels: merge_level_stats(&per_rank_codec),
         per_rank_trace: run.per_rank_trace,
+        per_rank_schedule: run.per_rank_schedule,
     }
 }
 
@@ -341,6 +345,9 @@ fn hybrid_loop(
     parents: &[AtomicI64],
 ) -> (u32, Vec<LevelCodecStats>) {
     let dir_cfg = DirectionConfig::default();
+    // The graph's global vertex count is identical on every rank even
+    // though each rank holds a different block of it.
+    // schedule: replicated
     let n_global = local.block.domain();
     let mut codec_levels: Vec<LevelCodecStats> = Vec::new();
     let add3 = |a: [u64; 3], b: [u64; 3]| [a[0] + b[0], a[1] + b[1], a[2] + b[2]];

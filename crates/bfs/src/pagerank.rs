@@ -109,6 +109,7 @@ impl PageRankConfig {
             verify_timeout: self.verify_timeout,
             overlap: None,
             direction: dmbfs_runtime::DirectionMode::TopDown,
+            schedule_capture: false,
         }
     }
 }

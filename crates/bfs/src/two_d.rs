@@ -113,6 +113,10 @@ pub struct Bfs2dConfig {
     /// flight). `None` (the default) keeps the blocking fold. Parent trees
     /// are bit-identical either way; ignored under [`Codec::Off`].
     pub overlap: Option<std::num::NonZeroUsize>,
+    /// Record the ordered collective-fingerprint sequence each rank
+    /// issues (see [`dmbfs_runtime::RunConfig::schedule_capture`]).
+    /// Strictly an observer.
+    pub schedule_capture: bool,
 }
 
 impl Bfs2dConfig {
@@ -131,6 +135,7 @@ impl Bfs2dConfig {
             faults: FaultPlan::none(),
             verify_timeout: None,
             overlap: None,
+            schedule_capture: false,
         }
     }
 
@@ -186,6 +191,13 @@ impl Bfs2dConfig {
         self
     }
 
+    /// Enables or disables collective-schedule capture (see
+    /// [`Bfs2dConfig::schedule_capture`]).
+    pub fn with_schedule_capture(mut self, capture: bool) -> Self {
+        self.schedule_capture = capture;
+        self
+    }
+
     /// True when this is the hybrid variant.
     pub fn is_hybrid(&self) -> bool {
         self.threads_per_rank > 1
@@ -208,6 +220,7 @@ impl Bfs2dConfig {
             // The 2D SpMSV driver has no bottom-up step; its runtime view
             // is always top-down.
             direction: dmbfs_runtime::DirectionMode::TopDown,
+            schedule_capture: self.schedule_capture,
         }
     }
 }
@@ -252,6 +265,9 @@ pub struct Dist2dRun {
     /// unless [`Bfs2dConfig::trace`] was set. Row/column-communicator
     /// collectives appear in the owning rank's trace.
     pub per_rank_trace: Vec<RankTrace>,
+    /// Per-world-rank collective-fingerprint sequences; empty unless
+    /// [`Bfs2dConfig::schedule_capture`] was set.
+    pub per_rank_schedule: Vec<Vec<&'static str>>,
 }
 
 /// Runs the 2D algorithm, returning the assembled result only.
@@ -337,6 +353,7 @@ pub fn bfs2d_run(g: &CsrGraph, source: VertexId, cfg: &Bfs2dConfig) -> Dist2dRun
         num_levels,
         codec_levels: merge_level_stats(&per_rank_codec),
         per_rank_trace: run.per_rank_trace,
+        per_rank_schedule: run.per_rank_schedule,
     }
 }
 
@@ -407,6 +424,7 @@ impl RankState {
         source: VertexId,
         pool: Option<&rayon::ThreadPool>,
     ) -> (Vec<i64>, Vec<i64>, u32, RankWork, Vec<LevelCodecStats>) {
+        // schedule: replicated
         let grid = self.cfg.grid;
         let (i, j) = self.coords;
         let nloc = (self.vrange.end - self.vrange.start) as usize;
@@ -414,6 +432,7 @@ impl RankState {
         let mut parents = vec![UNREACHED; nloc];
         let mut work = RankWork::default();
         let mut ws: SpaWorkspace<u64> = SpaWorkspace::new(self.block.nrows());
+        // schedule: replicated
         let codec = self.cfg.codec;
         // One bit per local matrix row: a row folded once was claimed by
         // its vector owner at that level, so later re-emissions are
@@ -464,6 +483,8 @@ impl RankState {
             comm.trace_span(SpanKind::Transpose, transpose_t, transposed.len() as u64);
             // Line 6: expand along the processor column.
             let expand_t = comm.trace_start();
+            // The expand algorithm is shared config, not rank state.
+            // schedule: replicated
             let gathered = match self.cfg.expand {
                 ExpandAlgorithm::Board if codec != Codec::Off => {
                     let buf = encode_set(&transposed, self.block.col_range.clone(), codec);
@@ -501,6 +522,8 @@ impl RankState {
             // Line 8: fold along the processor row to the vector owners.
             let fold_t = comm.trace_start();
             let folded: Vec<Vec<(u64, u64)>> =
+                // Overlap depth and codec are shared config, not rank state.
+                // schedule: replicated
                 match self.cfg.overlap.filter(|_| codec != Codec::Off) {
                     // The chunked double-buffered pipeline: the SpMSV output is
                     // split into chunks, each chunk's encode overlaps the
@@ -726,6 +749,7 @@ impl RankState {
     /// P(i,j) targets P(j,i) — the paper's pairwise exchange; on general
     /// grids this becomes a (sparse) all-to-all.
     fn transpose(&self, comm: &Comm, frontier: &[VertexId]) -> Vec<VertexId> {
+        // schedule: replicated
         let grid = self.cfg.grid;
         let (i, j) = self.coords;
         if grid.is_square() {

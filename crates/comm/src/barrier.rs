@@ -172,6 +172,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sleep-based cross-thread timing")]
     fn poison_unblocks_waiters() {
         let poison = Arc::new(Poison::default());
         let barrier = Arc::new(PoisonBarrier::new(2, poison.clone()));
@@ -193,6 +194,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock watchdog timeout")]
     fn watchdog_detects_missing_participant() {
         // One of two participants never arrives: the waiter must poison the
         // world and panic instead of hanging forever.

@@ -240,6 +240,12 @@ pub struct Comm {
     /// and one branch per collective — unless [`Comm::arm_faults`] armed a
     /// non-empty plan.
     fault: RefCell<Option<Arc<FaultInjector>>>,
+    /// Optional collective-schedule recorder shared with sub-communicators
+    /// split off this handle: the ordered fingerprint names this rank's
+    /// collectives produce, harvested by the static-checker conformance
+    /// test (same sharing rationale as `tracer`). `None` — one borrow per
+    /// collective — unless [`Comm::capture_schedule`] armed it.
+    sched_log: RefCell<Option<Arc<Mutex<Vec<&'static str>>>>>,
     /// Thread that created the handle; collectives must run on it.
     owner: ThreadId,
     /// Per-handle collective counter feeding verifier fingerprints: the
@@ -281,6 +287,7 @@ impl Comm {
             stats: RefCell::new(CommStats::default()),
             tracer: RefCell::new(None),
             fault: RefCell::new(None),
+            sched_log: RefCell::new(None),
             owner: std::thread::current().id(),
             verify_epoch: Cell::new(0),
             pending_exchange: Cell::new(false),
@@ -305,6 +312,11 @@ impl Comm {
         type_name: &'static str,
         location: &'static Location<'static>,
     ) {
+        // Schedule capture sits before the verify gate: the harvest works
+        // (and the conformance test runs) with or without the verifier.
+        if let Some(log) = self.sched_log.borrow().as_ref() {
+            log.lock().push(kind.name());
+        }
         if let Some(board) = self.shared.verify.as_ref() {
             let epoch = self.verify_epoch.get();
             self.verify_epoch.set(epoch + 1);
@@ -338,6 +350,34 @@ impl Comm {
     /// Whether a fault plan is armed on this handle.
     pub fn faults_armed(&self) -> bool {
         self.fault.borrow().is_some()
+    }
+
+    /// Arms collective-schedule capture on this handle: every subsequent
+    /// collective — including on sub-communicators split off it — appends
+    /// its fingerprint name (see [`CollectiveKind::name`]) to an ordered
+    /// per-rank log. The static checker's conformance test diffs this
+    /// against the predicted schedule. A strict observer, like tracing:
+    /// payloads and results are untouched.
+    pub fn capture_schedule(&self) {
+        *self.sched_log.borrow_mut() = Some(Arc::new(Mutex::new(Vec::new())));
+    }
+
+    /// Discards everything captured so far (keeps capturing). Mirrors the
+    /// static checker's `// schedule: reset` window marker.
+    pub fn schedule_clear(&self) {
+        if let Some(log) = self.sched_log.borrow().as_ref() {
+            log.lock().clear();
+        }
+    }
+
+    /// The captured fingerprint-name sequence, empty when capture was
+    /// never armed.
+    pub fn take_schedule(&self) -> Vec<&'static str> {
+        self.sched_log
+            .borrow()
+            .as_ref()
+            .map(|log| std::mem::take(&mut *log.lock()))
+            .unwrap_or_default()
     }
 
     /// Fault hook at the top of every collective, **before** the verifier
@@ -1416,6 +1456,7 @@ impl Comm {
         // reporting the world rank).
         *child.tracer.borrow_mut() = self.tracer.borrow().clone();
         *child.fault.borrow_mut() = self.fault.borrow().clone();
+        *child.sched_log.borrow_mut() = self.sched_log.borrow().clone();
         child
     }
 }
@@ -1611,6 +1652,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sleep-based overlap-window timing")]
     fn nonblocking_exchange_records_hidden_window() {
         let stats = World::run(2, |comm| {
             let bufs = vec![WireBuf::new(vec![9], 8), WireBuf::new(vec![9], 8)];

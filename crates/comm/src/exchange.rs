@@ -187,6 +187,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sleep-based cross-thread timing")]
     fn collect_blocks_on_the_deposit_only() {
         let board = Arc::new(ExchangeBoard::new(2, Arc::new(Poison::default())));
         let b = board.clone();
@@ -210,6 +211,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sleep-based cross-thread timing")]
     fn poison_unblocks_a_stuck_collect() {
         let poison = Arc::new(Poison::default());
         let board = Arc::new(ExchangeBoard::new(1, poison.clone()));

@@ -682,6 +682,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock performance bound")]
     fn disabled_hook_is_cheap() {
         assert!(fault_disabled_hook_cost(100_000) < Duration::from_secs(1));
     }

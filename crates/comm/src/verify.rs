@@ -595,6 +595,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock watchdog timeout")]
     fn watchdog_dumps_pending_ops_when_a_rank_never_arrives() {
         let poison = Arc::new(Poison::default());
         let board = VerifyBoard::new(
@@ -693,6 +694,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock performance bound")]
     fn disabled_hook_is_cheap() {
         // Smoke-level bound; the real 5% assertion lives in dmbfs-bfs where
         // a search's collective count is known.

@@ -499,6 +499,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "64 interpreted threads are too slow under miri")]
     fn large_world_smoke() {
         // 64 ranks exchanging; exercises heavy thread oversubscription.
         let out = World::run(64, |comm| {

@@ -208,6 +208,12 @@ pub struct RunConfig {
     /// the BFS drivers with a bottom-up step honor it; other drivers
     /// require the [`DirectionMode::TopDown`] default.
     pub direction: DirectionMode,
+    /// Record the ordered collective-fingerprint sequence each rank
+    /// issues (see [`dmbfs_comm::Comm::capture_schedule`]), harvested
+    /// into [`DistRun::per_rank_schedule`]. The static schedule checker's
+    /// conformance test diffs it against the predicted schedule. Strictly
+    /// an observer: the computed result is bit-identical either way.
+    pub schedule_capture: bool,
 }
 
 impl RunConfig {
@@ -224,6 +230,7 @@ impl RunConfig {
             verify_timeout: None,
             overlap: None,
             direction: DirectionMode::TopDown,
+            schedule_capture: false,
         }
     }
 
@@ -297,6 +304,13 @@ impl RunConfig {
     /// Replaces the traversal direction policy (see [`DirectionMode`]).
     pub fn with_direction(mut self, direction: DirectionMode) -> Self {
         self.direction = direction;
+        self
+    }
+
+    /// Enables or disables collective-schedule capture (see
+    /// [`RunConfig::schedule_capture`]).
+    pub fn with_schedule_capture(mut self, capture: bool) -> Self {
+        self.schedule_capture = capture;
         self
     }
 
@@ -380,6 +394,10 @@ impl<'a> RankCtx<'a> {
         self.comm.barrier();
         let _ = self.comm.take_stats();
         self.comm.trace_clear();
+        // The static checker's capture window opens here too — after the
+        // barrier above, which the dynamic log discards with the rest.
+        // schedule: reset
+        self.comm.schedule_clear();
     }
 
     /// Folds statistics from a sub-communicator (a row/column split) into
@@ -409,6 +427,9 @@ pub struct DistRun<T> {
     /// Wall seconds of the timed region (max over ranks); `0.0` when the
     /// closure never called [`RankCtx::timed`].
     pub seconds: f64,
+    /// Per-rank ordered collective-fingerprint sequences (index = rank);
+    /// empty vectors unless [`RunConfig::schedule_capture`] was set.
+    pub per_rank_schedule: Vec<Vec<&'static str>>,
 }
 
 /// Runs `body` once per rank under `cfg` and harvests the results.
@@ -445,6 +466,7 @@ where
         stats: CommStats,
         trace: RankTrace,
         seconds: f64,
+        schedule: Vec<&'static str>,
     }
 
     // All ranks stamp spans against this one epoch so their timelines share
@@ -459,6 +481,11 @@ where
         }
         if cfg.trace {
             comm.set_tracer(TraceSink::new(comm.rank(), epoch));
+        }
+        // Before any split, like the tracer, so sub-communicator
+        // collectives land in the same per-rank sequence.
+        if cfg.schedule_capture {
+            comm.capture_schedule();
         }
         let pool = (cfg.threads_per_rank > 1).then(|| {
             rayon::ThreadPoolBuilder::new()
@@ -492,6 +519,7 @@ where
                 ..RankTrace::default()
             }),
             seconds: ctx.seconds.get(),
+            schedule: comm.take_schedule(),
         }
     };
     let harvests: Vec<Harvest<T>> = if cfg.verify {
@@ -507,11 +535,13 @@ where
     let mut per_rank = Vec::with_capacity(cfg.ranks);
     let mut per_rank_stats = Vec::with_capacity(cfg.ranks);
     let mut per_rank_trace = Vec::with_capacity(cfg.ranks);
+    let mut per_rank_schedule = Vec::with_capacity(cfg.ranks);
     let mut seconds = 0.0f64;
     for h in harvests {
         per_rank.push(h.value);
         per_rank_stats.push(h.stats);
         per_rank_trace.push(h.trace);
+        per_rank_schedule.push(h.schedule);
         seconds = seconds.max(h.seconds);
     }
     DistRun {
@@ -519,6 +549,7 @@ where
         per_rank_stats,
         per_rank_trace,
         seconds,
+        per_rank_schedule,
     }
 }
 
@@ -679,6 +710,7 @@ mod tests {
                 verify_timeout: None,
                 overlap: None,
                 direction: DirectionMode::TopDown,
+                schedule_capture: false,
             }
         );
         assert_eq!(

@@ -1,0 +1,22 @@
+"""Overlap-smoke asserts: the traces contain the nonblocking
+ExchangeStart/ExchangeWait span pairs — the pipeline ran, it was not
+silently downgraded to the blocking exchange."""
+
+import json
+
+for name in ("overlap-1d.jsonl", "overlap-2d.jsonl"):
+    lines = [json.loads(l) for l in open(name)]
+    header, spans = lines[0], lines[1:]
+    assert header["type"] == "header" and header["ranks"] == 4, header
+    starts = [s for s in spans if s["kind"] == "ExchangeStart"]
+    waits = [s for s in spans if s["kind"] == "ExchangeWait"]
+    assert starts, f"{name}: no ExchangeStart spans — pipeline never ran"
+    assert waits, f"{name}: no ExchangeWait spans — pipeline never ran"
+    # Starts and waits pair up per rank, and every pair is ordered.
+    for rank in range(header["ranks"]):
+        s = sorted(x["start_ns"] for x in starts if x["rank"] == rank)
+        w = sorted(x["start_ns"] for x in waits if x["rank"] == rank)
+        assert len(s) == len(w) > 0, f"{name}: rank {rank} unpaired"
+        assert all(a <= b for a, b in zip(s, w)), \
+            f"{name}: rank {rank} wait before its start"
+    print(f"{name}: {len(starts)} start/wait pairs across {header['ranks']} ranks")

@@ -1,0 +1,40 @@
+"""Trace-smoke asserts: both export formats validate from the outside
+(JSON parses, one track per rank, spans nest)."""
+
+import json
+
+doc = json.load(open("trace-2d.chrome.json"))
+events = doc["traceEvents"]
+assert doc["displayTimeUnit"] == "ms"
+pids = {e["pid"] for e in events if e.get("ph") == "M"}
+assert pids == set(range(4)), f"expected one track per rank, got {pids}"
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no spans recorded"
+for e in spans:
+    assert e["dur"] >= 0 and e["ts"] >= 0 and e["pid"] in pids
+# Spans on one track must nest: sorted by start, every span either
+# fits inside the enclosing open span or starts after it ends.
+for pid in pids:
+    stack = []
+    track = sorted(
+        (e for e in spans if e["pid"] == pid),
+        key=lambda e: (e["ts"], -e["dur"]),
+    )
+    for e in track:
+        while stack and e["ts"] >= stack[-1]:
+            stack.pop()
+        end = e["ts"] + e["dur"]
+        assert not stack or end <= stack[-1] + 1e-3, \
+            f"span {e['name']} overlaps its parent on rank {pid}"
+        stack.append(end)
+print(f"chrome: {len(spans)} spans across {len(pids)} ranks nest")
+
+lines = [json.loads(l) for l in open("trace-1d.jsonl")]
+header, spans = lines[0], lines[1:]
+assert header["type"] == "header" and header["ranks"] == 4
+assert len(spans) == header["spans"]
+for s in spans:
+    assert s["type"] == "span"
+    assert {"kind", "pattern", "start_ns", "end_ns", "level"} <= s.keys()
+    assert 0 <= s["rank"] < header["ranks"]
+print(f"jsonl: header + {len(spans)} spans, schema fields present")

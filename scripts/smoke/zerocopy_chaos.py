@@ -1,0 +1,17 @@
+"""Zerocopy-smoke asserts, corrupt-grid half: the corrupt-fault sweep
+stays 100% typed while the loan path is active — the
+mutate-before-seal ordering means an injected flip is still convicted
+by checksum even though sender and receiver share the allocation."""
+
+import json
+
+doc = json.load(open("zerocopy_chaos.json"))
+cells = doc["cells"]
+assert cells, "chaos sweep produced no cells"
+assert {c["kind"] for c in cells} == {"corrupt"}, cells
+for c in cells:
+    assert c["typed"], f"untyped escape on the loan path: {c}"
+    assert c["named_rank"], f"corrupter not named: {c}"
+    assert c["detection"] == "verify-corruption", c
+assert doc["typed_rate"] == 1.0 and doc["completed"] == 0, doc
+print(f"{len(cells)} corrupt cells, all typed, all named the sender")

@@ -3,8 +3,17 @@
 //! fooled by comments, string/char literals, or lifetimes.
 //!
 //! The lexer also harvests `// lint: allow(rule-name)` directives from
-//! comments; a finding is suppressed when an allow for its rule sits on
-//! the same line or the line directly above (see `docs/verification.md`).
+//! comments. A trailing allow suppresses its rule on its own line only; a
+//! standalone allow (comment-only line) covers the *statement or block*
+//! that starts on the next code line — through its terminating `;` or the
+//! matching close brace — and nothing beyond it (see
+//! `docs/verification.md`).
+//!
+//! `// schedule: …` directives for the collective-schedule checker ride
+//! the same channel (see `docs/static-analysis.md`): `entry(name)` marks
+//! a driver entry point, `replicated` asserts a binding or branch
+//! condition is rank-invariant, `reset` marks the point where dynamic
+//! schedule capture restarts.
 
 use std::collections::{HashMap, HashSet};
 
@@ -45,25 +54,162 @@ pub struct Lexed {
     /// Lines that carry at least one code token — an allow-directive on a
     /// code line is a trailing comment and covers only that line.
     pub code_lines: HashSet<u32>,
+    /// Resolved extent of each allow-directive: `(first, last)` source
+    /// lines it suppresses (inclusive). Trailing allows cover their own
+    /// line; standalone allows cover the following statement/block.
+    pub allow_extents: Vec<(u32, u32, HashSet<String>)>,
+    /// `line -> directive body` for `// schedule: …` comments, e.g.
+    /// `entry(bfs1d)`, `replicated`, `reset`.
+    pub schedules: HashMap<u32, Vec<String>>,
 }
 
 impl Lexed {
-    /// True when `rule` is suppressed at `line` — an allow-directive as a
-    /// trailing comment on the same line, or standing alone (comment-only
-    /// line) directly above.
+    /// True when `rule` is suppressed at `line`: the line falls inside the
+    /// extent of an allow-directive naming `rule` (or `all`). A trailing
+    /// allow's extent is its own line; a standalone allow's extent is the
+    /// statement or block beginning on the next code line — never the
+    /// whole file.
     pub fn allowed(&self, line: u32, rule: &str) -> bool {
-        let hit = |l: u32| {
-            self.allows
+        self.allow_extents.iter().any(|(first, last, rules)| {
+            line >= *first && line <= *last && (rules.contains(rule) || rules.contains("all"))
+        })
+    }
+
+    /// True when a `// schedule: <directive>` comment covers `line` — on
+    /// the line itself (trailing) or standing alone directly above,
+    /// skipping over further comment-only lines.
+    pub fn schedule_directive(&self, line: u32, directive: &str) -> bool {
+        if self
+            .schedules
+            .get(&line)
+            .is_some_and(|ds| ds.iter().any(|d| d == directive))
+        {
+            return true;
+        }
+        // Walk up over comment-only lines (doc comments, stacked
+        // directives) to find a standalone directive above.
+        let mut l = line;
+        while l > 1 && !self.code_lines.contains(&(l - 1)) {
+            l -= 1;
+            if self
+                .schedules
                 .get(&l)
-                .is_some_and(|rules| rules.contains(rule) || rules.contains("all"))
+                .is_some_and(|ds| ds.iter().any(|d| d == directive))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The argument of a `schedule: <name>(<arg>)` directive covering
+    /// `line` (same resolution as [`Lexed::schedule_directive`]).
+    pub fn schedule_arg(&self, line: u32, name: &str) -> Option<String> {
+        let pick = |l: u32| {
+            self.schedules.get(&l).and_then(|ds| {
+                ds.iter().find_map(|d| {
+                    d.strip_prefix(name)
+                        .and_then(|r| r.trim().strip_prefix('('))
+                        .and_then(|r| r.trim_end().strip_suffix(')'))
+                        .map(|r| r.trim().to_string())
+                })
+            })
         };
-        hit(line) || (line > 1 && hit(line - 1) && !self.code_lines.contains(&(line - 1)))
+        if let Some(a) = pick(line) {
+            return Some(a);
+        }
+        let mut l = line;
+        while l > 1 && !self.code_lines.contains(&(l - 1)) {
+            l -= 1;
+            if let Some(a) = pick(l) {
+                return Some(a);
+            }
+        }
+        None
     }
 }
 
-/// Parses a line comment body for `lint: allow(rule-a, rule-b)`.
-fn parse_allow_directive(body: &str, line: u32, allows: &mut HashMap<u32, HashSet<String>>) {
+/// Computes the line extent each allow-directive covers. A trailing allow
+/// (on a code line) covers exactly that line. A standalone allow covers
+/// the statement or block starting on the next code line: tokens from
+/// there through the first `;` at bracket depth 0, or — when a brace
+/// opens first — through its matching `}` (so one directive above an
+/// `if`/`match`/loop covers the whole construct, and nothing after it).
+fn resolve_allow_extents(
+    toks: &[Tok],
+    allows: &HashMap<u32, HashSet<String>>,
+    code_lines: &HashSet<u32>,
+) -> Vec<(u32, u32, HashSet<String>)> {
+    let mut extents = Vec::new();
+    let mut lines: Vec<&u32> = allows.keys().collect();
+    lines.sort();
+    for &line in lines {
+        let rules = allows[&line].clone();
+        if code_lines.contains(&line) {
+            extents.push((line, line, rules));
+            continue;
+        }
+        // Standalone: find the first token past `line`, then walk to the
+        // end of the statement/block it opens.
+        let Some(start) = toks.iter().position(|t| t.line > line) else {
+            continue; // directive at EOF covers nothing
+        };
+        let mut depth = 0i64;
+        let mut opened_brace = false;
+        let mut last = toks[start].line;
+        for (k, t) in toks.iter().enumerate().skip(start) {
+            last = t.line;
+            match t.kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct('{') => {
+                    depth += 1;
+                    opened_brace = true;
+                }
+                TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if opened_brace && depth <= 0 {
+                        // An `else` continuation keeps the statement going
+                        // (`if … {…} else {…}` is one extent).
+                        let continues = matches!(
+                            toks.get(k + 1).map(|n| &n.kind),
+                            Some(TokKind::Ident(s)) if s == "else"
+                        );
+                        if !continues {
+                            break;
+                        }
+                    }
+                }
+                TokKind::Punct(';') if depth <= 0 => break,
+                _ => {}
+            }
+            // A close brace above the statement's own depth ends the
+            // enclosing block: the statement ends with it.
+            if depth < 0 {
+                break;
+            }
+        }
+        extents.push((toks[start].line, last, rules));
+    }
+    extents
+}
+
+/// Parses a line comment body for `lint: allow(rule-a, rule-b)` or a
+/// `schedule: <directive>` for the collective-schedule checker.
+fn parse_allow_directive(
+    body: &str,
+    line: u32,
+    allows: &mut HashMap<u32, HashSet<String>>,
+    schedules: &mut HashMap<u32, Vec<String>>,
+) {
     let body = body.trim();
+    if let Some(rest) = body.strip_prefix("schedule:") {
+        let rest = rest.trim();
+        if !rest.is_empty() {
+            schedules.entry(line).or_default().push(rest.to_string());
+        }
+        return;
+    }
     let Some(rest) = body.strip_prefix("lint:") else {
         return;
     };
@@ -88,6 +234,7 @@ pub fn lex(src: &str) -> Lexed {
     let chars: Vec<char> = src.chars().collect();
     let mut toks = Vec::new();
     let mut allows = HashMap::new();
+    let mut schedules = HashMap::new();
     let mut i = 0usize;
     let mut line = 1u32;
 
@@ -105,7 +252,7 @@ pub fn lex(src: &str) -> Lexed {
                 j += 1;
             }
             let body: String = chars[start..j].iter().collect();
-            parse_allow_directive(&body, line, &mut allows);
+            parse_allow_directive(&body, line, &mut allows, &mut schedules);
             i = j;
             continue;
         }
@@ -254,11 +401,14 @@ pub fn lex(src: &str) -> Lexed {
         i += 1;
     }
 
-    let code_lines = toks.iter().map(|t| t.line).collect();
+    let code_lines: HashSet<u32> = toks.iter().map(|t| t.line).collect();
+    let allow_extents = resolve_allow_extents(&toks, &allows, &code_lines);
     Lexed {
         toks,
         allows,
         code_lines,
+        allow_extents,
+        schedules,
     }
 }
 
@@ -379,7 +529,6 @@ mod tests {
     fn allow_directives_attach_to_their_line() {
         let src = "x();\n// lint: allow(collective-symmetry)\ny(); // lint: allow(no-raw-spawn, world-run-boundary)\n";
         let l = lex(src);
-        assert!(l.allowed(2, "collective-symmetry"));
         assert!(l.allowed(3, "collective-symmetry"), "line below the allow");
         assert!(l.allowed(3, "no-raw-spawn"), "trailing comment");
         assert!(l.allowed(3, "world-run-boundary"));
@@ -389,5 +538,82 @@ mod tests {
             !l.allowed(4, "no-raw-spawn"),
             "a trailing allow covers only its own line"
         );
+    }
+
+    #[test]
+    fn standalone_allow_covers_the_following_block_and_no_further() {
+        let src = "\
+a();
+// lint: allow(collective-symmetry)
+if comm.rank() == 0 {
+    comm.barrier();
+    comm.broadcast(
+        0, y);
+}
+comm.gatherv(&[x], 0);
+";
+        let l = lex(src);
+        for covered in 3..=7 {
+            assert!(
+                l.allowed(covered, "collective-symmetry"),
+                "line {covered} is inside the annotated block"
+            );
+        }
+        assert!(
+            !l.allowed(8, "collective-symmetry"),
+            "the allow must not leak past its block"
+        );
+        assert!(!l.allowed(1, "collective-symmetry"));
+    }
+
+    #[test]
+    fn standalone_allow_covers_a_multiline_statement_to_its_semicolon() {
+        let src = "\
+// lint: allow(no-post-deposit-mutation)
+recv[0]
+    .bytes_mut()[0] = 0xFF;
+recv[1].bytes_mut()[0] = 0xFF;
+";
+        let l = lex(src);
+        assert!(l.allowed(2, "no-post-deposit-mutation"));
+        assert!(l.allowed(3, "no-post-deposit-mutation"));
+        assert!(
+            !l.allowed(4, "no-post-deposit-mutation"),
+            "the next statement is outside the extent"
+        );
+    }
+
+    #[test]
+    fn allow_never_applies_file_wide() {
+        // A directive at the very top of the file covers exactly the first
+        // statement, not everything after it.
+        let src = "// lint: allow(all)\nfirst();\nsecond();\n";
+        let l = lex(src);
+        assert!(l.allowed(2, "anything"));
+        assert!(
+            !l.allowed(3, "anything"),
+            "allow(all) is still statement-scoped"
+        );
+    }
+
+    #[test]
+    fn schedule_directives_are_harvested_with_arguments() {
+        let src = "\
+// schedule: entry(bfs1d)
+let r = run_ranks(cfg, f);
+let n = x.len(); // schedule: replicated
+// schedule: replicated
+// (the condition is a pure function of allreduced counts)
+let flag = decide();
+";
+        let l = lex(src);
+        assert_eq!(l.schedule_arg(2, "entry").as_deref(), Some("bfs1d"));
+        assert_eq!(l.schedule_arg(3, "entry"), None);
+        assert!(l.schedule_directive(3, "replicated"), "trailing form");
+        assert!(
+            l.schedule_directive(6, "replicated"),
+            "standalone form skips comment-only lines"
+        );
+        assert!(!l.schedule_directive(2, "replicated"));
     }
 }

@@ -14,10 +14,13 @@
 //! | `collective-symmetry` | no collectives inside rank-guarded branches |
 //! | `no-post-deposit-mutation` | no `bytes_mut` on payloads received from `*_wire` collectives |
 
+pub mod cfg;
 pub mod lexer;
 pub mod rules;
+pub mod schedule;
 
 pub use rules::Finding;
+pub use schedule::{analyze_sources, analyze_workspace, Analysis};
 
 use std::path::{Path, PathBuf};
 

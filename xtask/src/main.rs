@@ -5,6 +5,10 @@
 //!   (default root: the directory containing this workspace). Prints one
 //!   `file:line rule-name: message` per finding and exits non-zero when
 //!   any survive.
+//! - `schedule [root] [--json]`: run the static collective-schedule
+//!   checker. Prints findings lint-style, then the extracted schedule per
+//!   driver entry point (indented text, or JSON with `--json`). Exits
+//!   non-zero when any finding survives.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -40,8 +44,82 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("schedule") => {
+            let json = args.iter().any(|a| a == "--json");
+            let root = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .map(PathBuf::from)
+                .unwrap_or_else(xtask::workspace_root);
+            match xtask::analyze_workspace(&root) {
+                Ok(analysis) => {
+                    if json {
+                        let mut out = String::from("{\"entries\":{");
+                        for (i, e) in analysis.entries.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&format!(
+                                "\"{}\":{{\"file\":\"{}\",\"line\":{},\"schedule\":",
+                                e.name, e.file, e.line
+                            ));
+                            xtask::schedule::to_json(&e.schedule, &mut out);
+                            out.push('}');
+                        }
+                        out.push_str("},\"findings\":[");
+                        for (i, f) in analysis.findings.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&format!(
+                                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\"}}",
+                                f.file, f.line, f.rule
+                            ));
+                        }
+                        out.push_str("]}");
+                        println!("{out}");
+                    } else {
+                        for f in &analysis.findings {
+                            println!("{f}");
+                        }
+                        for e in &analysis.entries {
+                            println!("entry {} ({}:{}):", e.name, e.file, e.line);
+                            let mut s = String::new();
+                            xtask::schedule::render(&e.schedule, 1, &mut s);
+                            print!("{s}");
+                        }
+                    }
+                    if analysis.findings.is_empty() {
+                        eprintln!(
+                            "xtask schedule: no findings, {} entry point{}",
+                            analysis.entries.len(),
+                            if analysis.entries.len() == 1 { "" } else { "s" }
+                        );
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!(
+                            "xtask schedule: {} finding{} (suppress a deliberate violation \
+                             with `// lint: allow(rule-name)`, or prove a branch replicated \
+                             with `// schedule: replicated`)",
+                            analysis.findings.len(),
+                            if analysis.findings.len() == 1 {
+                                ""
+                            } else {
+                                "s"
+                            }
+                        );
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("xtask schedule: failed to read workspace sources: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [root]");
+            eprintln!("usage: cargo run -p xtask -- <lint|schedule> [root] [--json]");
             ExitCode::from(2)
         }
     }

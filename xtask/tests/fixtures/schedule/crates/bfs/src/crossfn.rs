@@ -1,0 +1,12 @@
+//! Seeded defect: cross-function asymmetry. The helper looks innocent in
+//! isolation — the divergence flows in through its call site.
+
+fn guarded_barrier(comm: &Comm, flag: bool) {
+    if flag {
+        comm.barrier();
+    }
+}
+
+pub fn caller(comm: &Comm) {
+    guarded_barrier(comm, comm.rank() == 0);
+}

@@ -1,0 +1,10 @@
+//! Seeded defect: a rank-divergent branch whose arms emit different
+//! collective schedules — the silent-deadlock shape.
+
+pub fn diverging_arms(comm: &Comm, bufs: Vec<Vec<u64>>) {
+    if comm.rank() == 0 {
+        comm.alltoallv(bufs);
+    } else {
+        comm.barrier();
+    }
+}

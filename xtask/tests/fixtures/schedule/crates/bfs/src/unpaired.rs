@@ -1,0 +1,12 @@
+//! Seeded defect: nonblocking-exchange pairing violations — a start that
+//! is never completed, and a loop that starts more than it waits for.
+
+pub fn leaked_start(comm: &Comm, bufs: Vec<WireBuf>) {
+    let pending = comm.ialltoallv_wire(bufs);
+}
+
+pub fn loop_imbalance(comm: &Comm, k: usize) {
+    for c in 0..k {
+        let pending = comm.ialltoallv_wire(encode(c));
+    }
+}
